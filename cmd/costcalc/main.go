@@ -1,0 +1,41 @@
+// Command costcalc prices interconnect architectures with the §5.2 cost
+// model (Table 2 component prices, Appendix G bill of materials).
+//
+// Usage:
+//
+//	costcalc -servers 432 -degree 4 -bandwidth 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"topoopt/internal/cost"
+)
+
+func main() {
+	var (
+		servers   = flag.Int("servers", 432, "number of servers")
+		degree    = flag.Int("degree", 4, "interfaces per server")
+		bandwidth = flag.Float64("bandwidth", 100, "per-interface Gbps")
+	)
+	flag.Parse()
+	bw := *bandwidth * 1e9
+	archs := []string{cost.ArchExpander, cost.ArchTopoOpt, cost.ArchFatTree,
+		cost.ArchOCS, cost.ArchOversub, cost.ArchIdeal, cost.ArchSiPML}
+	fmt.Printf("Interconnect cost, n=%d servers, d=%d, B=%.0f Gbps\n",
+		*servers, *degree, *bandwidth)
+	topoCost, _ := cost.Of(cost.ArchTopoOpt, *servers, *degree, bw)
+	for _, a := range archs {
+		c, err := cost.Of(a, *servers, *degree, bw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costcalc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-16s $%12.0f  (%.2fx TopoOpt)\n", a, c, c/topoCost)
+	}
+	bft := cost.EquivalentFatTreeBandwidth(*servers, *degree, bw)
+	fmt.Printf("cost-equivalent Fat-tree per-server bandwidth: %.0f Gbps (vs d*B = %.0f Gbps)\n",
+		bft/1e9, float64(*degree)**bandwidth)
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates the paper's tables and figures (the
+// per-experiment index is in DESIGN.md). By default it runs the quick
+// 32-server parameterization; -full runs the paper's 128/432-server
+// scales (substantially slower).
+//
+// Usage:
+//
+//	experiments                # all experiments, quick parameters
+//	experiments -only fig11    # one experiment
+//	experiments -full          # paper-scale sweeps
+//	experiments -list          # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"topoopt/internal/experiments"
+)
+
+type exp struct {
+	id  string
+	run func(experiments.Params, bool) string
+}
+
+func fixed(f func() string) func(experiments.Params, bool) string {
+	return func(experiments.Params, bool) string { return f() }
+}
+
+func scaled(f func(experiments.Params) string) func(experiments.Params, bool) string {
+	return func(p experiments.Params, _ bool) string { return f(p) }
+}
+
+var all = []exp{
+	{"fig01", fixed(experiments.Fig01DLRMHeatmaps)},
+	{"fig02", fixed(experiments.Fig02ProductionCDFs)},
+	{"fig03", scaled(experiments.Fig03NetworkOverhead)},
+	{"fig04", fixed(experiments.Fig04ProductionHeatmaps)},
+	{"tab01", fixed(experiments.Tab01OpticalTech)},
+	{"fig07", fixed(experiments.Fig07RingPermutations)},
+	{"fig09", fixed(experiments.Fig09TopoOptTopology)},
+	{"fig10", fixed(experiments.Fig10CostComparison)},
+	{"fig11", func(p experiments.Params, full bool) string { return experiments.FigDedicated(p, 4, full) }},
+	{"fig12", scaled(experiments.Fig12AllToAll)},
+	{"fig13", scaled(experiments.Fig13BandwidthTax)},
+	{"fig14", scaled(experiments.Fig14PathLengthCDF)},
+	{"fig15", scaled(experiments.Fig15LinkTrafficCDF)},
+	{"fig16", scaled(experiments.Fig16SharedCluster)},
+	{"fig17", scaled(experiments.Fig17ReconfigLatency)},
+	{"fig19", fixed(experiments.Fig19TestbedThroughput)},
+	{"fig20", fixed(experiments.Fig20TimeToAccuracy)},
+	{"fig21", fixed(experiments.Fig21TestbedAllToAll)},
+	{"tab02", fixed(experiments.Tab02ComponentCosts)},
+	{"figA1", fixed(experiments.FigA1DoubleBinaryTree)},
+	{"fig27", func(p experiments.Params, full bool) string { return experiments.FigDedicated(p, 8, full) }},
+	{"fig28", scaled(experiments.Fig28DegreeSensitivity)},
+	{"abl-selectperms", scaled(experiments.AblationSelectPerms)},
+	{"abl-mpdiscount", scaled(experiments.AblationMPDiscount)},
+	{"abl-coinchange", scaled(experiments.AblationCoinChange)},
+	{"abl-alternating", scaled(experiments.AblationAlternating)},
+	{"abl-mcmc", scaled(experiments.AblationMCMCBudget)},
+	{"abl-multiring", scaled(experiments.AblationMultiRing)},
+	{"ext-fattree", scaled(experiments.ExtTotientPermsFatTree)},
+	{"ext-moe", scaled(experiments.ExtMoETimeVaryingTraffic)},
+	{"ext-arrivals", scaled(experiments.ExtDynamicArrivals)},
+	{"ext-te", scaled(experiments.ExtRoutingTE)},
+}
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "paper-scale parameters (128/432 servers)")
+		only = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.id)
+		}
+		return
+	}
+	params := experiments.Quick
+	if *full {
+		params = experiments.Full
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Println(e.run(params, *full))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched %q (use -list)\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"topoopt/internal/experiments"
+)
+
+func TestRegistryUniqueAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.id == "" {
+			t.Error("empty experiment id")
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.run == nil {
+			t.Errorf("%s: nil runner", e.id)
+		}
+	}
+	// Every paper figure/table of the DESIGN.md index is registered.
+	for _, id := range []string{"fig01", "fig02", "fig03", "fig04", "tab01",
+		"fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig19", "fig20", "fig21", "tab02",
+		"figA1", "fig27", "fig28"} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestFixedAndScaledWrappers(t *testing.T) {
+	f := fixed(func() string { return "x" })
+	if got := f(allParams(), true); got != "x" {
+		t.Errorf("fixed wrapper = %q", got)
+	}
+}
+
+func allParams() experiments.Params { return experiments.Params{} }

@@ -1,0 +1,98 @@
+// Command heatmap prints ASCII traffic heatmaps for a workload under
+// different parallelization strategies and AllReduce permutations — the
+// interactive version of the paper's Figures 1, 7–9.
+//
+// Usage:
+//
+//	heatmap -model dlrm -servers 16 [-strategy hybrid|dp] [-perms 1,3,7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"topoopt/internal/collective"
+	"topoopt/internal/heatmap"
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/traffic"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "dlrm", "workload: dlrm, candle, bert, ncf, resnet50, vgg16")
+		servers   = flag.Int("servers", 16, "number of servers")
+		strategy  = flag.String("strategy", "hybrid", "parallelization: hybrid or dp")
+		permsArg  = flag.String("perms", "", "comma-separated ring permutations (default: single +1 ring)")
+		batch     = flag.Int("batch", 0, "per-GPU batch (0 = model default)")
+	)
+	flag.Parse()
+
+	m := pick(*modelName)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "heatmap: unknown model %q\n", *modelName)
+		os.Exit(1)
+	}
+	if *batch <= 0 {
+		*batch = m.BatchPerGPU
+	}
+	var st parallel.Strategy
+	switch *strategy {
+	case "hybrid":
+		st = parallel.Hybrid(m, *servers)
+	case "dp":
+		st = parallel.DataParallel(m, *servers)
+	default:
+		fmt.Fprintf(os.Stderr, "heatmap: unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+	dem, err := traffic.FromStrategy(m, st, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heatmap:", err)
+		os.Exit(1)
+	}
+	var perms []int
+	if *permsArg != "" {
+		for _, s := range strings.Split(*permsArg, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "heatmap: bad permutation %q\n", s)
+				os.Exit(1)
+			}
+			perms = append(perms, p)
+		}
+	} else {
+		perms = []int{1}
+	}
+	tm := dem.MP.Clone()
+	for _, g := range dem.Groups {
+		collective.MultiRing(tm, g.Members, perms, g.Bytes)
+	}
+	fmt.Printf("%s, %d servers, %s parallelism, rings %v\n",
+		m.Name, *servers, *strategy, perms)
+	fmt.Printf("AllReduce %s + MP %s per iteration\n",
+		heatmap.Human(float64(dem.TotalAllReduceBytes())),
+		heatmap.Human(float64(dem.TotalMPBytes())))
+	fmt.Print(heatmap.Render(tm))
+}
+
+func pick(name string) *model.Model {
+	switch strings.ToLower(name) {
+	case "dlrm":
+		return model.DLRMPreset(model.Sec53)
+	case "candle":
+		return model.CANDLEPreset(model.Sec53)
+	case "bert":
+		return model.BERTPreset(model.Sec53)
+	case "ncf":
+		return model.NCFPreset()
+	case "resnet50", "resnet":
+		return model.ResNetPreset(model.Sec53)
+	case "vgg16", "vgg":
+		return model.VGGPreset(model.Sec53)
+	}
+	return nil
+}

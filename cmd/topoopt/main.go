@@ -1,0 +1,132 @@
+// Command topoopt co-optimizes network topology and parallelization
+// strategy for one DNN training job and prints the deployable plan:
+// patch-panel circuits, TotientPerms AllReduce rings, routing rules and
+// the predicted iteration time.
+//
+// Usage:
+//
+//	topoopt -model dlrm -servers 16 -degree 4 -bandwidth 100 [-batch 128]
+//	        [-rounds 3] [-mcmc 200] [-seed 1] [-section 5.3|5.6|6] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"topoopt"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "dlrm", "workload: dlrm, candle, bert, ncf, resnet50, vgg16")
+		section   = flag.String("section", "5.3", "preset configuration: 5.3, 5.6 or 6 (List 1)")
+		servers   = flag.Int("servers", 16, "number of dedicated servers (n)")
+		degree    = flag.Int("degree", 4, "interfaces per server (d)")
+		bandwidth = flag.Float64("bandwidth", 100, "per-interface bandwidth in Gbps (B)")
+		batch     = flag.Int("batch", 0, "per-GPU batch size (0 = model default)")
+		rounds    = flag.Int("rounds", 3, "alternating-optimization rounds (k)")
+		mcmc      = flag.Int("mcmc", 200, "MCMC iterations per round")
+		seed      = flag.Int64("seed", 1, "search seed")
+		prime     = flag.Bool("prime", false, "restrict TotientPerms to prime generators")
+		verbose   = flag.Bool("v", false, "print full routing table")
+	)
+	flag.Parse()
+
+	m, err := pickModel(*modelName, *section)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := topoopt.Optimize(m, topoopt.Options{
+		Servers: *servers, Degree: *degree, LinkBandwidth: *bandwidth * 1e9,
+		BatchPerGPU: *batch, Rounds: *rounds, MCMCIters: *mcmc,
+		Seed: *seed, PrimeOnly: *prime,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("TopoOpt plan for %s on %d servers (d=%d, B=%.0f Gbps)\n",
+		m.Name, *servers, *degree, *bandwidth)
+	fmt.Printf("degree split: %d AllReduce + %d MP interfaces\n",
+		plan.DegreeAllReduce, plan.DegreeMP)
+	for _, r := range plan.Rings {
+		fmt.Printf("AllReduce rings over %d servers: permutations %v\n",
+			len(r.Members), r.Ps)
+	}
+	sharded := plan.Strategy.ShardedLayers()
+	fmt.Printf("strategy: %d layers total, %d model-parallel\n",
+		len(plan.Strategy.Layers), len(sharded))
+	for _, li := range sharded {
+		fmt.Printf("  layer %d (%s) -> servers %v\n",
+			li, m.Layers[li].Name, plan.Strategy.Layers[li].Group)
+	}
+	it := plan.PredictedIteration
+	fmt.Printf("predicted iteration: %.4gs (MP %.4gs + compute %.4gs + AllReduce %.4gs), bandwidth tax %.2f\n",
+		it.Total(), it.MPSeconds, it.ComputeSeconds, it.AllReduceSeconds, it.BandwidthTax)
+
+	fmt.Printf("circuits to program (%d):\n", len(plan.Circuits))
+	byFrom := map[int][]int{}
+	for _, c := range plan.Circuits {
+		byFrom[c.From] = append(byFrom[c.From], c.To)
+	}
+	froms := make([]int, 0, len(byFrom))
+	for f := range byFrom {
+		froms = append(froms, f)
+	}
+	sort.Ints(froms)
+	for _, f := range froms {
+		sort.Ints(byFrom[f])
+		tos := make([]string, len(byFrom[f]))
+		for i, to := range byFrom[f] {
+			tos[i] = fmt.Sprint(to)
+		}
+		fmt.Printf("  S%-3d TX -> {%s}\n", f, strings.Join(tos, ", "))
+	}
+	if *verbose {
+		fmt.Println("routing rules:")
+		for s := 0; s < *servers; s++ {
+			for d := 0; d < *servers; d++ {
+				if p := plan.Routes[s][d]; len(p) > 2 {
+					fmt.Printf("  %d -> %d via %v\n", s, d, p[1:len(p)-1])
+				}
+			}
+		}
+	}
+}
+
+func pickModel(name, section string) (*topoopt.Model, error) {
+	var sec topoopt.Section
+	switch section {
+	case "5.3":
+		sec = topoopt.Sec53
+	case "5.6":
+		sec = topoopt.Sec56
+	case "6":
+		sec = topoopt.Sec6
+	default:
+		return nil, fmt.Errorf("unknown section %q (want 5.3, 5.6 or 6)", section)
+	}
+	switch strings.ToLower(name) {
+	case "dlrm":
+		return topoopt.DLRM(sec), nil
+	case "candle":
+		return topoopt.CANDLE(sec), nil
+	case "bert":
+		return topoopt.BERT(sec), nil
+	case "ncf":
+		return topoopt.NCF(), nil
+	case "resnet50", "resnet":
+		return topoopt.ResNet50(sec), nil
+	case "vgg16", "vgg":
+		return topoopt.VGG16(sec), nil
+	}
+	return nil, fmt.Errorf("unknown model %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topoopt:", err)
+	os.Exit(1)
+}

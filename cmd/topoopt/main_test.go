@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestPickModel(t *testing.T) {
+	for _, name := range []string{"dlrm", "candle", "bert", "ncf", "resnet50", "vgg16", "VGG"} {
+		m, err := pickModel(name, "5.3")
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(m.Layers) == 0 {
+			t.Errorf("%s: empty model", name)
+		}
+	}
+	for _, sec := range []string{"5.3", "5.6", "6"} {
+		if _, err := pickModel("bert", sec); err != nil {
+			t.Errorf("section %s: %v", sec, err)
+		}
+	}
+	if _, err := pickModel("nope", "5.3"); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, err := pickModel("bert", "9.9"); err == nil {
+		t.Error("unknown section should fail")
+	}
+}

@@ -1,0 +1,31 @@
+package topoopt_test
+
+import (
+	"fmt"
+
+	"topoopt"
+)
+
+// ExampleOptimize co-optimizes a small DLRM job and prints the interface
+// split and AllReduce ring permutations of the resulting plan.
+func ExampleOptimize() {
+	m := topoopt.DLRM(topoopt.Sec6)
+	plan, err := topoopt.Optimize(m, topoopt.Options{
+		Servers:       12,
+		Degree:        4,
+		LinkBandwidth: 25e9,
+		Rounds:        1,
+		MCMCIters:     20,
+		Seed:          1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("interfaces: %d AllReduce + %d MP\n", plan.DegreeAllReduce, plan.DegreeMP)
+	for _, r := range plan.Rings {
+		fmt.Printf("rings over %d servers: %v\n", len(r.Members), r.Ps)
+	}
+	// Output:
+	// interfaces: 4 AllReduce + 0 MP
+	// rings over 12 servers: [1 5 7 11]
+}

@@ -1,0 +1,37 @@
+// Quickstart: co-optimize topology and parallelization strategy for a
+// BERT job on 16 servers and print the plan — the minimal use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topoopt"
+)
+
+func main() {
+	m := topoopt.BERT(topoopt.Sec53)
+	plan, err := topoopt.Optimize(m, topoopt.Options{
+		Servers:       16,
+		Degree:        4,
+		LinkBandwidth: 100e9, // 100 Gbps per interface
+		Rounds:        2,
+		MCMCIters:     50,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s (%d layers, %.1f GB parameters)\n",
+		m.Name, len(m.Layers), float64(m.TotalParamBytes())/1e9)
+	fmt.Printf("interfaces: %d for AllReduce, %d for MP\n",
+		plan.DegreeAllReduce, plan.DegreeMP)
+	for _, r := range plan.Rings {
+		fmt.Printf("AllReduce rings (+p rules) over %d servers: %v\n", len(r.Members), r.Ps)
+	}
+	fmt.Printf("circuits to patch: %d\n", len(plan.Circuits))
+	it := plan.PredictedIteration
+	fmt.Printf("predicted iteration: %.2f ms (MP %.2f + compute %.2f + AllReduce %.2f)\n",
+		it.Total()*1e3, it.MPSeconds*1e3, it.ComputeSeconds*1e3, it.AllReduceSeconds*1e3)
+}

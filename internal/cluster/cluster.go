@@ -1,0 +1,278 @@
+// Package cluster implements shared-cluster training (§5.6, Appendix C):
+// a first-fit shard scheduler, per-job hybrid strategies scoped to their
+// shard, and two execution modes — sharded TopoOpt partitions (each job on
+// its own optically isolated fabric) and shared switch fabrics where all
+// jobs' flows contend.
+package cluster
+
+import (
+	"fmt"
+
+	"topoopt/internal/core"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+	"topoopt/internal/netsim"
+	"topoopt/internal/parallel"
+	"topoopt/internal/traffic"
+)
+
+// Job is one training job placed on the cluster.
+type Job struct {
+	ID      int
+	Model   *model.Model
+	Servers []int // global server IDs of the shard
+	Batch   int
+	// Derived state:
+	Strategy parallel.Strategy
+	Demand   traffic.Demand
+	Compute  float64
+}
+
+// Scheduler hands out disjoint shards of an n-server cluster, first-fit.
+type Scheduler struct {
+	n    int
+	used []bool
+}
+
+// NewScheduler returns a scheduler over n free servers.
+func NewScheduler(n int) *Scheduler {
+	return &Scheduler{n: n, used: make([]bool, n)}
+}
+
+// Free returns the number of unallocated servers.
+func (s *Scheduler) Free() int {
+	f := 0
+	for _, u := range s.used {
+		if !u {
+			f++
+		}
+	}
+	return f
+}
+
+// Allocate reserves k servers (lowest-index first) and returns their IDs.
+func (s *Scheduler) Allocate(k int) ([]int, error) {
+	var out []int
+	for v := 0; v < s.n && len(out) < k; v++ {
+		if !s.used[v] {
+			out = append(out, v)
+		}
+	}
+	if len(out) < k {
+		return nil, fmt.Errorf("cluster: want %d servers, only %d free", k, s.Free())
+	}
+	for _, v := range out {
+		s.used[v] = true
+	}
+	return out, nil
+}
+
+// AllocateStrided reserves k servers spread across the cluster with the
+// given stride (e.g. stride = racks so consecutive members land in
+// different racks, the non-rack-aligned placement typical of shared
+// production clusters). Falls back to first-fit for leftovers.
+func (s *Scheduler) AllocateStrided(k, stride int) ([]int, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []int
+	for off := 0; off < stride && len(out) < k; off++ {
+		for v := off; v < s.n && len(out) < k; v += stride {
+			if !s.used[v] {
+				s.used[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) < k {
+		s.Release(out)
+		return nil, fmt.Errorf("cluster: want %d servers, only %d free", k, s.Free())
+	}
+	return out, nil
+}
+
+// Release frees a shard.
+func (s *Scheduler) Release(servers []int) {
+	for _, v := range servers {
+		if v >= 0 && v < s.n {
+			s.used[v] = false
+		}
+	}
+}
+
+// Prepare derives the job's shard-scoped hybrid strategy, demand and
+// compute time on the given cluster size.
+func (j *Job) Prepare(clusterN int, gpu model.GPU) error {
+	if j.Batch <= 0 {
+		j.Batch = j.Model.BatchPerGPU
+	}
+	j.Strategy = parallel.HybridOn(j.Model, clusterN, j.Servers)
+	dem, err := traffic.FromStrategy(j.Model, j.Strategy, j.Batch)
+	if err != nil {
+		return err
+	}
+	j.Demand = dem
+	j.Compute = j.Strategy.MaxComputeTime(j.Model, gpu, j.Batch)
+	return nil
+}
+
+// RunShardedTopoOpt gives every job a dedicated TopoOpt partition (the
+// optical sharding of Appendix C): each job's demand is remapped to local
+// IDs, TopologyFinder builds its partition, and iterations are simulated
+// in isolation. Returns per-job per-iteration times.
+func RunShardedTopoOpt(jobs []*Job, d int, linkBW float64, iters int, gpu model.GPU) ([][]float64, error) {
+	out := make([][]float64, len(jobs))
+	for ji, j := range jobs {
+		k := len(j.Servers)
+		localModel := j.Model
+		st := parallel.Hybrid(localModel, k)
+		dem, err := traffic.FromStrategy(localModel, st, j.Batch)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := core.TopologyFinder(core.Config{N: k, D: d, LinkBW: linkBW}, dem)
+		if err != nil {
+			return nil, err
+		}
+		fab := flexnet.NewTopoOptFabric(tf)
+		compute := st.MaxComputeTime(localModel, gpu, j.Batch)
+		res, err := flexnet.SimulateIteration(fab, dem, compute)
+		if err != nil {
+			return nil, err
+		}
+		// Optical isolation makes every iteration identical.
+		times := make([]float64, iters)
+		for i := range times {
+			times[i] = res.Total()
+		}
+		out[ji] = times
+	}
+	return out, nil
+}
+
+// RunShared runs all jobs concurrently on one shared fabric (Fat-tree,
+// Oversub Fat-tree, Ideal Switch): each job loops MP → compute →
+// AllReduce for iters iterations while contending for links. Returns
+// per-job per-iteration times.
+func RunShared(fab *flexnet.Fabric, jobs []*Job, iters int, gpu model.GPU) ([][]float64, error) {
+	for _, j := range jobs {
+		if err := j.Prepare(fab.Net.Hosts, gpu); err != nil {
+			return nil, err
+		}
+	}
+	sim := netsim.New(fab.Net.G, fab.LinkLatency)
+	times := make([][]float64, len(jobs))
+	var injectErr error
+
+	type jobState struct {
+		job       *Job
+		iter      int
+		iterStart float64
+		pending   int
+	}
+	states := make([]*jobState, len(jobs))
+
+	var startMP func(js *jobState)
+	var startAR func(js *jobState)
+
+	startMP = func(js *jobState) {
+		js.iterStart = sim.Now()
+		mp := fab.MPMatrix(js.job.Demand)
+		if mp.Total() == 0 {
+			sim.Schedule(js.job.Compute, func() { startAR(js) })
+			return
+		}
+		err := fab.InjectMatrix(sim, mp, &js.pending, func() {
+			sim.Schedule(js.job.Compute, func() { startAR(js) })
+		})
+		if err != nil && injectErr == nil {
+			injectErr = err
+		}
+	}
+	startAR = func(js *jobState) {
+		ar := fab.AllReduceMatrix(js.job.Demand)
+		finish := func() {
+			times[js.job.ID] = append(times[js.job.ID], sim.Now()-js.iterStart)
+			js.iter++
+			if js.iter < iters {
+				startMP(js)
+			}
+		}
+		if ar.Total() == 0 {
+			finish()
+			return
+		}
+		err := fab.InjectMatrix(sim, ar, &js.pending, finish)
+		if err != nil && injectErr == nil {
+			injectErr = err
+		}
+	}
+
+	for i, j := range jobs {
+		j.ID = i
+		states[i] = &jobState{job: j}
+		startMP(states[i])
+	}
+	sim.Run(0)
+	if injectErr != nil {
+		return nil, injectErr
+	}
+	for i := range jobs {
+		if len(times[i]) != iters {
+			return nil, fmt.Errorf("cluster: job %d finished %d/%d iterations", i, len(times[i]), iters)
+		}
+	}
+	return times, nil
+}
+
+// Flatten concatenates per-job iteration times into one sample set.
+func Flatten(times [][]float64) []float64 {
+	var out []float64
+	for _, ts := range times {
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// MixSpec describes the §5.6 job mix: 40% DLRM, 30% BERT, 20% CANDLE,
+// 10% VGG16, each requesting serversPerJob servers. A nonzero Stride
+// spreads each job's servers across the cluster (non-rack-aligned
+// placement); zero uses first-fit.
+type MixSpec struct {
+	Jobs          int
+	ServersPerJob int
+	Stride        int
+}
+
+// BuildMix allocates the §5.6 mix on a scheduler. Models use the Sec56
+// presets.
+func BuildMix(sched *Scheduler, spec MixSpec) ([]*Job, error) {
+	mk := func(i int) *model.Model {
+		switch {
+		case i%10 < 4:
+			return model.DLRMPreset(model.Sec56)
+		case i%10 < 7:
+			return model.BERTPreset(model.Sec56)
+		case i%10 < 9:
+			return model.CANDLEPreset(model.Sec56)
+		default:
+			return model.VGGPreset(model.Sec56)
+		}
+	}
+	var jobs []*Job
+	for i := 0; i < spec.Jobs; i++ {
+		var servers []int
+		var err error
+		if spec.Stride > 1 {
+			servers, err = sched.AllocateStrided(spec.ServersPerJob, spec.Stride)
+		} else {
+			servers, err = sched.Allocate(spec.ServersPerJob)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := mk(i)
+		jobs = append(jobs, &Job{ID: i, Model: m, Servers: servers, Batch: m.BatchPerGPU})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic job arrivals (Appendix C): jobs arrive over time, each needing
+// a shard and a provisioned topology before it can start. With plain
+// patch panels every job waits the full robotic reconfiguration; with the
+// look-ahead design the next job's topology is wired while its
+// predecessor trains, hiding the latency whenever the inter-arrival gap
+// exceeds the patch time. OCS-based deployments pay only the OCS
+// switching latency.
+
+// Arrival is one job arrival event.
+type Arrival struct {
+	At      float64 // arrival time, seconds
+	Servers int     // shard size requested
+	// Duration is the training run length once started.
+	Duration float64
+}
+
+// DynamicResult summarizes a dynamic-arrival simulation.
+type DynamicResult struct {
+	// StartDelay[i] is job i's wait between arrival and training start
+	// (queueing for servers + topology activation).
+	StartDelay []float64
+	// Completed is the number of jobs that obtained servers.
+	Completed int
+}
+
+// ProvisioningMode selects the activation latency model.
+type ProvisioningMode int
+
+const (
+	// PatchPanelCold reconfigures the panel at job start (no look-ahead).
+	PatchPanelCold ProvisioningMode = iota
+	// PatchPanelLookAhead pre-provisions on the second plane (App. C).
+	PatchPanelLookAhead
+	// OCS switches circuits in ~10 ms at job start.
+	OCS
+)
+
+// SimulateArrivals runs a simple event simulation of job arrivals on an
+// n-server cluster under the given provisioning mode. Jobs are served
+// FIFO; a job waits until enough servers are free, then pays the
+// topology-activation latency before training.
+func SimulateArrivals(n int, arrivals []Arrival, mode ProvisioningMode, prov *Provisioner) (*DynamicResult, error) {
+	if prov == nil {
+		prov = NewProvisioner()
+	}
+	for _, a := range arrivals {
+		if a.Servers > n {
+			return nil, fmt.Errorf("cluster: job wants %d servers on an %d-server cluster", a.Servers, n)
+		}
+	}
+	jobs := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].At < jobs[j].At })
+
+	type running struct {
+		end     float64
+		servers int
+	}
+	var active []running
+	free := n
+	res := &DynamicResult{StartDelay: make([]float64, len(jobs))}
+	// lookaheadReadyAt is when the pre-provisioned plane for the NEXT job
+	// becomes usable (wired in the background since the last start).
+	lookaheadReadyAt := 0.0
+	now := 0.0
+	for i, j := range jobs {
+		if j.At > now {
+			now = j.At
+		}
+		// Wait for servers.
+		for free < j.Servers {
+			if len(active) == 0 {
+				return nil, fmt.Errorf("cluster: job %d starves (%d free)", i, free)
+			}
+			// Pop the earliest-finishing job.
+			earliest := 0
+			for k := 1; k < len(active); k++ {
+				if active[k].end < active[earliest].end {
+					earliest = k
+				}
+			}
+			if active[earliest].end > now {
+				now = active[earliest].end
+			}
+			free += active[earliest].servers
+			active = append(active[:earliest], active[earliest+1:]...)
+		}
+		// Topology activation.
+		var activation float64
+		switch mode {
+		case PatchPanelCold:
+			activation = prov.PatchLatency
+		case PatchPanelLookAhead:
+			if lookaheadReadyAt <= now {
+				activation = prov.FlipLatency
+			} else {
+				activation = (lookaheadReadyAt - now) + prov.FlipLatency
+			}
+			// Start wiring the plane for the job after this one.
+			lookaheadReadyAt = now + activation + prov.PatchLatency
+		case OCS:
+			activation = 0.010
+		default:
+			return nil, fmt.Errorf("cluster: unknown provisioning mode %d", mode)
+		}
+		start := now + activation
+		res.StartDelay[i] = start - j.At
+		active = append(active, running{end: start + j.Duration, servers: j.Servers})
+		free -= j.Servers
+		res.Completed++
+		now = start
+	}
+	return res, nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import "fmt"
+
+// Look-ahead provisioning (Appendix C): each server interface passes
+// through a $25 1×2 mechanical optical switch whose two outputs land on
+// different patch panels (Active and Look-ahead). While a job trains on
+// the Active plane, the next job's topology is pre-provisioned on the
+// Look-ahead plane; when the job ends, flipping the 1×2 switches
+// activates the new topology instantly instead of waiting minutes for
+// the robotic patch panel.
+
+// Provisioner tracks the two planes of a look-ahead deployment.
+type Provisioner struct {
+	// PatchLatency is the robotic patch panel reconfiguration time.
+	PatchLatency float64
+	// FlipLatency is the 1×2 switch actuation time.
+	FlipLatency float64
+
+	activeReady    bool
+	lookaheadReady bool
+	provisioning   bool
+}
+
+// NewProvisioner returns a provisioner with the paper's latencies:
+// minutes for the patch panel (we use 120 s) and ~10 ms for the
+// mechanical 1×2 switch.
+func NewProvisioner() *Provisioner {
+	return &Provisioner{PatchLatency: 120, FlipLatency: 0.010, activeReady: true}
+}
+
+// StartProvisioning begins wiring the next topology on the Look-ahead
+// plane. It fails if a provisioning pass is already in flight.
+func (p *Provisioner) StartProvisioning() error {
+	if p.provisioning {
+		return fmt.Errorf("cluster: look-ahead plane already provisioning")
+	}
+	p.provisioning = true
+	p.lookaheadReady = false
+	return nil
+}
+
+// FinishProvisioning marks the Look-ahead plane wired (call after
+// PatchLatency has elapsed in the caller's clock).
+func (p *Provisioner) FinishProvisioning() {
+	p.provisioning = false
+	p.lookaheadReady = true
+}
+
+// Flip activates the Look-ahead plane (swapping roles) and returns the
+// activation delay the next job observes: FlipLatency when the plane was
+// pre-provisioned, or the full PatchLatency when it was not.
+func (p *Provisioner) Flip() float64 {
+	if p.lookaheadReady {
+		p.activeReady, p.lookaheadReady = true, false
+		return p.FlipLatency
+	}
+	return p.PatchLatency + p.FlipLatency
+}
+
+// JobStartDelays computes, for a sequence of job run lengths (seconds),
+// the topology-activation delay each job observes with and without
+// look-ahead provisioning. With look-ahead, a job's topology is wired
+// while its predecessor trains, so only jobs shorter than PatchLatency
+// leave the successor waiting for the remainder.
+func (p *Provisioner) JobStartDelays(runLengths []float64) (withLookahead, without []float64) {
+	withLookahead = make([]float64, len(runLengths))
+	without = make([]float64, len(runLengths))
+	for i := range runLengths {
+		without[i] = p.PatchLatency
+		if i == 0 {
+			withLookahead[i] = p.PatchLatency + p.FlipLatency
+			continue
+		}
+		prev := runLengths[i-1]
+		wait := p.PatchLatency - prev
+		if wait < 0 {
+			wait = 0
+		}
+		withLookahead[i] = wait + p.FlipLatency
+	}
+	return withLookahead, without
+}

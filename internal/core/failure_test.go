@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/traffic"
+)
+
+func builtTopo(t *testing.T, n, d int) *Result {
+	t.Helper()
+	m := model.DLRM(model.DLRMConfig{BatchPerGPU: 64, DenseLayers: 4, DenseLayerSize: 1024,
+		DenseFeatLayers: 4, FeatLayerSize: 1024, EmbedDim: 128, EmbedRows: 1e6, EmbedTables: 4})
+	st := parallel.Hybrid(m, n)
+	dem, err := traffic.FromStrategy(m, st, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TopologyFinder(Config{N: n, D: d, LinkBW: 100e9}, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	res := builtTopo(t, 16, 4)
+	e := res.Network.G.Edge(0)
+	degraded, err := FailLink(res, e.From, e.To, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer edges, same reachability.
+	if degraded.Network.G.M() != res.Network.G.M()-1 {
+		t.Errorf("edges = %d, want %d", degraded.Network.G.M(), res.Network.G.M()-1)
+	}
+	if !degraded.Network.G.Connected() {
+		t.Fatal("degraded fabric disconnected")
+	}
+	// No route crosses the failed link.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			nodes := degraded.Routes.Get(s, d)
+			if nodes == nil {
+				t.Fatalf("no route %d->%d after failure", s, d)
+			}
+			for i := 0; i+1 < len(nodes); i++ {
+				if !degraded.Network.G.HasEdge(nodes[i], nodes[i+1]) {
+					t.Fatalf("route %d->%d uses missing link", s, d)
+				}
+			}
+		}
+	}
+	// Original untouched.
+	if res.Network.G.M() == degraded.Network.G.M() {
+		t.Error("original result mutated")
+	}
+}
+
+func TestFailLinkNonexistent(t *testing.T) {
+	res := builtTopo(t, 8, 2)
+	// Find a pair with no direct link.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d && !res.Network.G.HasEdge(s, d) {
+				if _, err := FailLink(res, s, d, false); err == nil {
+					t.Fatal("failing a nonexistent link should error")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("topology is a full mesh; nothing to test")
+}
+
+func TestFailLinkPartitionDetected(t *testing.T) {
+	// Degree-1 chain ring: failing one directed ring edge breaks the only
+	// directed cycle; borrowMP must re-patch it.
+	m := model.CANDLEPreset(model.Sec6)
+	st := parallel.DataParallel(m, 5) // n=5 → only p ∈ {1,2,3,4}; d=1 picks one ring
+	dem, _ := traffic.FromStrategy(m, st, 10)
+	res, err := TopologyFinder(Config{N: 5, D: 1, LinkBW: 100e9}, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Network.G.Edge(0)
+	if _, err := FailLink(res, e.From, e.To, false); err == nil {
+		t.Error("single-ring failure should partition without borrow")
+	}
+	recovered, err := FailLink(res, e.From, e.To, true)
+	if err != nil {
+		t.Fatalf("borrowMP recovery failed: %v", err)
+	}
+	if !recovered.Network.G.Connected() {
+		t.Error("recovered fabric disconnected")
+	}
+}
+
+func TestRingHealth(t *testing.T) {
+	res := builtTopo(t, 16, 4)
+	health := RingHealth(res)
+	for i, h := range health {
+		if h != 1 {
+			t.Errorf("ring %d health %g, want 1 on fresh topology", i, h)
+		}
+	}
+	// Degrade one ring edge.
+	gr := res.Rings[0]
+	from := gr.Members[0]
+	to := gr.Members[gr.Ps[0]%len(gr.Members)]
+	degraded, err := FailLink(res, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := RingHealth(degraded)
+	if h2[0] >= 1 {
+		t.Errorf("ring health %g should drop after edge failure", h2[0])
+	}
+}

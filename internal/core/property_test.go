@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"topoopt/internal/traffic"
+)
+
+// randomDemand builds a random but well-formed demand: one or two
+// AllReduce groups plus sparse MP traffic.
+func randomDemand(rng *rand.Rand, n int) traffic.Demand {
+	dem := traffic.Demand{N: n, MP: traffic.NewMatrix(n)}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	switch rng.Intn(3) {
+	case 0: // one full group
+		dem.Groups = []traffic.Group{{Members: all, Bytes: 1 + rng.Int63n(1e9)}}
+	case 1: // full group + subset group
+		half := append([]int(nil), all[:n/2]...)
+		dem.Groups = []traffic.Group{
+			{Members: all, Bytes: 1 + rng.Int63n(1e9)},
+			{Members: half, Bytes: 1 + rng.Int63n(1e8)},
+		}
+	case 2: // no AllReduce at all
+	}
+	pairs := rng.Intn(3 * n)
+	for i := 0; i < pairs; i++ {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			dem.MP.Add(s, d, 1+rng.Int63n(1e8))
+		}
+	}
+	return dem
+}
+
+// Property: for any well-formed demand, TopologyFinder produces a
+// degree-bounded topology where every demanded pair is routable over
+// existing links, and at least one degree goes to AllReduce.
+func TestTopologyFinderInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(29)
+		d := 1 + rng.Intn(6)
+		dem := randomDemand(rng, n)
+		res, err := TopologyFinder(Config{N: n, D: d, LinkBW: 100e9}, dem)
+		if err != nil {
+			t.Logf("seed %d (n=%d d=%d): %v", seed, n, d, err)
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if res.Network.G.OutDegree(v) > d || res.Network.G.InDegree(v) > d {
+				t.Logf("seed %d: degree bound violated at %d", seed, v)
+				return false
+			}
+		}
+		if res.DegreeAllReduce < 1 {
+			return false
+		}
+		// Every demanded pair routable over real links.
+		check := func(s, dd int) bool {
+			nodes := res.Routes.Get(s, dd)
+			if nodes == nil {
+				return false
+			}
+			for i := 0; i+1 < len(nodes); i++ {
+				if !res.Network.G.HasEdge(nodes[i], nodes[i+1]) {
+					return false
+				}
+			}
+			return true
+		}
+		for s := 0; s < n; s++ {
+			for dd := 0; dd < n; dd++ {
+				if s == dd || dem.MP[s][dd] == 0 {
+					continue
+				}
+				if !check(s, dd) {
+					t.Logf("seed %d: MP pair %d->%d unroutable", seed, s, dd)
+					return false
+				}
+			}
+		}
+		for _, g := range dem.Groups {
+			for _, a := range g.Members {
+				for _, bb := range g.Members {
+					if a != bb && !check(a, bb) {
+						t.Logf("seed %d: group pair %d->%d unroutable", seed, a, bb)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ring permutations selected by TopologyFinder are always valid
+// generators (coprime with group size) and within degree budget.
+func TestTopologyFinderRingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		d := 1 + rng.Intn(8)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		dem := traffic.Demand{N: n, MP: traffic.NewMatrix(n),
+			Groups: []traffic.Group{{Members: all, Bytes: 1e9}}}
+		res, err := TopologyFinder(Config{N: n, D: d, LinkBW: 1e9}, dem)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, gr := range res.Rings {
+			total += len(gr.Ps)
+			for _, p := range gr.Ps {
+				if gcd(p, len(gr.Members)) != 1 {
+					return false
+				}
+			}
+		}
+		return total <= d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"topoopt/internal/collective"
+	"topoopt/internal/core"
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/heatmap"
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/route"
+	"topoopt/internal/stats"
+	"topoopt/internal/topo"
+	"topoopt/internal/traffic"
+)
+
+// Fig09TopoOptTopology reproduces Figure 9: TopologyFinder's combined
+// topology for the §2.1 DLRM on 16 servers (3 interfaces) and its
+// balanced traffic matrix under multi-ring AllReduce.
+func Fig09TopoOptTopology() string {
+	m := sec21DLRM()
+	n := 16
+	hy := parallel.Hybrid(m, n)
+	dem, _ := traffic.FromStrategy(m, hy, m.BatchPerGPU)
+	res, err := core.TopologyFinder(core.Config{N: n, D: 3, LinkBW: 100e9}, dem)
+	if err != nil {
+		return "Figure 9: error: " + err.Error()
+	}
+	var b strings.Builder
+	b.WriteString(header("Figure 9", "TopoOpt topology and traffic matrix (16 servers, d=3)"))
+	for _, gr := range res.Rings {
+		fmt.Fprintf(&b, "AllReduce rings over %d servers: permutations %v (paper: +1,+3,+7)\n",
+			len(gr.Members), gr.Ps)
+	}
+	fmt.Fprintf(&b, "degree split: %d AllReduce + %d MP\n", res.DegreeAllReduce, res.DegreeMP)
+	tm := dem.MP.Clone()
+	for _, gr := range res.Rings {
+		collective.MultiRing(tm, gr.Members, gr.Ps, gr.Bytes)
+	}
+	b.WriteString(heatmap.Render(tm))
+	single := dem.CombinedMatrix()
+	fmt.Fprintf(&b, "max entry: multi-ring %s vs single-ring %s (load-balancing factor %.1fx)\n",
+		heatmap.Human(float64(tm.Max())), heatmap.Human(float64(single.Max())),
+		float64(single.Max())/float64(tm.Max()))
+	diam, _ := res.Network.G.Diameter()
+	fmt.Fprintf(&b, "cluster diameter: %d hops\n", diam)
+	return b.String()
+}
+
+// Fig10CostComparison reproduces Figure 10: interconnect cost vs server
+// count for both (d=4, B=100G) and (d=8, B=200G).
+func Fig10CostComparison() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 10", "Interconnect cost comparison (M$)"))
+	archs := []string{cost.ArchExpander, cost.ArchTopoOpt, cost.ArchFatTree,
+		cost.ArchOCS, cost.ArchOversub, cost.ArchIdeal, cost.ArchSiPML}
+	for _, cfg := range []struct {
+		d  int
+		bw float64
+	}{{4, 100e9}, {8, 200e9}} {
+		fmt.Fprintf(&b, "\n(d=%d, B=%.0f Gbps)\n", cfg.d, cfg.bw/1e9)
+		cols := []string{"architecture"}
+		ns := []int{128, 432, 1024, 2000}
+		for _, n := range ns {
+			cols = append(cols, fmt.Sprintf("n=%d", n))
+		}
+		b.WriteString(row(cols...))
+		for _, a := range archs {
+			vals := []string{a}
+			for _, n := range ns {
+				c, err := cost.Of(a, n, cfg.d, cfg.bw)
+				if err != nil {
+					vals = append(vals, "err")
+					continue
+				}
+				vals = append(vals, fmt.Sprintf("%.2fM", c/1e6))
+			}
+			b.WriteString(row(vals...))
+		}
+		ideal, _ := cost.Of(cost.ArchIdeal, 432, cfg.d, cfg.bw)
+		topoopt, _ := cost.Of(cost.ArchTopoOpt, 432, cfg.d, cfg.bw)
+		fmt.Fprintf(&b, "Ideal/TopoOpt at n=432: %.1fx (paper average: 3.2x)\n", ideal/topoopt)
+	}
+	return b.String()
+}
+
+// dedicatedArchs are the Figure 11 comparison set (OCS-reconfig omitted
+// from the quick sweep for runtime; cmd/experiments -full includes it).
+func dedicatedArchs(full bool) []string {
+	archs := []string{"TopoOpt", "IdealSwitch", "Fat-tree", "Expander", "SiP-ML"}
+	if full {
+		archs = append(archs, "OCS-reconfig")
+	}
+	return archs
+}
+
+// dedicatedIteration evaluates one model on one architecture at the given
+// degree/bandwidth, returning iteration seconds.
+func dedicatedIteration(m *model.Model, arch string, n, d int, bw float64, p Params) (float64, error) {
+	batch := m.BatchPerGPU
+	gpu := model.A100
+	switch arch {
+	case "TopoOpt":
+		res, err := flexnet.CoOptimize(m, flexnet.CoOptConfig{
+			N: n, Degree: d, LinkBW: bw, Rounds: 2, MCMCIters: p.MCMCIters, Seed: p.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.IterTime.Total(), nil
+	case "IdealSwitch":
+		fab := flexnet.NewSwitchFabric(topo.IdealSwitch(n, float64(d)*bw))
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		return it.Total(), err
+	case "Fat-tree":
+		bft := cost.EquivalentFatTreeBandwidth(n, d, bw)
+		fab := flexnet.NewSwitchFabric(topo.FatTree(n, bft))
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		return it.Total(), err
+	case "OversubFatTree":
+		fab := flexnet.NewSwitchFabric(topo.OversubFatTree(n, 8, float64(d)*bw))
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		return it.Total(), err
+	case "Expander":
+		nw, err := topo.Expander(n, d, bw, p.Seed+7)
+		if err != nil {
+			return 0, err
+		}
+		fab := flexnet.NewSwitchFabric(nw)
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		return it.Total(), err
+	case "SiP-ML", "OCS-reconfig":
+		st := parallel.Hybrid(m, n)
+		dem, err := traffic.FromStrategy(m, st, batch)
+		if err != nil {
+			return 0, err
+		}
+		compute := st.MaxComputeTime(m, gpu, batch)
+		cfg := flexnet.OCSRunConfig{N: n, D: d, LinkBW: bw, MeasureInterval: 0.050}
+		if arch == "SiP-ML" {
+			cfg.ReconfigLatency = 25e-6
+			cfg.Discount = core.UnitDiscount
+		} else {
+			cfg.ReconfigLatency = 10e-3
+			cfg.HostForwarding = true
+		}
+		return flexnet.SimulateOCSIteration(cfg, dem, compute)
+	}
+	return 0, fmt.Errorf("unknown architecture %q", arch)
+}
+
+// FigDedicated reproduces Figures 11 (d=4) and 27 (d=8): training
+// iteration time vs link bandwidth for the six workloads across
+// architectures on a dedicated cluster.
+func FigDedicated(p Params, d int, full bool) string {
+	var b strings.Builder
+	id := "Figure 11"
+	if d == 8 {
+		id = "Figure 27 (Appendix H)"
+	}
+	b.WriteString(header(id, fmt.Sprintf("Dedicated cluster of %d servers (d=%d)", p.Scale, d)))
+	bandwidths := []float64{10e9, 25e9, 40e9, 100e9}
+	archs := dedicatedArchs(full)
+	for _, m := range sec53Models(p) {
+		fmt.Fprintf(&b, "\n%s (batch/GPU %d):\n", m.Name, m.BatchPerGPU)
+		cols := []string{"architecture"}
+		for _, bw := range bandwidths {
+			cols = append(cols, fmt.Sprintf("B=%.0fG", bw/1e9))
+		}
+		b.WriteString(row(cols...))
+		ftAvg, toAvg := 0.0, 0.0
+		for _, arch := range archs {
+			vals := []string{arch}
+			for _, bw := range bandwidths {
+				t, err := dedicatedIteration(m, arch, p.Scale, d, bw, p)
+				if err != nil {
+					vals = append(vals, "err")
+					continue
+				}
+				vals = append(vals, secs(t))
+				switch arch {
+				case "Fat-tree":
+					ftAvg += t
+				case "TopoOpt":
+					toAvg += t
+				}
+			}
+			b.WriteString(row(vals...))
+		}
+		if toAvg > 0 {
+			fmt.Fprintf(&b, "Fat-tree/TopoOpt iteration-time ratio (avg over B): %.2fx (paper: 2.1-3.0x)\n",
+				ftAvg/toAvg)
+		}
+	}
+	return b.String()
+}
+
+// allToAllSetup builds the §5.4 worst-case workload at the given scale:
+// one large embedding table per server, a lean dense part, and an
+// embedding dimension scaled inversely with the cluster size so the
+// all-to-all/AllReduce traffic ratio sweeps the paper's 3%–80% range over
+// batch sizes 64–2048 regardless of Scale (MP grows ∝ n² while AllReduce
+// grows ∝ n, so the dimension compensates).
+func allToAllSetup(n, batch int) (*model.Model, parallel.Strategy, traffic.Demand, error) {
+	dim := 128 * 128 / n
+	if dim < 32 {
+		dim = 32
+	}
+	m := model.DLRM(model.DLRMConfig{BatchPerGPU: batch, DenseLayers: 8,
+		DenseLayerSize: 2048, DenseFeatLayers: 4, FeatLayerSize: 1024,
+		EmbedDim: dim, EmbedRows: 1e7, EmbedTables: n})
+	st := parallel.Hybrid(m, n)
+	dem, err := traffic.FromStrategy(m, st, batch)
+	return m, st, dem, err
+}
+
+// Fig12AllToAll reproduces Figure 12: iteration time vs batch size under
+// worst-case all-to-all traffic for d=4 and d=8, TopoOpt vs Fat-tree vs
+// Ideal Switch.
+func Fig12AllToAll(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 12",
+		fmt.Sprintf("All-to-all impact, %d servers with %d embedding tables (B=100G)", p.Scale, p.Scale)))
+	batches := []int{64, 128, 256, 512, 1024, 2048}
+	for _, d := range []int{4, 8} {
+		fmt.Fprintf(&b, "\n(d=%d)\n", d)
+		b.WriteString(row("batch", "a2a/AR ratio", "TopoOpt", "Fat-tree", "IdealSwitch"))
+		for _, batch := range batches {
+			m, st, dem, err := allToAllSetup(p.Scale, batch)
+			if err != nil {
+				b.WriteString(row(fmt.Sprint(batch), "err"))
+				continue
+			}
+			compute := st.MaxComputeTime(m, model.A100, batch)
+			ratio := float64(dem.TotalMPBytes()) / float64(dem.TotalAllReduceBytes())
+			tf, err := core.TopologyFinder(core.Config{N: p.Scale, D: d, LinkBW: 100e9}, dem)
+			if err != nil {
+				b.WriteString(row(fmt.Sprint(batch), "err"))
+				continue
+			}
+			topoIt, err := flexnet.SimulateIteration(flexnet.NewTopoOptFabric(tf), dem, compute)
+			if err != nil {
+				b.WriteString(row(fmt.Sprint(batch), "err"))
+				continue
+			}
+			bft := cost.EquivalentFatTreeBandwidth(p.Scale, d, 100e9)
+			ftIt, err := flexnet.SimulateIteration(
+				flexnet.NewSwitchFabric(topo.FatTree(p.Scale, bft)), dem, compute)
+			if err != nil {
+				b.WriteString(row(fmt.Sprint(batch), "err"))
+				continue
+			}
+			idIt, err := flexnet.SimulateIteration(
+				flexnet.NewSwitchFabric(topo.IdealSwitch(p.Scale, float64(d)*100e9)), dem, compute)
+			if err != nil {
+				b.WriteString(row(fmt.Sprint(batch), "err"))
+				continue
+			}
+			b.WriteString(row(fmt.Sprint(batch),
+				fmt.Sprintf("%.0f%%", ratio*100),
+				secs(topoIt.Total()), secs(ftIt.Total()), secs(idIt.Total())))
+		}
+	}
+	b.WriteString("shape: TopoOpt degrades faster with batch size; d=8 mitigates (Eq. 1)\n")
+	return b.String()
+}
+
+// Fig13BandwidthTax reproduces Figure 13: the host-forwarding bandwidth
+// tax per batch size at d=4 and d=8.
+func Fig13BandwidthTax(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 13", "Bandwidth tax of host-based forwarding"))
+	b.WriteString(row("batch", "d=4", "d=8"))
+	for _, batch := range []int{64, 128, 256, 512, 1024, 2048} {
+		vals := []string{fmt.Sprint(batch)}
+		for _, d := range []int{4, 8} {
+			_, _, dem, err := allToAllSetup(p.Scale, batch)
+			if err != nil {
+				vals = append(vals, "err")
+				continue
+			}
+			tf, err := core.TopologyFinder(core.Config{N: p.Scale, D: d, LinkBW: 100e9}, dem)
+			if err != nil {
+				vals = append(vals, "err")
+				continue
+			}
+			fab := flexnet.NewTopoOptFabric(tf)
+			// Volume-weighted tax over the whole iteration (§5.4):
+			// AllReduce rides direct ring links at tax 1, so the combined
+			// tax rises with the all-to-all share of the batch.
+			combined := fab.AllReduceMatrix(dem)
+			for s := range dem.MP {
+				for dd, v := range dem.MP[s] {
+					combined.Add(s, dd, v)
+				}
+			}
+			tax := fab.Routes.BandwidthTax(combined)
+			vals = append(vals, fmt.Sprintf("%.2f", tax))
+		}
+		b.WriteString(row(vals...))
+	}
+	b.WriteString("paper: 1.11 at bs=64/d=4 improving to 1.05 at d=8; up to 3.03 at bs=2048/d=4\n")
+	return b.String()
+}
+
+// Fig14PathLengthCDF reproduces Figure 14: the CDF of path lengths across
+// server pairs for d=4 vs d=8.
+func Fig14PathLengthCDF(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 14", "Path length CDF"))
+	for _, d := range []int{4, 8} {
+		_, _, dem, err := allToAllSetup(p.Scale, 128)
+		if err != nil {
+			return b.String() + "error: " + err.Error()
+		}
+		tf, err := core.TopologyFinder(core.Config{N: p.Scale, D: d, LinkBW: 100e9}, dem)
+		if err != nil {
+			return b.String() + "error: " + err.Error()
+		}
+		var lens []float64
+		for s := 0; s < p.Scale; s++ {
+			for dst := 0; dst < p.Scale; dst++ {
+				if s == dst {
+					continue
+				}
+				if nodes := tf.Routes.Get(s, dst); nodes != nil {
+					lens = append(lens, float64(len(nodes)-1))
+				}
+			}
+		}
+		fmt.Fprintf(&b, "d=%d: %s\n", d, stats.Summary(lens))
+	}
+	b.WriteString("paper shape: average path length drops sharply from d=4 to d=8\n")
+	return b.String()
+}
+
+// Fig15LinkTrafficCDF reproduces Figure 15: per-link traffic distribution
+// of an all-to-all matrix routed on the TopoOpt fabric.
+func Fig15LinkTrafficCDF(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 15", "Per-link traffic distribution (all-to-all MP matrix)"))
+	for _, batch := range []int{128, 2048} {
+		fmt.Fprintf(&b, "\nbatch size %d:\n", batch)
+		for _, d := range []int{4, 8} {
+			_, _, dem, err := allToAllSetup(p.Scale, batch)
+			if err != nil {
+				return b.String() + "error: " + err.Error()
+			}
+			tf, err := core.TopologyFinder(core.Config{N: p.Scale, D: d, LinkBW: 100e9}, dem)
+			if err != nil {
+				return b.String() + "error: " + err.Error()
+			}
+			loads := tf.Routes.LinkLoads(dem.MP)
+			var mb []float64
+			for _, v := range loads {
+				mb = append(mb, float64(v)/1e6)
+			}
+			sort.Float64s(mb)
+			imb := 0.0
+			if len(mb) > 0 && stats.Max(mb) > 0 {
+				imb = (1 - stats.Min(mb)/stats.Max(mb)) * 100
+			}
+			fmt.Fprintf(&b, "d=%d: link MB %s; min/max imbalance %.0f%%\n",
+				d, stats.Summary(mb), imb)
+		}
+	}
+	b.WriteString("paper: least-loaded link carries 39% (d=4) / 59% (d=8) less than the most loaded\n")
+	return b.String()
+}
+
+// AblationCoinChange compares coin-change routing hops against plain
+// BFS shortest paths on the same AllReduce sub-topology (design decision
+// 4 in DESIGN.md).
+func AblationCoinChange(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Ablation", "Coin-change vs shortest-path routing on AllReduce rings"))
+	n := p.Scale
+	m := model.CANDLEPreset(model.Sec53)
+	st := parallel.DataParallel(m, n)
+	dem, _ := traffic.FromStrategy(m, st, m.BatchPerGPU)
+	tf, err := core.TopologyFinder(core.Config{N: n, D: 4, LinkBW: 100e9}, dem)
+	if err != nil {
+		return b.String() + "error: " + err.Error()
+	}
+	var ccHops, spHops []float64
+	sp := route.NewTable(n)
+	sp.FillShortestPaths(tf.Network.G)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			ccHops = append(ccHops, float64(len(tf.Routes.Get(s, d))-1))
+			spHops = append(spHops, float64(len(sp.Get(s, d))-1))
+		}
+	}
+	fmt.Fprintf(&b, "coin-change:  %s\n", stats.Summary(ccHops))
+	fmt.Fprintf(&b, "shortest:     %s\n", stats.Summary(spHops))
+	b.WriteString("coin-change routes stay on ring links by construction; hop counts match BFS on the ring-only fabric\n")
+	return b.String()
+}

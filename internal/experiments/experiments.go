@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md). Each function
+// returns the figure's rows/series as formatted text; bench_test.go and
+// cmd/experiments are thin callers.
+//
+// Params scales the expensive sweeps: Quick (the default for benches)
+// runs the §5.3–§5.5 experiments at 32 servers with reduced MCMC budgets,
+// preserving every qualitative shape; Full reproduces the paper's 128-
+// and 432-server scales (minutes of runtime; use cmd/experiments -full).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"topoopt/internal/model"
+)
+
+// Params scales experiment sweeps.
+type Params struct {
+	// Scale is the dedicated-cluster size (paper: 128).
+	Scale int
+	// SharedScale is the shared-cluster size (paper: 432).
+	SharedScale int
+	// ServersPerJob in the shared cluster (paper: 16).
+	ServersPerJob int
+	// MCMCIters bounds strategy search per evaluation.
+	MCMCIters int
+	// Iterations per job in shared-cluster runs.
+	Iterations int
+	Seed       int64
+}
+
+// Quick is the bench-friendly configuration.
+var Quick = Params{Scale: 32, SharedScale: 64, ServersPerJob: 8,
+	MCMCIters: 30, Iterations: 2, Seed: 1}
+
+// Full matches the paper's scales.
+var Full = Params{Scale: 128, SharedScale: 432, ServersPerJob: 16,
+	MCMCIters: 200, Iterations: 5, Seed: 1}
+
+// sec21DLRM is the §2.1 motivating example: 4 embedding tables of
+// 512×1e7 plus a dense part sized so ring-AllReduce transfers ≈4 GB per
+// edge and MP transfers are tens of MB — the Figure 1b magnitudes.
+func sec21DLRM() *model.Model {
+	return model.DLRM(model.DLRMConfig{BatchPerGPU: 8192, DenseLayers: 8,
+		DenseLayerSize: 8192, DenseFeatLayers: 4, FeatLayerSize: 2048,
+		EmbedDim: 512, EmbedRows: 1e7, EmbedTables: 4})
+}
+
+// scaledModel shrinks a §5.3 preset's embedding-table count to the
+// cluster scale so reduced-scale runs keep the paper's tables-per-server
+// ratio.
+func scaledDLRM(p Params) *model.Model {
+	tables := 64 * p.Scale / 128
+	if tables < 4 {
+		tables = 4
+	}
+	return model.DLRM(model.DLRMConfig{BatchPerGPU: 128, DenseLayers: 8,
+		DenseLayerSize: 2048, DenseFeatLayers: 16, FeatLayerSize: 4096,
+		EmbedDim: 128, EmbedRows: 1e7, EmbedTables: tables})
+}
+
+func scaledNCF(p Params) *model.Model {
+	t := 32 * p.Scale / 128
+	if t < 4 {
+		t = 4
+	}
+	return model.NCF(model.NCFConfig{BatchPerGPU: 128, DenseLayers: 8,
+		DenseLayerSize: 4096, UserTablesMF: t, UserTablesMLP: t,
+		ItemTablesMF: t, ItemTablesMLP: t, UsersPerTable: 1e6,
+		ItemsPerTable: 1e6, MFDim: 64, MLPDim: 128})
+}
+
+// sec53Models returns the six §5.3 workloads at the requested scale.
+func sec53Models(p Params) []*model.Model {
+	return []*model.Model{
+		model.CANDLEPreset(model.Sec53),
+		model.VGGPreset(model.Sec53),
+		model.BERTPreset(model.Sec53),
+		scaledDLRM(p),
+		scaledNCF(p),
+		model.ResNetPreset(model.Sec53),
+	}
+}
+
+// header formats a figure banner.
+func header(id, title string) string {
+	line := strings.Repeat("=", 72)
+	return fmt.Sprintf("%s\n%s — %s\n%s\n", line, id, title, line)
+}
+
+// row formats a result line with aligned columns.
+func row(cols ...string) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i == 0 {
+			fmt.Fprintf(&b, "%-22s", c)
+		} else {
+			fmt.Fprintf(&b, "%14s", c)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.4gs", v) }

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"topoopt/internal/collective"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/heatmap"
+	"topoopt/internal/model"
+	"topoopt/internal/optic"
+	"topoopt/internal/parallel"
+	"topoopt/internal/stats"
+	"topoopt/internal/topo"
+	"topoopt/internal/trace"
+	"topoopt/internal/traffic"
+)
+
+// Fig01DLRMHeatmaps reproduces Figure 1: the §2.1 DLRM (4 embedding
+// tables of 512×1e7) on 16 servers under pure data parallelism vs hybrid
+// parallelism, with the max-transfer reduction (44 GB → 4 GB).
+func Fig01DLRMHeatmaps() string {
+	m := sec21DLRM()
+	n := 16
+	var b strings.Builder
+	b.WriteString(header("Figure 1", "DLRM traffic heatmaps per parallelization strategy"))
+
+	dp := parallel.DataParallel(m, n)
+	demDP, _ := traffic.FromStrategy(m, dp, m.BatchPerGPU)
+	tmDP := demDP.CombinedMatrix()
+	fmt.Fprintf(&b, "(a) Data parallelism: max transfer %s, total %s\n",
+		heatmap.Human(float64(tmDP.Max())), heatmap.Human(float64(tmDP.Total())))
+	b.WriteString(heatmap.Render(tmDP))
+
+	hy := parallel.Hybrid(m, n)
+	demHy, _ := traffic.FromStrategy(m, hy, m.BatchPerGPU)
+	tmHy := demHy.CombinedMatrix()
+	fmt.Fprintf(&b, "\n(b) Hybrid parallelism: max transfer %s, total %s\n",
+		heatmap.Human(float64(tmHy.Max())), heatmap.Human(float64(tmHy.Total())))
+	b.WriteString(heatmap.Render(tmHy))
+	fmt.Fprintf(&b, "\nmax-transfer reduction: %.1fx (paper: 44 GB -> 4 GB, 11x)\n",
+		float64(tmDP.Max())/float64(tmHy.Max()))
+	return b.String()
+}
+
+// Fig02ProductionCDFs reproduces Figure 2: worker-count and duration CDFs
+// of the synthetic production trace.
+func Fig02ProductionCDFs() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 2", "Production job CDFs (synthetic trace, §2.2)"))
+	b.WriteString(row("family", "p10 wrk", "p50 wrk", "p90 wrk", "p10 hrs", "p50 hrs", "p90 hrs"))
+	for _, f := range trace.Families() {
+		jobs := trace.Generate(f, 500, 1)
+		ws, ds := trace.Workers(jobs), trace.Durations(jobs)
+		b.WriteString(row(f.String(),
+			fmt.Sprintf("%.0f", stats.Percentile(ws, 10)),
+			fmt.Sprintf("%.0f", stats.Percentile(ws, 50)),
+			fmt.Sprintf("%.0f", stats.Percentile(ws, 90)),
+			fmt.Sprintf("%.1f", stats.Percentile(ds, 10)),
+			fmt.Sprintf("%.1f", stats.Percentile(ds, 50)),
+			fmt.Sprintf("%.1f", stats.Percentile(ds, 90))))
+	}
+	var all []float64
+	for _, f := range trace.Families() {
+		all = append(all, trace.Durations(trace.Generate(f, 500, 1))...)
+	}
+	fmt.Fprintf(&b, "top 10%% of jobs exceed %.0f hours (paper: 96 h)\n",
+		stats.Percentile(all, 90))
+	return b.String()
+}
+
+// Fig03NetworkOverhead reproduces Figure 3: network overhead (% of
+// iteration time) vs GPU count for the six workloads on a fixed
+// 25 Gbps/GPU Fat-tree.
+func Fig03NetworkOverhead(p Params) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 3", "Network overhead vs number of GPUs (Fat-tree, 25 Gbps/GPU)"))
+	gpuCounts := []int{8, 16, 32, 64, 128}
+	cols := []string{"model"}
+	for _, g := range gpuCounts {
+		cols = append(cols, fmt.Sprintf("%d GPUs", g))
+	}
+	b.WriteString(row(cols...))
+	for _, m := range sec53Models(p) {
+		vals := []string{m.Name}
+		for _, g := range gpuCounts {
+			fab := flexnet.NewSwitchFabric(topo.FatTree(g, 25e9))
+			st := parallel.DataParallel(m, g)
+			dem, err := traffic.FromStrategy(m, st, m.BatchPerGPU)
+			if err != nil {
+				vals = append(vals, "err")
+				continue
+			}
+			compute := st.MaxComputeTime(m, model.A100, m.BatchPerGPU)
+			comm := flexnet.EstimateIteration(fab, dem, 0)
+			overhead := comm / (comm + compute) * 100
+			vals = append(vals, fmt.Sprintf("%.0f%%", overhead))
+		}
+		b.WriteString(row(vals...))
+	}
+	b.WriteString("shape check: overhead grows with GPU count, reaching tens of % at 128\n")
+	return b.String()
+}
+
+// Fig04ProductionHeatmaps reproduces Figure 4: per-family production
+// traffic heatmaps (ring diagonal + model-dependent MP rows).
+func Fig04ProductionHeatmaps() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 4", "Traffic heatmaps of production jobs (synthetic)"))
+	sizes := map[trace.Family]int{
+		trace.ObjectTracking: 48, trace.Recommendation: 48,
+		trace.NLP: 49, trace.ImageRecognition: 48,
+	}
+	for _, f := range trace.Families() {
+		tm := trace.ProductionHeatmap(f, sizes[f], 3)
+		fmt.Fprintf(&b, "\n(%s, %d servers) ring-dominant=%v\n",
+			f, sizes[f], trace.IsRingDominant(tm))
+		b.WriteString(heatmap.Render(tm))
+	}
+	return b.String()
+}
+
+// Tab01OpticalTech reproduces Table 1.
+func Tab01OpticalTech() string {
+	var b strings.Builder
+	b.WriteString(header("Table 1", "Optical switching technologies"))
+	for _, d := range optic.All() {
+		b.WriteString(d.String() + "\n")
+	}
+	return b.String()
+}
+
+// Fig07RingPermutations reproduces Figures 7–8: the +1/+3/+7 ring
+// permutations for 16 servers and their traffic heatmaps for the §2.1
+// DLRM.
+func Fig07RingPermutations() string {
+	m := sec21DLRM()
+	n := 16
+	hy := parallel.Hybrid(m, n)
+	dem, _ := traffic.FromStrategy(m, hy, m.BatchPerGPU)
+	var b strings.Builder
+	b.WriteString(header("Figures 7-8", "Ring-AllReduce permutations +1, +3, +7 (16 servers)"))
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	for _, p := range []int{1, 3, 7} {
+		tm := dem.MP.Clone()
+		for _, g := range dem.Groups {
+			collective.Ring(tm, g.Members, p, g.Bytes)
+		}
+		fmt.Fprintf(&b, "\n\"+%d\" permutation: max transfer %s (AllReduce volume identical across permutations)\n",
+			p, heatmap.Human(float64(tm.Max())))
+		b.WriteString(heatmap.Render(tm))
+	}
+	return b.String()
+}

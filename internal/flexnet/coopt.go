@@ -1,0 +1,143 @@
+package flexnet
+
+import (
+	"fmt"
+
+	"topoopt/internal/core"
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/traffic"
+)
+
+// CoOptConfig parameterizes the alternating optimization of §4.1.
+type CoOptConfig struct {
+	N      int
+	Degree int
+	LinkBW float64
+	// Batch overrides the model's default per-GPU batch when > 0.
+	Batch int
+	// Rounds is the hyper-parameter k: alternations between the
+	// Comp.×Comm. and Comm.×Topo. planes (default 3).
+	Rounds int
+	// MCMCIters per round (default 200).
+	MCMCIters int
+	Seed      int64
+	PrimeOnly bool
+	GPU       model.GPU
+}
+
+// CoOptResult is the converged strategy + topology pair.
+type CoOptResult struct {
+	Strategy parallel.Strategy
+	Topo     *core.Result
+	Fabric   *Fabric
+	Demand   traffic.Demand
+	// IterTime is the flow-level simulated iteration time of the final
+	// configuration.
+	IterTime IterationResult
+	// History records the estimated iteration time after each round.
+	History []float64
+}
+
+// CoOptimize runs TopoOpt's alternating optimization: search strategies on
+// the current topology (MCMC with the fast estimator), hand the resulting
+// demand to TopologyFinder, feed the topology back, and repeat until the
+// estimate stops improving or Rounds is exhausted.
+func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.MCMCIters <= 0 {
+		cfg.MCMCIters = 200
+	}
+	if cfg.GPU.PeakFLOPS == 0 {
+		cfg.GPU = model.A100
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = m.BatchPerGPU
+	}
+	tfCfg := core.Config{N: cfg.N, D: cfg.Degree, LinkBW: cfg.LinkBW, PrimeOnly: cfg.PrimeOnly}
+
+	// Round 0: topology for the default hybrid strategy.
+	st := parallel.Hybrid(m, cfg.N)
+	dem, err := traffic.FromStrategy(m, st, batch)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := core.TopologyFinder(tfCfg, dem)
+	if err != nil {
+		return nil, err
+	}
+	fab := NewTopoOptFabric(tf)
+
+	best := &CoOptResult{Strategy: st, Topo: tf, Fabric: fab, Demand: dem}
+	bestCost := EstimateIteration(fab, dem, st.MaxComputeTime(m, cfg.GPU, batch))
+	best.History = append(best.History, bestCost)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		curFab := best.Fabric
+		eval := func(s parallel.Strategy) float64 {
+			d, err := traffic.FromStrategy(m, s, batch)
+			if err != nil {
+				return inf
+			}
+			return EstimateIteration(curFab, d, s.MaxComputeTime(m, cfg.GPU, batch))
+		}
+		st, _ := MCMCSearch(m, cfg.N, batch, eval, MCMCConfig{
+			Iters: cfg.MCMCIters,
+			Seed:  cfg.Seed + int64(round),
+		})
+		dem, err := traffic.FromStrategy(m, st, batch)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := core.TopologyFinder(tfCfg, dem)
+		if err != nil {
+			return nil, err
+		}
+		fab := NewTopoOptFabric(tf)
+		cost := EstimateIteration(fab, dem, st.MaxComputeTime(m, cfg.GPU, batch))
+		best.History = append(best.History, cost)
+		if cost < bestCost {
+			bestCost = cost
+			best.Strategy, best.Topo, best.Fabric, best.Demand = st, tf, fab, dem
+		} else {
+			break // converged
+		}
+	}
+
+	it, err := SimulateIteration(best.Fabric, best.Demand,
+		best.Strategy.MaxComputeTime(m, cfg.GPU, batch))
+	if err != nil {
+		return nil, fmt.Errorf("flexnet: final simulation: %w", err)
+	}
+	best.IterTime = it
+	return best, nil
+}
+
+// SearchOnFabric finds the best strategy for a fixed fabric (the
+// topology-aware search used for Ideal Switch, Fat-tree, Oversub, SiP-ML
+// and Expander baselines, §5.1) and simulates its iteration.
+func SearchOnFabric(m *model.Model, fab *Fabric, n, batch, iters int, seed int64, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
+	if gpu.PeakFLOPS == 0 {
+		gpu = model.A100
+	}
+	if batch <= 0 {
+		batch = m.BatchPerGPU
+	}
+	eval := func(s parallel.Strategy) float64 {
+		d, err := traffic.FromStrategy(m, s, batch)
+		if err != nil {
+			return inf
+		}
+		return EstimateIteration(fab, d, s.MaxComputeTime(m, gpu, batch))
+	}
+	st, _ := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: iters, Seed: seed})
+	dem, err := traffic.FromStrategy(m, st, batch)
+	if err != nil {
+		return st, IterationResult{}, err
+	}
+	it, err := SimulateIteration(fab, dem, st.MaxComputeTime(m, gpu, batch))
+	return st, it, err
+}

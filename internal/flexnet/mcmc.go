@@ -1,0 +1,92 @@
+package flexnet
+
+import (
+	"math"
+	"math/rand"
+
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+)
+
+// Evaluator scores a strategy: lower is better (iteration seconds).
+type Evaluator func(parallel.Strategy) float64
+
+// MCMCConfig parameterizes the FlexFlow-style Markov-chain Monte Carlo
+// search over parallelization strategies (§4.1 uses FlexFlow's search in
+// the Comp.×Comm. plane).
+type MCMCConfig struct {
+	Iters int
+	Seed  int64
+	// Temp is the initial Metropolis temperature as a fraction of the
+	// initial cost (default 0.05). Temperature decays linearly to ~0.
+	Temp float64
+}
+
+// MCMCSearch explores layer-wise parallelization decisions starting from
+// the hybrid strategy: proposals move a shard to another server, toggle a
+// shardable layer between sharded and replicated, or swap two shard
+// placements. Returns the best strategy found and its cost.
+func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConfig) (parallel.Strategy, float64) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	if cfg.Temp <= 0 {
+		cfg.Temp = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := parallel.Hybrid(m, n)
+	curCost := eval(cur)
+	best := cur.Clone()
+	bestCost := curCost
+
+	// Also consider the pure-DP start; keep whichever is better (the
+	// paper's final strategies are "either hybrid or pure data-parallel",
+	// §5.1).
+	dp := parallel.DataParallel(m, n)
+	if c := eval(dp); c < bestCost {
+		cur, curCost = dp.Clone(), c
+		best, bestCost = dp, c
+	}
+
+	shardable := m.ShardableLayers()
+	if len(shardable) == 0 {
+		return best, bestCost
+	}
+	t0 := cfg.Temp * curCost
+	for it := 0; it < cfg.Iters; it++ {
+		prop := cur.Clone()
+		li := shardable[rng.Intn(len(shardable))]
+		switch rng.Intn(3) {
+		case 0: // move shard (or shard a replicated layer) to a random host
+			prop.PlaceShard(li, rng.Intn(n))
+		case 1: // toggle
+			if prop.Layers[li].Kind == parallel.Sharded {
+				prop.Replicate(li)
+			} else {
+				prop.PlaceShard(li, rng.Intn(n))
+			}
+		case 2: // swap placements of two sharded layers
+			lj := shardable[rng.Intn(len(shardable))]
+			if prop.Layers[li].Kind == parallel.Sharded && prop.Layers[lj].Kind == parallel.Sharded {
+				prop.Layers[li].Group, prop.Layers[lj].Group =
+					prop.Layers[lj].Group, prop.Layers[li].Group
+			} else {
+				prop.PlaceShard(li, rng.Intn(n))
+			}
+		}
+		propCost := eval(prop)
+		temp := t0 * (1 - float64(it)/float64(cfg.Iters))
+		accept := propCost <= curCost
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp((curCost-propCost)/temp)
+		}
+		if accept {
+			cur, curCost = prop, propCost
+			if curCost < bestCost {
+				best, bestCost = cur.Clone(), curCost
+			}
+		}
+	}
+	return best, bestCost
+}

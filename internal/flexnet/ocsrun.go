@@ -1,0 +1,135 @@
+package flexnet
+
+import (
+	"fmt"
+
+	"topoopt/internal/core"
+	"topoopt/internal/netsim"
+	"topoopt/internal/route"
+	"topoopt/internal/traffic"
+)
+
+// OCSRunConfig parameterizes the OCS-reconfig architecture (§5.1): a
+// reconfigurable direct-connect fabric that re-optimizes circuits from
+// the instantaneous unsatisfied demand every MeasureInterval, paying
+// ReconfigLatency of dark time per reconfiguration (§5.7 sweeps this from
+// 1 µs to 10 ms).
+type OCSRunConfig struct {
+	N               int
+	D               int
+	LinkBW          float64
+	ReconfigLatency float64
+	// MeasureInterval is the demand sampling period (the paper uses
+	// 50 ms following SiP-ML).
+	MeasureInterval float64
+	// HostForwarding enables multi-hop relaying over the instantaneous
+	// topology (OCS-reconfig-FW); without it only directly connected
+	// pairs make progress (OCS-reconfig-noFW / SiP-ML style).
+	HostForwarding bool
+	// Discount is Algorithm 5's parallel-link utility discount; nil means
+	// the paper's exponential. core.UnitDiscount reproduces SiP-ML's
+	// formulation (Appendix F).
+	Discount core.DiscountFunc
+}
+
+// SimulateOCSIteration runs one training iteration (MP phase → compute →
+// AllReduce phase) on a reconfigurable fabric: each round reconfigures to
+// the residual demand, then transfers for up to MeasureInterval on the
+// frozen topology. Returns the iteration time.
+func SimulateOCSIteration(cfg OCSRunConfig, dem traffic.Demand, computeTime float64) (float64, error) {
+	if cfg.MeasureInterval <= 0 {
+		cfg.MeasureInterval = 0.050
+	}
+	mp := traffic.NewMatrix(cfg.N)
+	for s := range dem.MP {
+		for d, v := range dem.MP[s] {
+			mp.Add(s, d, v)
+		}
+	}
+	ar := traffic.NewMatrix(cfg.N)
+	for _, g := range dem.Groups {
+		if len(g.Members) < 2 {
+			continue
+		}
+		per := traffic.RingPerNodeBytes(g.Bytes, len(g.Members))
+		for i, m := range g.Members {
+			ar.Add(m, g.Members[(i+1)%len(g.Members)], per)
+		}
+	}
+	t1, err := drainOnReconfigurable(cfg, mp)
+	if err != nil {
+		return 0, err
+	}
+	t2, err := drainOnReconfigurable(cfg, ar)
+	if err != nil {
+		return 0, err
+	}
+	return t1 + computeTime + t2, nil
+}
+
+// drainOnReconfigurable transfers the demand matrix to completion over
+// successive reconfiguration rounds and returns the elapsed time.
+func drainOnReconfigurable(cfg OCSRunConfig, demand traffic.Matrix) (float64, error) {
+	remaining := demand.Clone()
+	elapsed := 0.0
+	const maxRounds = 100000
+	for round := 0; round < maxRounds; round++ {
+		if remaining.Total() == 0 {
+			return elapsed, nil
+		}
+		// Reconfigure to the residual demand (Algorithm 5) and pay the
+		// dark time.
+		nw := core.OCSReconfig(cfg.N, cfg.D, cfg.LinkBW,
+			core.DemandFromMatrix(remaining), cfg.Discount, cfg.HostForwarding)
+		elapsed += cfg.ReconfigLatency
+
+		tbl := route.NewTable(cfg.N)
+		if cfg.HostForwarding {
+			tbl.FillShortestPaths(nw.G)
+		} else {
+			for s := 0; s < cfg.N; s++ {
+				for d := 0; d < cfg.N; d++ {
+					if s != d && nw.G.HasEdge(s, d) {
+						tbl.Set(s, d, []int{s, d})
+					}
+				}
+			}
+		}
+		sim := netsim.New(nw.G, -1)
+		type key struct{ s, d int }
+		flows := make(map[key][]*netsim.Flow)
+		progressed := false
+		for s := 0; s < cfg.N; s++ {
+			for d := 0; d < cfg.N; d++ {
+				if remaining[s][d] == 0 || s == d {
+					continue
+				}
+				nodes := tbl.Get(s, d)
+				if nodes == nil {
+					continue // blocked this round (noFW without a circuit)
+				}
+				fs, err := sim.AddFlowNodesStriped(nodes, float64(remaining[s][d]), 0, nil)
+				if err != nil {
+					return 0, err
+				}
+				flows[key{s, d}] = fs
+				progressed = true
+			}
+		}
+		if !progressed {
+			return 0, fmt.Errorf("flexnet: reconfigurable fabric made no progress (demand %d bytes)", remaining.Total())
+		}
+		end := sim.Run(cfg.MeasureInterval)
+		elapsed += end
+		for k, fs := range flows {
+			left := 0.0
+			for _, f := range fs {
+				left += f.Remaining
+			}
+			if int64(left) < remaining[k.s][k.d] {
+				remaining[k.s][k.d] = int64(left)
+			}
+		}
+	}
+	return 0, fmt.Errorf("flexnet: demand did not drain within round budget")
+}

@@ -1,0 +1,240 @@
+package graph
+
+import "container/heap"
+
+// WeightFunc assigns a nonnegative traversal cost to an edge. The network
+// layers use it to bias routing away from loaded links.
+type WeightFunc func(Edge) float64
+
+// UnitWeight gives every edge cost 1 (hop-count routing).
+func UnitWeight(Edge) float64 { return 1 }
+
+type dijkstraItem struct {
+	node int
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int            { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes weighted shortest-path distances from src under w.
+// Unreachable nodes get dist +Inf represented as -1 in reach[] being false.
+func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, parentEdge []int) {
+	g.checkNode(src)
+	const unreached = -1.0
+	dist = make([]float64, g.n)
+	parentEdge = make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = unreached
+		parentEdge[i] = -1
+	}
+	dist[src] = 0
+	h := &dijkstraHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, id := range g.out[v] {
+			e := g.edges[id]
+			nd := it.dist + w(e)
+			if dist[e.To] < 0 || nd < dist[e.To] {
+				dist[e.To] = nd
+				parentEdge[e.To] = id
+				heap.Push(h, dijkstraItem{e.To, nd})
+			}
+		}
+	}
+	return dist, parentEdge
+}
+
+// WeightedShortestPath returns a minimum-cost path under w, or nil if dst is
+// unreachable.
+func (g *Graph) WeightedShortestPath(src, dst int, w WeightFunc) Path {
+	g.checkNode(dst)
+	if src == dst {
+		return Path{}
+	}
+	dist, parent := g.Dijkstra(src, w)
+	if dist[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		id := parent[v]
+		rev = append(rev, id)
+		v = g.edges[id].From
+	}
+	p := make(Path, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	return p
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing cost order under w, using Yen's algorithm. MP routing uses it
+// to spread forwarded traffic over alternatives (§5.5).
+func (g *Graph) KShortestPaths(src, dst, k int, w WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.WeightedShortestPath(src, dst, w)
+	if first == nil {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	costOf := func(p Path) float64 {
+		c := 0.0
+		for _, id := range p {
+			c += w(g.edges[id])
+		}
+		return c
+	}
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(g, src)
+		for i := 0; i < len(prev); i++ {
+			spurNode := prevNodes[i]
+			rootPath := prev[:i]
+			// Ban edges that would recreate already-found paths sharing
+			// this root, and ban root nodes to keep paths loopless.
+			banned := make(map[int]bool)
+			for _, p := range paths {
+				if len(p) > i && pathPrefixEq(p, rootPath) {
+					banned[p[i]] = true
+				}
+			}
+			bannedNode := make(map[int]bool)
+			for _, v := range prevNodes[:i] {
+				bannedNode[v] = true
+			}
+			wf := func(e Edge) float64 {
+				if banned[e.ID] || bannedNode[e.To] || bannedNode[e.From] {
+					return -1 // sentinel: handled below
+				}
+				return w(e)
+			}
+			spur := g.filteredShortestPath(spurNode, dst, wf)
+			if spur == nil {
+				continue
+			}
+			total := make(Path, 0, len(rootPath)+len(spur))
+			total = append(total, rootPath...)
+			total = append(total, spur...)
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if costOf(candidates[i]) < costOf(candidates[best]) {
+				best = i
+			}
+		}
+		paths = append(paths, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return paths
+}
+
+// filteredShortestPath is Dijkstra that skips edges whose weight function
+// returns a negative sentinel.
+func (g *Graph) filteredShortestPath(src, dst int, w WeightFunc) Path {
+	if src == dst {
+		return Path{}
+	}
+	dist := make([]float64, g.n)
+	parent := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := &dijkstraHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, id := range g.out[v] {
+			e := g.edges[id]
+			c := w(e)
+			if c < 0 {
+				continue
+			}
+			nd := it.dist + c
+			if dist[e.To] < 0 || nd < dist[e.To] {
+				dist[e.To] = nd
+				parent[e.To] = id
+				heap.Push(h, dijkstraItem{e.To, nd})
+			}
+		}
+	}
+	if dist[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		id := parent[v]
+		rev = append(rev, id)
+		v = g.edges[id].From
+	}
+	p := make(Path, len(rev))
+	for i := range rev {
+		p[i] = rev[len(rev)-1-i]
+	}
+	return p
+}
+
+func pathPrefixEq(p, prefix Path) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(set []Path, p Path) bool {
+	for _, q := range set {
+		if len(q) != len(p) {
+			continue
+		}
+		eq := true
+		for i := range q {
+			if q[i] != p[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}

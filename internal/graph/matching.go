@@ -1,0 +1,645 @@
+package graph
+
+// Maximum-weight matching in general graphs (Edmonds' blossom algorithm).
+//
+// TOPOLOGY FINDER (Algorithm 1, line 14) repeatedly takes a maximum-weight
+// matching of the residual MP demand to build the MP sub-topology. This file
+// implements the O(n^3) primal-dual blossom algorithm following Galil's
+// exposition ("Efficient algorithms for finding maximum matching in graphs",
+// ACM Computing Surveys 1986), in the arrangement popularised by
+// van Rantwijk's reference implementation. Weights may be arbitrary
+// nonnegative floats; ties are resolved deterministically by edge order.
+
+// MatchEdge is an undirected weighted edge given to MaxWeightMatching.
+type MatchEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// MaxWeightMatching computes a matching of maximum total weight over n
+// vertices (0..n-1). It returns mate where mate[v] is the vertex matched to
+// v, or -1 if v is unmatched. If maxCardinality is true, only matchings of
+// maximum cardinality are considered (not needed by TopologyFinder but
+// exposed for completeness and testing).
+func MaxWeightMatching(n int, edges []MatchEdge, maxCardinality bool) []int {
+	m := newMatcher(n, edges, maxCardinality)
+	return m.solve()
+}
+
+type matcher struct {
+	nvertex int
+	nedge   int
+	edges   []MatchEdge
+	maxcard bool
+
+	// endpoint[p]: vertex at endpoint p; endpoints 2k and 2k+1 belong to
+	// edge k.
+	endpoint []int
+	// neighbend[v]: remote endpoints of edges incident to v.
+	neighbend [][]int
+
+	mate     []int // vertex -> remote endpoint of matched edge, or -1
+	label    []int // (vertex|blossom) -> 0 free, 1 S, 2 T
+	labelend []int // endpoint through which label was assigned, or -1
+
+	inblossom     []int   // vertex -> top-level blossom
+	blossomparent []int   // blossom -> parent blossom or -1
+	blossomchilds [][]int // blossom -> sub-blossoms
+	blossombase   []int   // blossom -> base vertex
+	blossomendps  [][]int // blossom -> endpoints on connecting edges
+
+	bestedge         []int   // (vertex|blossom) -> least-slack edge, or -1
+	blossombestedges [][]int // S-blossom -> least-slack edges to other S-blossoms
+	unusedblossoms   []int
+	dualvar          []float64
+	allowedge        []bool
+	queue            []int
+}
+
+func newMatcher(n int, edges []MatchEdge, maxcard bool) *matcher {
+	m := &matcher{nvertex: n, nedge: len(edges), edges: edges, maxcard: maxcard}
+	maxw := 0.0
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			panic("graph: invalid matching edge")
+		}
+		if e.Weight > maxw {
+			maxw = e.Weight
+		}
+	}
+	m.endpoint = make([]int, 2*len(edges))
+	for k, e := range edges {
+		m.endpoint[2*k] = e.U
+		m.endpoint[2*k+1] = e.V
+	}
+	m.neighbend = make([][]int, n)
+	for k, e := range edges {
+		m.neighbend[e.U] = append(m.neighbend[e.U], 2*k+1)
+		m.neighbend[e.V] = append(m.neighbend[e.V], 2*k)
+	}
+	m.mate = make([]int, n)
+	for i := range m.mate {
+		m.mate[i] = -1
+	}
+	m.label = make([]int, 2*n)
+	m.labelend = make([]int, 2*n)
+	m.inblossom = make([]int, n)
+	for i := range m.inblossom {
+		m.inblossom[i] = i
+	}
+	m.blossomparent = make([]int, 2*n)
+	for i := range m.blossomparent {
+		m.blossomparent[i] = -1
+	}
+	m.blossomchilds = make([][]int, 2*n)
+	m.blossombase = make([]int, 2*n)
+	for i := 0; i < n; i++ {
+		m.blossombase[i] = i
+	}
+	for i := n; i < 2*n; i++ {
+		m.blossombase[i] = -1
+	}
+	m.blossomendps = make([][]int, 2*n)
+	m.bestedge = make([]int, 2*n)
+	for i := range m.bestedge {
+		m.bestedge[i] = -1
+	}
+	m.blossombestedges = make([][]int, 2*n)
+	m.unusedblossoms = make([]int, 0, n)
+	for i := n; i < 2*n; i++ {
+		m.unusedblossoms = append(m.unusedblossoms, i)
+	}
+	m.dualvar = make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		m.dualvar[i] = maxw
+	}
+	m.allowedge = make([]bool, len(edges))
+	return m
+}
+
+// slack returns the slack of edge k (2*dual - weight for its endpoints);
+// positive slack means the edge is not yet tight.
+func (m *matcher) slack(k int) float64 {
+	e := m.edges[k]
+	return m.dualvar[e.U] + m.dualvar[e.V] - 2*e.Weight
+}
+
+// blossomLeaves yields the vertices inside blossom b.
+func (m *matcher) blossomLeaves(b int, fn func(v int)) {
+	if b < m.nvertex {
+		fn(b)
+		return
+	}
+	for _, t := range m.blossomchilds[b] {
+		m.blossomLeaves(t, fn)
+	}
+}
+
+// assignLabel labels top-level blossom containing w with label t, coming
+// through endpoint p.
+func (m *matcher) assignLabel(w, t, p int) {
+	b := m.inblossom[w]
+	m.label[w] = t
+	m.label[b] = t
+	m.labelend[w] = p
+	m.labelend[b] = p
+	m.bestedge[w] = -1
+	m.bestedge[b] = -1
+	if t == 1 {
+		m.blossomLeaves(b, func(v int) { m.queue = append(m.queue, v) })
+	} else if t == 2 {
+		base := m.blossombase[b]
+		m.assignLabel(m.endpoint[m.mate[base]], 1, m.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from vertices v and w to find either a new
+// blossom's base or an augmenting path. Returns the base vertex or -1.
+func (m *matcher) scanBlossom(v, w int) int {
+	var path []int
+	base := -1
+	for v != -1 || w != -1 {
+		b := m.inblossom[v]
+		if m.label[b]&4 != 0 {
+			base = m.blossombase[b]
+			break
+		}
+		path = append(path, b)
+		m.label[b] |= 4
+		if m.mate[m.blossombase[b]] == -1 {
+			v = -1
+		} else {
+			v = m.endpoint[m.mate[m.blossombase[b]]]
+			b = m.inblossom[v]
+			v = m.endpoint[m.labelend[b]]
+		}
+		if w != -1 {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		m.label[b] &^= 4
+	}
+	return base
+}
+
+// addBlossom constructs a new blossom with the given base, through edge k
+// connecting two S-vertices.
+func (m *matcher) addBlossom(base, k int) {
+	v := m.edges[k].U
+	w := m.edges[k].V
+	bb := m.inblossom[base]
+	bv := m.inblossom[v]
+	bw := m.inblossom[w]
+	b := m.unusedblossoms[len(m.unusedblossoms)-1]
+	m.unusedblossoms = m.unusedblossoms[:len(m.unusedblossoms)-1]
+	m.blossombase[b] = base
+	m.blossomparent[b] = -1
+	m.blossomparent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		m.blossomparent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, m.labelend[bv])
+		v = m.endpoint[m.labelend[bv]]
+		bv = m.inblossom[v]
+	}
+	path = append(path, bb)
+	// reverse
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	for i, j := 0, len(endps)-1; i < j; i, j = i+1, j-1 {
+		endps[i], endps[j] = endps[j], endps[i]
+	}
+	endps = append(endps, 2*k)
+	for bw != bb {
+		m.blossomparent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, m.labelend[bw]^1)
+		w = m.endpoint[m.labelend[bw]]
+		bw = m.inblossom[w]
+	}
+	m.blossomchilds[b] = path
+	m.blossomendps[b] = endps
+	m.label[b] = 1
+	m.labelend[b] = m.labelend[bb]
+	m.dualvar[b] = 0
+	m.blossomLeaves(b, func(x int) {
+		if m.label[m.inblossom[x]] == 2 {
+			m.queue = append(m.queue, x)
+		}
+		m.inblossom[x] = b
+	})
+	// Compute best edges to other S-blossoms.
+	bestedgeto := make([]int, 2*m.nvertex)
+	for i := range bestedgeto {
+		bestedgeto[i] = -1
+	}
+	for _, bv := range path {
+		var nblists [][]int
+		if m.blossombestedges[bv] != nil {
+			nblists = [][]int{m.blossombestedges[bv]}
+		} else {
+			m.blossomLeaves(bv, func(x int) {
+				lst := make([]int, 0, len(m.neighbend[x]))
+				for _, p := range m.neighbend[x] {
+					lst = append(lst, p/2)
+				}
+				nblists = append(nblists, lst)
+			})
+		}
+		for _, nblist := range nblists {
+			for _, kk := range nblist {
+				i, j := m.edges[kk].U, m.edges[kk].V
+				if m.inblossom[j] == b {
+					i, j = j, i
+				}
+				bj := m.inblossom[j]
+				if bj != b && m.label[bj] == 1 &&
+					(bestedgeto[bj] == -1 || m.slack(kk) < m.slack(bestedgeto[bj])) {
+					bestedgeto[bj] = kk
+				}
+			}
+		}
+		m.blossombestedges[bv] = nil
+		m.bestedge[bv] = -1
+	}
+	be := make([]int, 0)
+	for _, kk := range bestedgeto {
+		if kk != -1 {
+			be = append(be, kk)
+		}
+	}
+	m.blossombestedges[b] = be
+	m.bestedge[b] = -1
+	for _, kk := range be {
+		if m.bestedge[b] == -1 || m.slack(kk) < m.slack(m.bestedge[b]) {
+			m.bestedge[b] = kk
+		}
+	}
+}
+
+// expandBlossom undoes blossom b (which must have zero dual if endstage).
+func (m *matcher) expandBlossom(b int, endstage bool) {
+	for _, s := range m.blossomchilds[b] {
+		m.blossomparent[s] = -1
+		if s < m.nvertex {
+			m.inblossom[s] = s
+		} else if endstage && m.dualvar[s] == 0 {
+			m.expandBlossom(s, endstage)
+		} else {
+			m.blossomLeaves(s, func(v int) { m.inblossom[v] = s })
+		}
+	}
+	if !endstage && m.label[b] == 2 {
+		// The expanded blossom is a T-blossom: relabel its sub-blossoms.
+		entrychild := m.inblossom[m.endpoint[m.labelend[b]^1]]
+		j := 0
+		for i, s := range m.blossomchilds[b] {
+			if s == entrychild {
+				j = i
+				break
+			}
+		}
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= len(m.blossomchilds[b])
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := m.labelend[b]
+		for j != 0 {
+			m.label[m.endpoint[p^1]] = 0
+			idx := mod(j-endptrick, len(m.blossomendps[b]))
+			m.label[m.endpoint[m.blossomendps[b][idx]^endptrick^1]] = 0
+			m.assignLabel(m.endpoint[p^1], 2, p)
+			m.allowedge[m.blossomendps[b][idx]/2] = true
+			j += jstep
+			idx = mod(j-endptrick, len(m.blossomendps[b]))
+			p = m.blossomendps[b][idx] ^ endptrick
+			m.allowedge[p/2] = true
+			j += jstep
+		}
+		bv := m.blossomchilds[b][mod(j, len(m.blossomchilds[b]))]
+		m.label[m.endpoint[p^1]] = 2
+		m.label[bv] = 2
+		m.labelend[m.endpoint[p^1]] = p
+		m.labelend[bv] = p
+		m.bestedge[bv] = -1
+		j += jstep
+		for m.blossomchilds[b][mod(j, len(m.blossomchilds[b]))] != entrychild {
+			bv = m.blossomchilds[b][mod(j, len(m.blossomchilds[b]))]
+			if m.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			v := -1
+			m.blossomLeaves(bv, func(x int) {
+				if v == -1 && m.label[x] != 0 {
+					v = x
+				}
+			})
+			if v != -1 {
+				m.label[v] = 0
+				m.label[m.endpoint[m.mate[m.blossombase[bv]]]] = 0
+				m.assignLabel(v, 2, m.labelend[v])
+			}
+			j += jstep
+		}
+	}
+	m.label[b] = -1
+	m.labelend[b] = -1
+	m.blossomchilds[b] = nil
+	m.blossomendps[b] = nil
+	m.blossombase[b] = -1
+	m.blossombestedges[b] = nil
+	m.bestedge[b] = -1
+	m.unusedblossoms = append(m.unusedblossoms, b)
+}
+
+// augmentBlossom swaps matched/unmatched edges over an alternating path
+// through blossom b between vertex v and the base vertex.
+func (m *matcher) augmentBlossom(b, v int) {
+	t := v
+	for m.blossomparent[t] != b {
+		t = m.blossomparent[t]
+	}
+	if t >= m.nvertex {
+		m.augmentBlossom(t, v)
+	}
+	i := 0
+	for idx, s := range m.blossomchilds[b] {
+		if s == t {
+			i = idx
+			break
+		}
+	}
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= len(m.blossomchilds[b])
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = m.blossomchilds[b][mod(j, len(m.blossomchilds[b]))]
+		idx := mod(j-endptrick, len(m.blossomendps[b]))
+		p := m.blossomendps[b][idx] ^ endptrick
+		if t >= m.nvertex {
+			m.augmentBlossom(t, m.endpoint[p])
+		}
+		j += jstep
+		t = m.blossomchilds[b][mod(j, len(m.blossomchilds[b]))]
+		if t >= m.nvertex {
+			m.augmentBlossom(t, m.endpoint[p^1])
+		}
+		m.mate[m.endpoint[p]] = p ^ 1
+		m.mate[m.endpoint[p^1]] = p
+	}
+	// Rotate childs so that the new base comes first. Copy before
+	// appending: the two halves share a backing array.
+	childs := append(append([]int(nil), m.blossomchilds[b][i:]...), m.blossomchilds[b][:i]...)
+	endps := append(append([]int(nil), m.blossomendps[b][i:]...), m.blossomendps[b][:i]...)
+	m.blossomchilds[b] = childs
+	m.blossomendps[b] = endps
+	m.blossombase[b] = m.blossombase[m.blossomchilds[b][0]]
+}
+
+// augmentMatching augments along the path through edge k and back to the
+// two roots of the trees containing its endpoints.
+func (m *matcher) augmentMatching(k int) {
+	for _, se := range [][2]int{{m.edges[k].U, 2*k + 1}, {m.edges[k].V, 2 * k}} {
+		v, p := se[0], se[1]
+		for {
+			bv := m.inblossom[v]
+			if bv >= m.nvertex {
+				m.augmentBlossom(bv, v)
+			}
+			m.mate[v] = p
+			if m.labelend[bv] == -1 {
+				break
+			}
+			t := m.endpoint[m.labelend[bv]]
+			bt := m.inblossom[t]
+			v = m.endpoint[m.labelend[bt]]
+			w := m.endpoint[m.labelend[bt]^1]
+			if bt >= m.nvertex {
+				m.augmentBlossom(bt, w)
+			}
+			m.mate[w] = m.labelend[bt]
+			p = m.labelend[bt] ^ 1
+		}
+	}
+}
+
+func (m *matcher) solve() []int {
+	if m.nedge == 0 || m.nvertex == 0 {
+		res := make([]int, m.nvertex)
+		for i := range res {
+			res[i] = -1
+		}
+		return res
+	}
+	for t := 0; t < m.nvertex; t++ {
+		// Each iteration is a "stage": augment the matching by one edge.
+		for i := 0; i < 2*m.nvertex; i++ {
+			m.label[i] = 0
+		}
+		for i := range m.bestedge {
+			m.bestedge[i] = -1
+		}
+		for i := m.nvertex; i < 2*m.nvertex; i++ {
+			m.blossombestedges[i] = nil
+		}
+		for i := range m.allowedge {
+			m.allowedge[i] = false
+		}
+		m.queue = m.queue[:0]
+		for v := 0; v < m.nvertex; v++ {
+			if m.mate[v] == -1 && m.label[m.inblossom[v]] == 0 {
+				m.assignLabel(v, 1, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(m.queue) > 0 && !augmented {
+				v := m.queue[len(m.queue)-1]
+				m.queue = m.queue[:len(m.queue)-1]
+				for _, p := range m.neighbend[v] {
+					k := p / 2
+					w := m.endpoint[p]
+					if m.inblossom[v] == m.inblossom[w] {
+						continue
+					}
+					if !m.allowedge[k] {
+						kslack := m.slack(k)
+						if kslack <= 0 {
+							m.allowedge[k] = true
+						} else if m.label[m.inblossom[w]] == 1 {
+							b := m.inblossom[v]
+							if m.bestedge[b] == -1 || kslack < m.slack(m.bestedge[b]) {
+								m.bestedge[b] = k
+							}
+						} else if m.label[w] == 0 {
+							if m.bestedge[w] == -1 || kslack < m.slack(m.bestedge[w]) {
+								m.bestedge[w] = k
+							}
+						}
+					}
+					if !m.allowedge[k] {
+						continue
+					}
+					switch {
+					case m.label[m.inblossom[w]] == 0:
+						m.assignLabel(w, 2, p^1)
+					case m.label[m.inblossom[w]] == 1:
+						base := m.scanBlossom(v, w)
+						if base >= 0 {
+							m.addBlossom(base, k)
+						} else {
+							m.augmentMatching(k)
+							augmented = true
+						}
+					case m.label[w] == 0:
+						m.label[w] = 2
+						m.labelend[w] = p ^ 1
+					}
+					if augmented {
+						break
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Dual update.
+			deltatype := -1
+			var delta float64
+			var deltaedge, deltablossom int
+			if !m.maxcard {
+				deltatype = 1
+				delta = m.dualvar[0]
+				for v := 1; v < m.nvertex; v++ {
+					if m.dualvar[v] < delta {
+						delta = m.dualvar[v]
+					}
+				}
+			}
+			for v := 0; v < m.nvertex; v++ {
+				if m.label[m.inblossom[v]] == 0 && m.bestedge[v] != -1 {
+					d := m.slack(m.bestedge[v])
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 2
+						deltaedge = m.bestedge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*m.nvertex; b++ {
+				if m.blossomparent[b] == -1 && m.label[b] == 1 && m.bestedge[b] != -1 {
+					d := m.slack(m.bestedge[b]) / 2
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 3
+						deltaedge = m.bestedge[b]
+					}
+				}
+			}
+			for b := m.nvertex; b < 2*m.nvertex; b++ {
+				if m.blossombase[b] >= 0 && m.blossomparent[b] == -1 && m.label[b] == 2 {
+					if deltatype == -1 || m.dualvar[b] < delta {
+						delta = m.dualvar[b]
+						deltatype = 4
+						deltablossom = b
+					}
+				}
+			}
+			if deltatype == -1 {
+				// No further improvement possible (max-cardinality mode):
+				// finish with delta = max(0, min vertex dual).
+				deltatype = 1
+				delta = 0
+				mind := m.dualvar[0]
+				for v := 1; v < m.nvertex; v++ {
+					if m.dualvar[v] < mind {
+						mind = m.dualvar[v]
+					}
+				}
+				if mind > 0 {
+					delta = mind
+				}
+			}
+			for v := 0; v < m.nvertex; v++ {
+				switch m.label[m.inblossom[v]] {
+				case 1:
+					m.dualvar[v] -= delta
+				case 2:
+					m.dualvar[v] += delta
+				}
+			}
+			for b := m.nvertex; b < 2*m.nvertex; b++ {
+				if m.blossombase[b] >= 0 && m.blossomparent[b] == -1 {
+					switch m.label[b] {
+					case 1:
+						m.dualvar[b] += delta
+					case 2:
+						m.dualvar[b] -= delta
+					}
+				}
+			}
+			switch deltatype {
+			case 1:
+				goto stageDone
+			case 2:
+				m.allowedge[deltaedge] = true
+				v := m.edges[deltaedge].U
+				if m.label[m.inblossom[v]] == 0 {
+					v = m.edges[deltaedge].V
+				}
+				m.queue = append(m.queue, v)
+			case 3:
+				m.allowedge[deltaedge] = true
+				m.queue = append(m.queue, m.edges[deltaedge].U)
+			case 4:
+				m.expandBlossom(deltablossom, false)
+			}
+		}
+	stageDone:
+		if !augmented {
+			break
+		}
+		// End of stage: expand all S-blossoms with zero dual.
+		for b := m.nvertex; b < 2*m.nvertex; b++ {
+			if m.blossomparent[b] == -1 && m.blossombase[b] >= 0 &&
+				m.label[b] == 1 && m.dualvar[b] == 0 {
+				m.expandBlossom(b, true)
+			}
+		}
+	}
+	res := make([]int, m.nvertex)
+	for v := 0; v < m.nvertex; v++ {
+		if m.mate[v] >= 0 {
+			res[v] = m.endpoint[m.mate[v]]
+		} else {
+			res[v] = -1
+		}
+	}
+	return res
+}
+
+// mod is Euclidean modulo (result in [0, n)).
+func mod(a, n int) int {
+	r := a % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceMatching enumerates all matchings of up to n=10 vertices and
+// returns the maximum total weight (and max-cardinality max weight if
+// maxcard is set).
+func bruteForceMatching(n int, edges []MatchEdge, maxcard bool) float64 {
+	best := 0.0
+	bestCard := 0
+	var rec func(k int, used uint, w float64, card int)
+	rec = func(k int, used uint, w float64, card int) {
+		if maxcard {
+			if card > bestCard || (card == bestCard && w > best) {
+				best = w
+				bestCard = card
+			}
+		} else if w > best {
+			best = w
+		}
+		for i := k; i < len(edges); i++ {
+			e := edges[i]
+			bu, bv := uint(1)<<uint(e.U), uint(1)<<uint(e.V)
+			if used&bu != 0 || used&bv != 0 {
+				continue
+			}
+			rec(i+1, used|bu|bv, w+e.Weight, card+1)
+		}
+	}
+	rec(0, 0, 0, 0)
+	return best
+}
+
+func matchingWeight(mate []int, edges []MatchEdge) float64 {
+	// Sum weight of matched edges: for each pair take the max-weight edge
+	// connecting them (the algorithm works on the effective simple graph).
+	bestW := make(map[[2]int]float64)
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if e.Weight > bestW[[2]int{u, v}] {
+			bestW[[2]int{u, v}] = e.Weight
+		}
+	}
+	total := 0.0
+	for v, u := range mate {
+		if u > v {
+			total += bestW[[2]int{v, u}]
+		}
+	}
+	return total
+}
+
+func checkValidMatching(t *testing.T, n int, mate []int) {
+	t.Helper()
+	if len(mate) != n {
+		t.Fatalf("mate has %d entries, want %d", len(mate), n)
+	}
+	for v, u := range mate {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= n {
+			t.Fatalf("mate[%d] = %d out of range", v, u)
+		}
+		if mate[u] != v {
+			t.Fatalf("mate not symmetric: mate[%d]=%d but mate[%d]=%d", v, u, u, mate[u])
+		}
+	}
+}
+
+func TestMatchingEmpty(t *testing.T) {
+	mate := MaxWeightMatching(3, nil, false)
+	for v, u := range mate {
+		if u != -1 {
+			t.Errorf("mate[%d] = %d, want -1", v, u)
+		}
+	}
+}
+
+func TestMatchingSingleEdge(t *testing.T) {
+	mate := MaxWeightMatching(2, []MatchEdge{{0, 1, 5}}, false)
+	if mate[0] != 1 || mate[1] != 0 {
+		t.Errorf("mate = %v, want [1 0]", mate)
+	}
+}
+
+func TestMatchingPath(t *testing.T) {
+	// 0-1 (w2), 1-2 (w3): optimum picks the heavier edge.
+	mate := MaxWeightMatching(3, []MatchEdge{{0, 1, 2}, {1, 2, 3}}, false)
+	if mate[1] != 2 || mate[2] != 1 || mate[0] != -1 {
+		t.Errorf("mate = %v, want [-1 2 1]", mate)
+	}
+}
+
+func TestMatchingPrefersTotalWeight(t *testing.T) {
+	// Triangle-ish path 0-1 (6), 1-2 (10), 2-3 (6): two light edges beat one heavy.
+	mate := MaxWeightMatching(4, []MatchEdge{{0, 1, 6}, {1, 2, 10}, {2, 3, 6}}, false)
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Errorf("mate = %v, want 0-1 and 2-3 matched", mate)
+	}
+}
+
+func TestMatchingBlossomCase(t *testing.T) {
+	// Classic blossom: odd cycle 0-1-2 plus pendant edges. Known tricky case
+	// from the reference test suite (test15 in mwmatching).
+	edges := []MatchEdge{
+		{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3},
+	}
+	mate := MaxWeightMatching(7, edges, false)
+	checkValidMatching(t, 7, mate)
+	got := matchingWeight(mate, edges)
+	want := bruteForceMatching(7, edges, false)
+	if got != want {
+		t.Errorf("weight = %v, want %v (mate %v)", got, want, mate)
+	}
+}
+
+func TestMatchingNestedBlossoms(t *testing.T) {
+	// mwmatching test25: nested S-blossoms.
+	edges := []MatchEdge{
+		{1, 2, 10}, {1, 7, 10}, {2, 3, 12}, {3, 4, 20}, {3, 5, 20},
+		{4, 5, 25}, {5, 6, 10}, {6, 7, 10}, {7, 8, 8},
+	}
+	mate := MaxWeightMatching(9, edges, false)
+	checkValidMatching(t, 9, mate)
+	got := matchingWeight(mate, edges)
+	want := bruteForceMatching(9, edges, false)
+	if got != want {
+		t.Errorf("weight = %v, want %v (mate %v)", got, want, mate)
+	}
+}
+
+func TestMatchingSBlossomRelabelTCase(t *testing.T) {
+	// mwmatching test21: S-blossom, relabeled as T-blossom, expands.
+	cases := [][]MatchEdge{
+		{{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3}},
+		{{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 3}, {1, 6, 4}},
+		{{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 3}, {3, 6, 4}},
+	}
+	for i, edges := range cases {
+		mate := MaxWeightMatching(7, edges, false)
+		checkValidMatching(t, 7, mate)
+		got := matchingWeight(mate, edges)
+		want := bruteForceMatching(7, edges, false)
+		if got != want {
+			t.Errorf("case %d: weight = %v, want %v (mate %v)", i, got, want, mate)
+		}
+	}
+}
+
+func TestMatchingMaxCardinality(t *testing.T) {
+	// Without maxcard, only the heavy middle edge is chosen; with maxcard
+	// we must match everything even at lower total weight.
+	edges := []MatchEdge{{0, 1, 1}, {1, 2, 100}, {2, 3, 1}}
+	mate := MaxWeightMatching(4, edges, true)
+	checkValidMatching(t, 4, mate)
+	for v, u := range mate {
+		if u == -1 {
+			t.Errorf("maxcard left vertex %d unmatched (mate %v)", v, mate)
+		}
+	}
+}
+
+func TestMatchingRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2023))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		var edges []MatchEdge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					edges = append(edges, MatchEdge{i, j, float64(1 + rng.Intn(20))})
+				}
+			}
+		}
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, mate)
+		got := matchingWeight(mate, edges)
+		want := bruteForceMatching(n, edges, false)
+		if got != want {
+			t.Fatalf("trial %d (n=%d, edges=%v): weight %v, want %v, mate %v",
+				trial, n, edges, got, want, mate)
+		}
+	}
+}
+
+func TestMatchingRandomFloatsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		var edges []MatchEdge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					edges = append(edges, MatchEdge{i, j, rng.Float64() * 100})
+				}
+			}
+		}
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, mate)
+		got := matchingWeight(mate, edges)
+		want := bruteForceMatching(n, edges, false)
+		if diff := want - got; diff > 1e-9*want {
+			t.Fatalf("trial %d: weight %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMatchingLargeRandomIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	var edges []MatchEdge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				edges = append(edges, MatchEdge{i, j, rng.Float64() * 1e9})
+			}
+		}
+	}
+	mate := MaxWeightMatching(n, edges, false)
+	checkValidMatching(t, n, mate)
+	// Optimality spot-check: no single unmatched-unmatched edge can be added.
+	unmatched := make(map[int]bool)
+	for v, u := range mate {
+		if u == -1 {
+			unmatched[v] = true
+		}
+	}
+	for _, e := range edges {
+		if unmatched[e.U] && unmatched[e.V] && e.Weight > 0 {
+			t.Errorf("augmenting edge %d-%d (w=%v) left unmatched", e.U, e.V, e.Weight)
+		}
+	}
+}
+
+func BenchmarkMatching60(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	var edges []MatchEdge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				edges = append(edges, MatchEdge{i, j, rng.Float64()})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeightMatching(n, edges, false)
+	}
+}

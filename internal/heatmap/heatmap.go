@@ -1,0 +1,92 @@
+// Package heatmap renders traffic matrices as ASCII heatmaps — the
+// textual analogue of the paper's Figures 1, 4, 8, 9. Intensity is
+// log-scaled, matching the paper's log colorbars (0.04 GB … 44 GB).
+package heatmap
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"topoopt/internal/traffic"
+)
+
+// ramp is the intensity ramp from empty to max.
+var ramp = []byte(" .:-=+*#%@")
+
+// Render produces an ASCII heatmap of tm with row/column indices, one
+// character per cell, log-scaled between the smallest and largest nonzero
+// entries.
+func Render(tm traffic.Matrix) string {
+	n := tm.N()
+	var minNZ, maxNZ float64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			v := float64(tm[s][d])
+			if v <= 0 {
+				continue
+			}
+			if minNZ == 0 || v < minNZ {
+				minNZ = v
+			}
+			if v > maxNZ {
+				maxNZ = v
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("    ")
+	for d := 0; d < n; d++ {
+		b.WriteByte(digit(d))
+	}
+	b.WriteByte('\n')
+	for s := 0; s < n; s++ {
+		fmt.Fprintf(&b, "%3d ", s)
+		for d := 0; d < n; d++ {
+			b.WriteByte(cell(float64(tm[s][d]), minNZ, maxNZ))
+		}
+		b.WriteByte('\n')
+	}
+	if maxNZ > 0 {
+		fmt.Fprintf(&b, "scale: ' '=0  '%c'=%s  '%c'=%s (log)\n",
+			ramp[1], human(minNZ), ramp[len(ramp)-1], human(maxNZ))
+	}
+	return b.String()
+}
+
+func cell(v, minNZ, maxNZ float64) byte {
+	if v <= 0 {
+		return ramp[0]
+	}
+	if maxNZ <= minNZ {
+		return ramp[len(ramp)-1]
+	}
+	frac := math.Log(v/minNZ) / math.Log(maxNZ/minNZ)
+	idx := 1 + int(frac*float64(len(ramp)-2)+0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+func digit(d int) byte {
+	return byte('0' + d%10)
+}
+
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fGB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fMB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fKB", v/1e3)
+	}
+	return fmt.Sprintf("%.0fB", v)
+}
+
+// Human exposes byte formatting for experiment output.
+func Human(v float64) string { return human(v) }

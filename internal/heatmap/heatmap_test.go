@@ -1,0 +1,78 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+
+	"topoopt/internal/traffic"
+)
+
+func TestRenderRing(t *testing.T) {
+	tm := traffic.NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		tm.Add(i, (i+1)%4, 1e9)
+	}
+	out := Render(tm)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 rows + scale line.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Diagonal cells filled with the max symbol, everything else blank.
+	row0 := lines[1][4:]
+	if row0[1] != '@' {
+		t.Errorf("cell (0,1) = %q, want '@'", row0[1])
+	}
+	if row0[0] != ' ' || row0[2] != ' ' {
+		t.Errorf("empty cells should be blank: %q", row0)
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	tm := traffic.NewMatrix(3)
+	tm.Add(0, 1, 1e3)
+	tm.Add(0, 2, 1e9)
+	out := Render(tm)
+	lines := strings.Split(out, "\n")
+	row0 := lines[1][4:]
+	if row0[2] != '@' {
+		t.Errorf("max cell should be '@': %q", row0)
+	}
+	if row0[1] == '@' || row0[1] == ' ' {
+		t.Errorf("min nonzero cell should be a low-ramp symbol: %q", row0)
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("missing scale legend")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(traffic.NewMatrix(2))
+	if strings.Contains(out, "scale:") {
+		t.Error("empty matrix should have no scale line")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[float64]string{
+		5:      "5B",
+		2e3:    "2.0KB",
+		3.5e6:  "3.5MB",
+		4.4e10: "44.0GB",
+	}
+	for v, want := range cases {
+		if got := Human(v); got != want {
+			t.Errorf("Human(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestUniformMatrixSingleSymbol(t *testing.T) {
+	tm := traffic.NewMatrix(3)
+	tm.Add(0, 1, 100)
+	tm.Add(1, 2, 100)
+	out := Render(tm)
+	if !strings.Contains(out, "@") {
+		t.Error("uniform nonzero should render at max intensity")
+	}
+}

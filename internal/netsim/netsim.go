@@ -1,0 +1,476 @@
+// Package netsim is an event-driven flow-level network simulator — this
+// repository's substitute for the paper's htsim-based FlexNetPacket (§5.1;
+// see DESIGN.md for the substitution argument). Flows traverse fixed paths
+// of directed links; active flows share link capacity by progressive
+// filling (max-min fairness), recomputed at every flow arrival, departure
+// and capacity change. Completion times additionally pay a per-hop
+// propagation latency (the paper uses 1 µs per link).
+//
+// The simulator also provides plain timer events so callers (the flexnet
+// task-graph engine, the cluster scheduler, OCS reconfiguration logic) can
+// interleave computation and control-plane actions with network activity.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"topoopt/internal/graph"
+)
+
+// DefaultLinkLatency is the per-hop propagation delay (§5.1: 1 µs).
+const DefaultLinkLatency = 1e-6
+
+// completionTolerance is the byte remainder below which a flow counts as
+// finished, absorbing floating-point residue between rate allocation and
+// event timestamps.
+const completionTolerance = 1e-3
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	ID    int
+	Path  []int // edge IDs, in order
+	Bytes float64
+	// Remaining bytes to deliver.
+	Remaining float64
+	// Rate currently allocated, bits/s.
+	Rate float64
+	// onComplete runs when the last byte arrives (including hop latency).
+	onComplete func(now float64)
+	start      float64
+	done       bool
+}
+
+// Sim is the simulator instance. Create with New; the zero value is not
+// usable.
+type Sim struct {
+	g           *graph.Graph
+	linkCap     []float64 // effective capacity per edge (bits/s)
+	linkLatency float64
+
+	now     float64
+	flows   map[int]*Flow
+	nextID  int
+	events  eventHeap
+	eventID int
+
+	// Stats.
+	completed      int
+	bytesDelivered float64
+	byteHops       float64 // Σ bytes × hops: bandwidth-tax numerator
+}
+
+// New builds a simulator over the given graph, taking initial link
+// capacities from the edges. A negative linkLatency selects
+// DefaultLinkLatency; zero disables propagation delay.
+func New(g *graph.Graph, linkLatency float64) *Sim {
+	if linkLatency < 0 {
+		linkLatency = DefaultLinkLatency
+	}
+	s := &Sim{
+		g:           g,
+		linkCap:     make([]float64, g.M()),
+		linkLatency: linkLatency,
+		flows:       make(map[int]*Flow),
+	}
+	for _, e := range g.Edges() {
+		s.linkCap[e.ID] = e.Cap
+	}
+	return s
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Completed returns the number of finished flows.
+func (s *Sim) Completed() int { return s.completed }
+
+// BytesDelivered returns the total bytes delivered by finished flows.
+func (s *Sim) BytesDelivered() float64 { return s.bytesDelivered }
+
+// BandwidthTax returns Σ(bytes×hops)/Σ(bytes) across finished flows — the
+// §5.4 bandwidth-tax metric. Returns 1 when nothing has finished.
+func (s *Sim) BandwidthTax() float64 {
+	if s.bytesDelivered == 0 {
+		return 1
+	}
+	return s.byteHops / s.bytesDelivered
+}
+
+// SetLinkCap changes a link's capacity (0 disables it, e.g. during
+// reconfiguration) and reallocates flow rates.
+func (s *Sim) SetLinkCap(edgeID int, cap float64) {
+	if cap < 0 {
+		cap = 0
+	}
+	s.linkCap[edgeID] = cap
+	s.reallocate()
+}
+
+// LinkCap returns a link's current capacity.
+func (s *Sim) LinkCap(edgeID int) float64 { return s.linkCap[edgeID] }
+
+// event types
+
+type event struct {
+	at   float64
+	seq  int // tie-break for determinism
+	fn   func()
+	heap int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*event)
+	e.heap = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Schedule runs fn at now+delay. Negative delays fire immediately.
+func (s *Sim) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e := &event{at: s.now + delay, seq: s.eventID, fn: fn}
+	s.eventID++
+	heap.Push(&s.events, e)
+}
+
+// AddFlowPath injects a flow along explicit edge IDs. onComplete may be
+// nil. Zero-byte flows complete after path latency only.
+func (s *Sim) AddFlowPath(path []int, bytes float64, onComplete func(now float64)) *Flow {
+	if bytes < 0 {
+		panic("netsim: negative flow size")
+	}
+	f := &Flow{
+		ID:         s.nextID,
+		Path:       append([]int(nil), path...),
+		Bytes:      bytes,
+		Remaining:  bytes,
+		onComplete: onComplete,
+		start:      s.now,
+	}
+	s.nextID++
+	if bytes == 0 || len(path) == 0 {
+		lat := float64(len(path)) * s.linkLatency
+		done := f
+		s.Schedule(lat, func() { s.finish(done) })
+		return f
+	}
+	s.flows[f.ID] = f
+	s.reallocate()
+	return f
+}
+
+// AddFlowNodes injects a flow along a node path (as produced by the route
+// package), resolving each consecutive pair to the least-loaded parallel
+// link between them.
+func (s *Sim) AddFlowNodes(nodes []int, bytes float64, onComplete func(now float64)) (*Flow, error) {
+	path, err := s.ResolveNodePath(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return s.AddFlowPath(path, bytes, onComplete), nil
+}
+
+// AddFlowNodesStriped splits a transfer into parallel sub-flows, one per
+// parallel link available along the narrowest hop of the path (capped at
+// maxStripes; 0 means no cap). This models NCCL channel striping and the
+// paper's load-balancing across TotientPerms parallel links: the pair's
+// aggregate rate becomes the sum of the parallel links' fair shares.
+// onComplete fires once, when the last stripe lands.
+func (s *Sim) AddFlowNodesStriped(nodes []int, bytes float64, maxStripes int, onComplete func(now float64)) ([]*Flow, error) {
+	stripes := s.pathMultiplicity(nodes)
+	if stripes < 1 {
+		stripes = 1
+	}
+	if maxStripes > 0 && stripes > maxStripes {
+		stripes = maxStripes
+	}
+	per := bytes / float64(stripes)
+	remaining := stripes
+	var flows []*Flow
+	for i := 0; i < stripes; i++ {
+		f, err := s.AddFlowNodes(nodes, per, func(now float64) {
+			remaining--
+			if remaining == 0 && onComplete != nil {
+				onComplete(now)
+			}
+		})
+		if err != nil {
+			return flows, err
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// pathMultiplicity returns the minimum number of usable parallel links
+// over the hops of a node path.
+func (s *Sim) pathMultiplicity(nodes []int) int {
+	min := 0
+	for i := 0; i+1 < len(nodes); i++ {
+		m := 0
+		for _, id := range s.g.Out(nodes[i]) {
+			if s.g.Edge(id).To == nodes[i+1] && s.linkCap[id] > 0 {
+				m++
+			}
+		}
+		if min == 0 || m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// ResolveNodePath converts a node path into edge IDs, choosing for each
+// hop the parallel link with the fewest active flows (cheap load
+// balancing across TotientPerms parallel rings).
+func (s *Sim) ResolveNodePath(nodes []int) ([]int, error) {
+	var path []int
+	for i := 0; i+1 < len(nodes); i++ {
+		bestID, bestLoad := -1, math.MaxInt32
+		for _, id := range s.g.Out(nodes[i]) {
+			e := s.g.Edge(id)
+			if e.To != nodes[i+1] || s.linkCap[id] <= 0 {
+				continue
+			}
+			load := s.activeOnLink(id)
+			if load < bestLoad {
+				bestID, bestLoad = id, load
+			}
+		}
+		if bestID == -1 {
+			return nil, fmt.Errorf("netsim: no usable link %d -> %d", nodes[i], nodes[i+1])
+		}
+		path = append(path, bestID)
+	}
+	return path, nil
+}
+
+func (s *Sim) activeOnLink(edgeID int) int {
+	n := 0
+	for _, f := range s.flows {
+		for _, id := range f.Path {
+			if id == edgeID {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// reallocate recomputes max-min fair rates by progressive filling.
+func (s *Sim) reallocate() {
+	if len(s.flows) == 0 {
+		return
+	}
+	// Gather per-link flow lists (only links used by active flows).
+	linkFlows := make(map[int][]*Flow)
+	for _, f := range s.flows {
+		seen := make(map[int]bool, len(f.Path))
+		for _, id := range f.Path {
+			if seen[id] {
+				continue // a flow crossing a link twice still gets one share
+			}
+			seen[id] = true
+			linkFlows[id] = append(linkFlows[id], f)
+		}
+		f.Rate = 0
+	}
+	frozen := make(map[int]bool, len(s.flows))
+	remaining := make(map[int]float64, len(linkFlows))
+	unfrozenCount := make(map[int]int, len(linkFlows))
+	for id, fl := range linkFlows {
+		remaining[id] = s.linkCap[id]
+		unfrozenCount[id] = len(fl)
+	}
+	for len(frozen) < len(s.flows) {
+		// Find bottleneck link: min remaining/unfrozen.
+		bottleneck := -1
+		fair := math.Inf(1)
+		for id, cnt := range unfrozenCount {
+			if cnt == 0 {
+				continue
+			}
+			f := remaining[id] / float64(cnt)
+			if f < fair || (f == fair && (bottleneck == -1 || id < bottleneck)) {
+				fair = f
+				bottleneck = id
+			}
+		}
+		if bottleneck == -1 {
+			// Flows not constrained by any shared link (shouldn't happen:
+			// every flow has >= 1 link). Freeze them at +Inf — completes
+			// instantly.
+			for _, f := range s.flows {
+				if !frozen[f.ID] {
+					f.Rate = math.Inf(1)
+					frozen[f.ID] = true
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow through the bottleneck at the fair
+		// rate, and charge their rate to all their other links.
+		for _, f := range linkFlows[bottleneck] {
+			if frozen[f.ID] {
+				continue
+			}
+			f.Rate = fair
+			frozen[f.ID] = true
+			seen := make(map[int]bool, len(f.Path))
+			for _, id := range f.Path {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				remaining[id] -= fair
+				if remaining[id] < 0 {
+					remaining[id] = 0
+				}
+				unfrozenCount[id]--
+			}
+		}
+	}
+	s.scheduleNextCompletion()
+}
+
+// completionEvent is lazily validated: we re-check at fire time whether
+// the flow actually finished (rates may have changed since scheduling).
+func (s *Sim) scheduleNextCompletion() {
+	soonest := math.Inf(1)
+	for _, f := range s.flows {
+		if f.Rate <= 0 {
+			continue
+		}
+		t := f.Remaining * 8 / f.Rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	s.Schedule(soonest, func() { s.drainCompletions() })
+}
+
+// advanceFlows progresses all flow byte counters to the current time,
+// given the time elapsed since the last progress point.
+func (s *Sim) advanceFlows(elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	for _, f := range s.flows {
+		if f.Rate > 0 {
+			f.Remaining -= f.Rate * elapsed / 8
+			// Snap float residue: completion events land at times computed
+			// from these very rates, so after the event fires the true
+			// remainder is a rounding artifact. A millibyte is far below
+			// any physical transfer granularity and far above the relative
+			// epsilon of any flow size we simulate (< 1e13 bytes).
+			if f.Remaining < completionTolerance {
+				f.Remaining = 0
+			}
+		}
+	}
+}
+
+// drainCompletions finishes any flow whose bytes ran out.
+func (s *Sim) drainCompletions() {
+	var done []*Flow
+	for _, f := range s.flows {
+		if f.Remaining <= completionTolerance {
+			done = append(done, f)
+		}
+	}
+	if len(done) == 0 {
+		// Spurious wake-up after a rate change; reschedule.
+		s.scheduleNextCompletion()
+		return
+	}
+	// Deterministic order.
+	for i := 0; i < len(done); i++ {
+		for j := i + 1; j < len(done); j++ {
+			if done[j].ID < done[i].ID {
+				done[i], done[j] = done[j], done[i]
+			}
+		}
+	}
+	for _, f := range done {
+		delete(s.flows, f.ID)
+		lat := float64(len(f.Path)) * s.linkLatency
+		ff := f
+		s.Schedule(lat, func() { s.finish(ff) })
+	}
+	s.reallocate()
+}
+
+func (s *Sim) finish(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	s.completed++
+	s.bytesDelivered += f.Bytes
+	s.byteHops += f.Bytes * float64(len(f.Path))
+	if f.onComplete != nil {
+		f.onComplete(s.now)
+	}
+}
+
+// Step executes the next pending event. Returns false when no events
+// remain.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	elapsed := e.at - s.now
+	s.advanceFlows(elapsed)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the time limit is
+// passed (limit <= 0 means no limit). Returns the final time.
+func (s *Sim) Run(limit float64) float64 {
+	for s.events.Len() > 0 {
+		if limit > 0 && s.events[0].at > limit {
+			s.advanceFlows(limit - s.now)
+			s.now = limit
+			break
+		}
+		s.Step()
+	}
+	return s.now
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (s *Sim) ActiveFlows() int { return len(s.flows) }
+
+// Idle reports whether no flows are active and no events are pending.
+func (s *Sim) Idle() bool { return len(s.flows) == 0 && s.events.Len() == 0 }

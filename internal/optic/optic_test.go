@@ -1,0 +1,71 @@
+package optic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Contents(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("devices = %d, want 6", len(all))
+	}
+	if all[0].Name != "Optical Patch Panel" || all[0].PortCount != 1008 {
+		t.Errorf("first row wrong: %+v", all[0])
+	}
+	// Commercial availability (Table 1): only patch panel and 3D MEMS.
+	commercial := 0
+	for _, d := range all {
+		if d.Commercial {
+			commercial++
+			if d.CostPerPort <= 0 {
+				t.Errorf("%s commercial without a price", d.Name)
+			}
+		}
+	}
+	if commercial != 2 {
+		t.Errorf("commercial devices = %d, want 2", commercial)
+	}
+	// Latency ordering: patch panel slowest, tunable laser fastest.
+	if !(PatchPanel.ReconfigLatency > MEMS3D.ReconfigLatency &&
+		MEMS3D.ReconfigLatency > MEMS2D.ReconfigLatency &&
+		MEMS2D.ReconfigLatency > SiliconPhotonics.ReconfigLatency &&
+		SiliconPhotonics.ReconfigLatency > TunableLaser.ReconfigLatency) {
+		t.Error("reconfiguration latency ordering broken")
+	}
+}
+
+func TestFits(t *testing.T) {
+	if !PatchPanel.Fits(1008) || PatchPanel.Fits(1009) {
+		t.Error("patch panel port bound wrong")
+	}
+	if !MEMS3D.Fits(384) || MEMS3D.Fits(385) {
+		t.Error("3D MEMS port bound wrong")
+	}
+}
+
+func TestPlanesNeeded(t *testing.T) {
+	if PatchPanel.PlanesNeeded(4, true) != 8 {
+		t.Error("look-ahead doubles planes")
+	}
+	if MEMS3D.PlanesNeeded(4, false) != 4 {
+		t.Error("plain planes = degree")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := PatchPanel.String()
+	if !strings.Contains(s, "1008") || !strings.Contains(s, "$100/port") {
+		t.Errorf("string missing fields: %s", s)
+	}
+	if !strings.Contains(MEMS2D.String(), "n/a") {
+		t.Error("non-commercial should print n/a")
+	}
+}
+
+func TestOneByTwoSwitch(t *testing.T) {
+	var sw OneByTwoSwitch
+	if sw.Cost() != 25 || sw.LossDB() != 0.73 {
+		t.Error("1x2 switch constants wrong")
+	}
+}

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"testing"
+
+	"topoopt/internal/model"
+)
+
+func TestDataParallelValid(t *testing.T) {
+	m := model.BERTPreset(model.Sec53)
+	s := DataParallel(m, 16)
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsPureDataParallel() {
+		t.Error("DataParallel should be pure DP")
+	}
+	if len(s.ShardedLayers()) != 0 {
+		t.Error("DataParallel should shard nothing")
+	}
+}
+
+func TestHybridPlacesTables(t *testing.T) {
+	m := model.DLRM(model.DLRMConfig{BatchPerGPU: 128, DenseLayers: 2, DenseLayerSize: 256,
+		DenseFeatLayers: 2, FeatLayerSize: 256, EmbedDim: 64, EmbedRows: 1000, EmbedTables: 4})
+	s := Hybrid(m, 16)
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	sharded := s.ShardedLayers()
+	if len(sharded) != 4 {
+		t.Fatalf("sharded %d layers, want 4", len(sharded))
+	}
+	// Paper §2.1: 4 tables on 16 servers land on S0, S4, S8, S12 (stride
+	// n/#tables; the paper uses S0,S3,S8,S13, same spirit).
+	hosts := make(map[int]bool)
+	for _, li := range sharded {
+		h := s.Layers[li].Group[0]
+		if hosts[h] {
+			t.Errorf("two tables on server %d", h)
+		}
+		hosts[h] = true
+	}
+}
+
+func TestHybridMoreTablesThanServers(t *testing.T) {
+	m := model.DLRMAllToAll(64) // 128 tables
+	s := Hybrid(m, 16)
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ShardedLayers()) != 128 {
+		t.Fatalf("want all 128 tables sharded")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	m := model.CANDLEPreset(model.Sec6)
+	s := DataParallel(m, 4)
+	s.Layers[0].Group = nil
+	if err := s.Validate(m); err == nil {
+		t.Error("empty group should fail")
+	}
+	s = DataParallel(m, 4)
+	s.Layers[0].Group = []int{0, 0}
+	if err := s.Validate(m); err == nil {
+		t.Error("duplicate server should fail")
+	}
+	s = DataParallel(m, 4)
+	s.Layers[0].Group = []int{7}
+	if err := s.Validate(m); err == nil {
+		t.Error("out-of-range server should fail")
+	}
+	s = DataParallel(m, 4)
+	s.Layers[0].Kind = Sharded // CANDLE layers are not shardable
+	if err := s.Validate(m); err == nil {
+		t.Error("sharding unshardable layer should fail")
+	}
+	if err := (Strategy{N: 4}).Validate(m); err == nil {
+		t.Error("wrong layer count should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := model.CANDLEPreset(model.Sec6)
+	s := DataParallel(m, 4)
+	c := s.Clone()
+	c.Layers[0].Group[0] = 3
+	if s.Layers[0].Group[0] == 3 {
+		t.Error("clone shares group slices")
+	}
+}
+
+func TestComputeTimesBalancedForDP(t *testing.T) {
+	m := model.VGGPreset(model.Sec53)
+	s := DataParallel(m, 8)
+	times := s.ComputeTimes(m, model.A100, 64)
+	for i := 1; i < len(times); i++ {
+		if times[i] != times[0] {
+			t.Fatalf("DP compute should be uniform: %v", times)
+		}
+	}
+	if times[0] <= 0 {
+		t.Fatal("compute time must be positive")
+	}
+}
+
+func TestComputeTimesShardHostLoaded(t *testing.T) {
+	m := model.DLRMPreset(model.Sec53)
+	s := Hybrid(m, 16)
+	times := s.ComputeTimes(m, model.A100, m.BatchPerGPU)
+	// Shard hosts do strictly more work than a host with no shards, if any.
+	hostSet := make(map[int]bool)
+	for _, li := range s.ShardedLayers() {
+		hostSet[s.Layers[li].Group[0]] = true
+	}
+	if len(hostSet) == 16 {
+		t.Skip("all servers host shards in this configuration")
+	}
+	var withShard, without float64
+	for v := 0; v < 16; v++ {
+		if hostSet[v] {
+			withShard = times[v]
+		} else {
+			without = times[v]
+		}
+	}
+	if withShard <= without {
+		t.Errorf("shard host time %g should exceed plain host %g", withShard, without)
+	}
+	if s.MaxComputeTime(m, model.A100, m.BatchPerGPU) < withShard {
+		t.Error("MaxComputeTime below a server's time")
+	}
+}
+
+func TestPlaceShardAndReplicate(t *testing.T) {
+	m := model.DLRMPreset(model.Sec6)
+	s := DataParallel(m, 12)
+	li := m.ShardableLayers()[0]
+	s.PlaceShard(li, 5)
+	if s.Layers[li].Kind != Sharded || s.Layers[li].Group[0] != 5 {
+		t.Error("PlaceShard did not apply")
+	}
+	s.Replicate(li)
+	if s.Layers[li].Kind != Replicated || len(s.Layers[li].Group) != 12 {
+		t.Error("Replicate did not apply")
+	}
+	s.Replicate(li, 0, 1, 2)
+	if len(s.Layers[li].Group) != 3 {
+		t.Error("Replicate subset did not apply")
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Replicated.String() != "replicated" || Sharded.String() != "sharded" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestHybridOnScopedToMembers(t *testing.T) {
+	m := model.DLRMPreset(model.Sec6)
+	members := []int{3, 5, 7, 9}
+	s := HybridOn(m, 16, members)
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[int]bool{3: true, 5: true, 7: true, 9: true}
+	for i, ls := range s.Layers {
+		for _, v := range ls.Group {
+			if !allowed[v] {
+				t.Fatalf("layer %d placed on server %d outside shard", i, v)
+			}
+		}
+	}
+	sv := s.Servers()
+	if len(sv) != 4 || sv[0] != 3 || sv[3] != 9 {
+		t.Errorf("Servers() = %v, want shard members", sv)
+	}
+}
+
+func TestServersFullCluster(t *testing.T) {
+	m := model.CANDLEPreset(model.Sec6)
+	s := DataParallel(m, 6)
+	sv := s.Servers()
+	if len(sv) != 6 || sv[0] != 0 || sv[5] != 5 {
+		t.Errorf("Servers() = %v, want [0..5]", sv)
+	}
+}
+
+func TestHybridOnComputeUsesShardWorld(t *testing.T) {
+	// Sharded layer's global batch should scale with shard size, not
+	// cluster size: the same shard on a bigger cluster costs the same.
+	m := model.DLRMPreset(model.Sec6)
+	members := []int{0, 1, 2, 3}
+	sSmall := HybridOn(m, 8, members)
+	sBig := HybridOn(m, 64, members)
+	tSmall := sSmall.MaxComputeTime(m, model.A100, 16)
+	tBig := sBig.MaxComputeTime(m, model.A100, 16)
+	if tSmall != tBig {
+		t.Errorf("shard compute depends on cluster size: %g vs %g", tSmall, tBig)
+	}
+}

@@ -1,0 +1,203 @@
+// Package rdma models host-based RDMA forwarding over NPAR logical
+// interfaces (§6 and Appendix I). RoCEv2 NICs silently drop packets whose
+// destination IP is not their own, so multi-hop TopoOpt routes split each
+// physical port into two logical interfaces: if1 (RDMA-capable, has an
+// IP) and if2 (no IP, kernel path) and install iproute/arp/tc-flower-like
+// rules so intermediate hosts forward Ethernet-encapsulated RDMA packets
+// toward the final destination.
+//
+// The package emulates the rule tables and walks packets hop by hop —
+// exactly the Figure 29 scenario — and exposes the forwarding penalty
+// constants the testbed simulation applies to kernel-path hops.
+package rdma
+
+import (
+	"fmt"
+)
+
+// Penalty quantifies the cost of the kernel forwarding path relative to
+// NIC-offloaded RDMA (the paper measures "negligible" overhead for small
+// forwarded volumes; these defaults reproduce the testbed's mild
+// degradation).
+type Penalty struct {
+	// PerHopLatency is the added kernel-processing latency per forwarded
+	// hop, seconds.
+	PerHopLatency float64
+	// BandwidthFraction is the fraction of line rate the kernel path
+	// sustains.
+	BandwidthFraction float64
+}
+
+// DefaultPenalty models the HPE/Marvell NPAR prototype.
+var DefaultPenalty = Penalty{PerHopLatency: 8e-6, BandwidthFraction: 0.92}
+
+// IfaceID identifies one logical interface: host, physical port, and
+// whether it is the RDMA partition (if1) or the forwarding partition
+// (if2).
+type IfaceID struct {
+	Host int
+	Port int
+	RDMA bool
+}
+
+// MAC is a logical MAC address (unique per logical interface).
+type MAC string
+
+// macOf derives the deterministic MAC of a logical interface.
+func macOf(id IfaceID) MAC {
+	part := 2
+	if id.RDMA {
+		part = 1
+	}
+	return MAC(fmt.Sprintf("02:%02x:%02x:%02x", id.Host, id.Port, part))
+}
+
+// Overlay is the logical RDMA overlay of a direct-connect fabric: per-host
+// rule tables that rewrite destination MACs along the precomputed route.
+type Overlay struct {
+	hosts int
+	// wires maps (host, port) -> (peerHost, peerPort): the physical
+	// patch-panel connections.
+	wires map[[2]int][2]int
+	// routes: per (srcHost, dstHost) the node path.
+	routes map[[2]int][]int
+	// egress: for host h and next-hop nh, which local port reaches nh.
+	egress map[[2]int]int
+}
+
+// NewOverlay builds an overlay for a fabric given its physical wires:
+// wires[i] = {hostA, portA, hostB, portB} (duplex). Routes are installed
+// with Install.
+func NewOverlay(hosts int, wires [][4]int) (*Overlay, error) {
+	o := &Overlay{
+		hosts:  hosts,
+		wires:  make(map[[2]int][2]int),
+		routes: make(map[[2]int][]int),
+		egress: make(map[[2]int]int),
+	}
+	for _, w := range wires {
+		a := [2]int{w[0], w[1]}
+		b := [2]int{w[2], w[3]}
+		if _, dup := o.wires[a]; dup {
+			return nil, fmt.Errorf("rdma: port %v wired twice", a)
+		}
+		if _, dup := o.wires[b]; dup {
+			return nil, fmt.Errorf("rdma: port %v wired twice", b)
+		}
+		o.wires[a] = b
+		o.wires[b] = a
+		o.egress[[2]int{w[0], w[2]}] = w[1]
+		o.egress[[2]int{w[2], w[0]}] = w[3]
+	}
+	return o, nil
+}
+
+// Install sets the route (node path, inclusive) for src -> dst, checking
+// every hop is physically wired.
+func (o *Overlay) Install(src, dst int, nodes []int) error {
+	if len(nodes) < 2 || nodes[0] != src || nodes[len(nodes)-1] != dst {
+		return fmt.Errorf("rdma: invalid route %v for %d->%d", nodes, src, dst)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		if _, ok := o.egress[[2]int{nodes[i], nodes[i+1]}]; !ok {
+			return fmt.Errorf("rdma: hop %d->%d not wired", nodes[i], nodes[i+1])
+		}
+	}
+	o.routes[[2]int{src, dst}] = append([]int(nil), nodes...)
+	return nil
+}
+
+// Hop is one step of a packet walk.
+type Hop struct {
+	From, To   int
+	EgressPort int
+	// DstMAC is the destination MAC the sender wrote — an if1 MAC means
+	// the receiving NIC's RDMA engine consumes the packet; an if2 MAC
+	// means it is punted to the receiving host's kernel for forwarding.
+	DstMAC MAC
+	Kernel bool // true when the receiving side processes in the kernel
+}
+
+// Walk emulates sending one RoCEv2 packet from src to dst: at each
+// intermediate host the kernel's tc-flower rule looks up the final
+// destination IP and rewrites the destination MAC for the next hop
+// (Appendix I's walk-through of servers A→B→C→D). The last hop addresses
+// the destination's if1 so the RDMA engine consumes it.
+func (o *Overlay) Walk(src, dst int) ([]Hop, error) {
+	nodes, ok := o.routes[[2]int{src, dst}]
+	if !ok {
+		return nil, fmt.Errorf("rdma: no route %d->%d", src, dst)
+	}
+	var hops []Hop
+	for i := 0; i+1 < len(nodes); i++ {
+		from, to := nodes[i], nodes[i+1]
+		port := o.egress[[2]int{from, to}]
+		peer := o.wires[[2]int{from, port}]
+		if peer[0] != to {
+			return nil, fmt.Errorf("rdma: wiring inconsistent at host %d port %d", from, port)
+		}
+		last := i+2 == len(nodes)
+		dstIf := IfaceID{Host: to, Port: peer[1], RDMA: last}
+		hops = append(hops, Hop{
+			From: from, To: to, EgressPort: port,
+			DstMAC: macOf(dstIf),
+			Kernel: !last,
+		})
+	}
+	return hops, nil
+}
+
+// ForwardedHops counts kernel-path hops for src->dst (0 when directly
+// connected).
+func (o *Overlay) ForwardedHops(src, dst int) (int, error) {
+	hops, err := o.Walk(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, h := range hops {
+		if h.Kernel {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// EffectiveBandwidth returns the end-to-end bandwidth of the src->dst
+// logical RDMA connection at the given line rate under the penalty
+// model: the kernel path caps forwarded hops at BandwidthFraction of
+// line rate.
+func (o *Overlay) EffectiveBandwidth(src, dst int, lineRate float64, p Penalty) (float64, error) {
+	k, err := o.ForwardedHops(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if k == 0 {
+		return lineRate, nil
+	}
+	return lineRate * p.BandwidthFraction, nil
+}
+
+// ExtraLatency returns the added latency of kernel forwarding for
+// src->dst.
+func (o *Overlay) ExtraLatency(src, dst int, p Penalty) (float64, error) {
+	k, err := o.ForwardedHops(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return float64(k) * p.PerHopLatency, nil
+}
+
+// WiresFromDuplexPairs builds the wire list for a topology expressed as
+// duplex node pairs, assigning ports in order of appearance per host.
+func WiresFromDuplexPairs(pairs [][2]int) [][4]int {
+	next := map[int]int{}
+	var wires [][4]int
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		wires = append(wires, [4]int{a, next[a], b, next[b]})
+		next[a]++
+		next[b]++
+	}
+	return wires
+}

@@ -1,0 +1,133 @@
+package rdma
+
+import "testing"
+
+// figure29 wires four servers A(0)-B(1)-C(2)-D(3) in a chain, the
+// Appendix I walk-through scenario.
+func figure29(t *testing.T) *Overlay {
+	t.Helper()
+	o, err := NewOverlay(4, WiresFromDuplexPairs([][2]int{{0, 1}, {1, 2}, {2, 3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Install(0, 3, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Install(0, 1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestWalkFigure29(t *testing.T) {
+	o := figure29(t)
+	hops, err := o.Walk(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d, want 3", len(hops))
+	}
+	// First two hops target if2 MACs (kernel forwarding at B and C), the
+	// last targets D's if1 so the RDMA engine consumes it.
+	if !hops[0].Kernel || !hops[1].Kernel {
+		t.Error("intermediate hops must hit the kernel partition")
+	}
+	if hops[2].Kernel {
+		t.Error("final hop must hit the RDMA partition")
+	}
+	// MAC partition encoding: if2 ends in :02, if1 in :01.
+	if hops[0].DstMAC[len(hops[0].DstMAC)-2:] != "02" {
+		t.Errorf("hop 0 MAC %s should be an if2 MAC", hops[0].DstMAC)
+	}
+	if hops[2].DstMAC[len(hops[2].DstMAC)-2:] != "01" {
+		t.Errorf("hop 2 MAC %s should be an if1 MAC", hops[2].DstMAC)
+	}
+}
+
+func TestDirectConnectionNoKernel(t *testing.T) {
+	o := figure29(t)
+	hops, err := o.Walk(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0].Kernel {
+		t.Errorf("direct hop should be pure RDMA: %+v", hops)
+	}
+	k, _ := o.ForwardedHops(0, 1)
+	if k != 0 {
+		t.Errorf("forwarded hops = %d, want 0", k)
+	}
+}
+
+func TestForwardedHopsAndPenalty(t *testing.T) {
+	o := figure29(t)
+	k, err := o.ForwardedHops(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("forwarded hops = %d, want 2", k)
+	}
+	bw, err := o.EffectiveBandwidth(0, 3, 25e9, DefaultPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw >= 25e9 {
+		t.Error("forwarded connection should lose bandwidth")
+	}
+	direct, _ := o.EffectiveBandwidth(0, 1, 25e9, DefaultPenalty)
+	if direct != 25e9 {
+		t.Error("direct connection should keep line rate")
+	}
+	lat, _ := o.ExtraLatency(0, 3, DefaultPenalty)
+	if lat != 2*DefaultPenalty.PerHopLatency {
+		t.Errorf("extra latency %g, want %g", lat, 2*DefaultPenalty.PerHopLatency)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	o := figure29(t)
+	if err := o.Install(0, 2, []int{0, 2}); err == nil {
+		t.Error("unwired hop should fail")
+	}
+	if err := o.Install(0, 2, []int{0, 1}); err == nil {
+		t.Error("wrong endpoints should fail")
+	}
+	if _, err := o.Walk(3, 0); err == nil {
+		t.Error("missing route should fail")
+	}
+}
+
+func TestDoubleWiringRejected(t *testing.T) {
+	_, err := NewOverlay(3, [][4]int{{0, 0, 1, 0}, {0, 0, 2, 0}})
+	if err == nil {
+		t.Error("reusing a port should fail")
+	}
+}
+
+func TestWiresFromDuplexPairsPortAssignment(t *testing.T) {
+	wires := WiresFromDuplexPairs([][2]int{{0, 1}, {0, 2}, {1, 2}})
+	// Host 0 uses ports 0 then 1; host 1 uses 0 then 1; host 2 uses 0, 1.
+	if wires[1][1] != 1 {
+		t.Errorf("host 0 second wire should use port 1: %v", wires[1])
+	}
+	if wires[2][1] != 1 || wires[2][3] != 1 {
+		t.Errorf("third wire ports wrong: %v", wires[2])
+	}
+}
+
+func TestMACUniqueness(t *testing.T) {
+	seen := map[MAC]bool{}
+	for h := 0; h < 4; h++ {
+		for p := 0; p < 4; p++ {
+			for _, r := range []bool{true, false} {
+				m := macOf(IfaceID{Host: h, Port: p, RDMA: r})
+				if seen[m] {
+					t.Fatalf("duplicate MAC %s", m)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Traffic engineering for host-forwarded MP transfers (§5.5). The paper
+// observes that single-path routing leaves the per-link load imbalanced
+// (Figure 15: the least-loaded link carries 39–59% less than the most
+// loaded) and that the optimal routing strategy — minimizing maximum link
+// utilization — would bring the slowdown factor α of Eq. (1) down to the
+// average path length, but leaves it to future work. This file implements
+// that future work as an iterative min-max heuristic in the spirit of
+// semi-oblivious WAN TE: demands split fractionally over k-shortest path
+// candidates, repeatedly shifting load away from the most-utilized link.
+
+// Split is a fractional assignment of one (src,dst) demand across
+// candidate paths.
+type Split struct {
+	Paths     [][]int // node paths
+	Fractions []float64
+}
+
+// TEResult is the outcome of Balance.
+type TEResult struct {
+	// Splits maps [2]int{src,dst} to the chosen fractional assignment.
+	Splits map[[2]int]Split
+	// MaxLinkLoad and MeanLinkLoad are byte loads after balancing.
+	MaxLinkLoad  int64
+	MeanLinkLoad float64
+	// Alpha is Σ(bytes×hops)/Σ(bytes): with perfect balancing this is the
+	// demand-weighted average path length (the §5.5 lower bound).
+	Alpha float64
+}
+
+// Balance spreads the demand matrix over the candidate paths to minimize
+// the maximum per-link load. candidates[pair] must contain at least one
+// path per demanded pair; iterations bounds the refinement loop.
+func Balance(tm [][]int64, candidates map[[2]int][][]int, iterations int) (*TEResult, error) {
+	if iterations <= 0 {
+		iterations = 100
+	}
+	type flowState struct {
+		pair  [2]int
+		bytes float64
+		paths [][]int
+		frac  []float64
+	}
+	var flows []*flowState
+	for s := range tm {
+		for d, bytes := range tm[s] {
+			if bytes == 0 || s == d {
+				continue
+			}
+			paths := candidates[[2]int{s, d}]
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("route: no candidate paths for %d->%d", s, d)
+			}
+			frac := make([]float64, len(paths))
+			frac[0] = 1 // start on the primary (shortest) path
+			flows = append(flows, &flowState{
+				pair: [2]int{s, d}, bytes: float64(bytes),
+				paths: paths, frac: frac,
+			})
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].pair[0] != flows[j].pair[0] {
+			return flows[i].pair[0] < flows[j].pair[0]
+		}
+		return flows[i].pair[1] < flows[j].pair[1]
+	})
+	linkLoad := func() map[[2]int]float64 {
+		loads := make(map[[2]int]float64)
+		for _, f := range flows {
+			for pi, p := range f.paths {
+				if f.frac[pi] == 0 {
+					continue
+				}
+				for i := 0; i+1 < len(p); i++ {
+					loads[[2]int{p[i], p[i+1]}] += f.bytes * f.frac[pi]
+				}
+			}
+		}
+		return loads
+	}
+	pathUses := func(p []int, link [2]int) bool {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == link[0] && p[i+1] == link[1] {
+				return true
+			}
+		}
+		return false
+	}
+	const step = 0.1
+	for it := 0; it < iterations; it++ {
+		loads := linkLoad()
+		// Most-loaded link.
+		var hot [2]int
+		hotLoad := -1.0
+		for l, v := range loads {
+			if v > hotLoad || (v == hotLoad && (l[0] < hot[0] || (l[0] == hot[0] && l[1] < hot[1]))) {
+				hot, hotLoad = l, v
+			}
+		}
+		if hotLoad <= 0 {
+			break
+		}
+		// Move a slice of some flow off the hot link onto its best
+		// alternative (the candidate path whose own max-link load is
+		// lowest).
+		moved := false
+		for _, f := range flows {
+			if len(f.paths) < 2 {
+				continue
+			}
+			onHot := -1
+			for pi, p := range f.paths {
+				if f.frac[pi] > 0 && pathUses(p, hot) {
+					onHot = pi
+					break
+				}
+			}
+			if onHot == -1 {
+				continue
+			}
+			// Best alternative: avoid the hot link, lowest bottleneck.
+			best, bestLoad := -1, hotLoad
+			for pi, p := range f.paths {
+				if pi == onHot || pathUses(p, hot) {
+					continue
+				}
+				worst := 0.0
+				for i := 0; i+1 < len(p); i++ {
+					if v := loads[[2]int{p[i], p[i+1]}]; v > worst {
+						worst = v
+					}
+				}
+				if worst < bestLoad {
+					best, bestLoad = pi, worst
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			delta := step
+			if f.frac[onHot] < delta {
+				delta = f.frac[onHot]
+			}
+			// Only move if it cannot create a hotter link.
+			if bestLoad+delta*f.bytes >= hotLoad {
+				continue
+			}
+			f.frac[onHot] -= delta
+			f.frac[best] += delta
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	res := &TEResult{Splits: make(map[[2]int]Split)}
+	var totalBytes, byteHops float64
+	loads := linkLoad()
+	for _, f := range flows {
+		res.Splits[f.pair] = Split{Paths: f.paths, Fractions: append([]float64(nil), f.frac...)}
+		totalBytes += f.bytes
+		for pi, p := range f.paths {
+			byteHops += f.bytes * f.frac[pi] * float64(len(p)-1)
+		}
+	}
+	var sum float64
+	for _, v := range loads {
+		if int64(v) > res.MaxLinkLoad {
+			res.MaxLinkLoad = int64(v)
+		}
+		sum += v
+	}
+	if len(loads) > 0 {
+		res.MeanLinkLoad = sum / float64(len(loads))
+	}
+	if totalBytes > 0 {
+		res.Alpha = byteHops / totalBytes
+	}
+	return res, nil
+}

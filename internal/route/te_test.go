@@ -1,0 +1,122 @@
+package route
+
+import (
+	"testing"
+
+	"topoopt/internal/graph"
+)
+
+// diamond: 0->3 via 1 or via 2; plus direct demand 0->1.
+func diamondCandidates() map[[2]int][][]int {
+	return map[[2]int][][]int{
+		{0, 3}: {{0, 1, 3}, {0, 2, 3}},
+		{0, 1}: {{0, 1}},
+	}
+}
+
+func TestBalanceSpreadsHotLink(t *testing.T) {
+	tm := make([][]int64, 4)
+	for i := range tm {
+		tm[i] = make([]int64, 4)
+	}
+	tm[0][3] = 1000
+	tm[0][1] = 1000
+	res, err := Balance(tm, diamondCandidates(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without TE, link (0,1) carries 2000 (both demands). Balanced, the
+	// 0->3 demand should shift mostly onto 0->2->3.
+	if res.MaxLinkLoad >= 2000 {
+		t.Errorf("max link load %d not reduced from 2000", res.MaxLinkLoad)
+	}
+	sp := res.Splits[[2]int{0, 3}]
+	if sp.Fractions[1] <= 0 {
+		t.Errorf("no traffic moved to the alternate path: %v", sp.Fractions)
+	}
+	// Fractions stay a distribution.
+	sum := 0.0
+	for _, f := range sp.Fractions {
+		if f < -1e-9 || f > 1+1e-9 {
+			t.Errorf("fraction %v out of range", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestBalanceAlphaIsWeightedPathLength(t *testing.T) {
+	tm := make([][]int64, 4)
+	for i := range tm {
+		tm[i] = make([]int64, 4)
+	}
+	tm[0][1] = 500
+	res, err := Balance(tm, map[[2]int][][]int{{0, 1}: {{0, 1}}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha != 1 {
+		t.Errorf("alpha = %v, want 1 for a direct path", res.Alpha)
+	}
+}
+
+func TestBalanceMissingCandidates(t *testing.T) {
+	tm := make([][]int64, 2)
+	for i := range tm {
+		tm[i] = make([]int64, 2)
+	}
+	tm[0][1] = 1
+	if _, err := Balance(tm, nil, 10); err == nil {
+		t.Error("missing candidates should fail")
+	}
+}
+
+func TestBalanceImprovesImbalanceOnRealTopology(t *testing.T) {
+	// 8-node double ring (+1, +3): all-to-all demand, k-shortest
+	// candidates. TE should reduce max link load versus single-path.
+	g := graph.New(8)
+	for _, p := range []int{1, 3} {
+		for i := 0; i < 8; i++ {
+			g.AddEdge(i, (i+p)%8, 1)
+		}
+	}
+	tm := make([][]int64, 8)
+	for i := range tm {
+		tm[i] = make([]int64, 8)
+		for j := range tm[i] {
+			if i != j {
+				tm[i][j] = 100
+			}
+		}
+	}
+	cands := make(map[[2]int][][]int)
+	tab := NewTable(8)
+	tab.FillShortestPaths(g)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			cands[[2]int{s, d}] = KShortest(g, s, d, 3)
+		}
+	}
+	single := tab.LinkLoads(tm)
+	var singleMax int64
+	for _, v := range single {
+		if v > singleMax {
+			singleMax = v
+		}
+	}
+	res, err := Balance(tm, cands, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLinkLoad > singleMax {
+		t.Errorf("TE max load %d worse than single-path %d", res.MaxLinkLoad, singleMax)
+	}
+	if res.Alpha <= 0 {
+		t.Error("alpha must be positive")
+	}
+}

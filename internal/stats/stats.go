@@ -1,0 +1,118 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: percentiles, CDF sampling and simple summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics. Panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean. Panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: mean of empty slice")
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// Max returns the maximum. Panics on empty input.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum. Panics on empty input.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CDFPoint is one (value, cumulative fraction) sample of an empirical CDF.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// CDF returns the empirical CDF of xs as points at each distinct value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var out []CDFPoint
+	for i, v := range s {
+		frac := float64(i+1) / float64(len(s))
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Frac = frac
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Frac: frac})
+	}
+	return out
+}
+
+// CDFAt evaluates the empirical CDF of xs at value v.
+func CDFAt(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Summary formats mean/p50/p99/max of xs compactly for experiment output.
+func Summary(xs []float64) string {
+	if len(xs) == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		len(xs), Mean(xs), Percentile(xs, 50), Percentile(xs, 99), Max(xs))
+}

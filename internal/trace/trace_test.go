@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+
+	"topoopt/internal/stats"
+)
+
+func TestGenerateDistributionShape(t *testing.T) {
+	for _, f := range Families() {
+		jobs := Generate(f, 500, 1)
+		if len(jobs) != 500 {
+			t.Fatalf("%s: %d jobs", f, len(jobs))
+		}
+		ws := Workers(jobs)
+		if stats.Min(ws) < 8 || stats.Max(ws) > 700 {
+			t.Errorf("%s: workers out of [8,700]: min %g max %g", f, stats.Min(ws), stats.Max(ws))
+		}
+		// Figure 2a: bulk of jobs between 32 and 700 workers.
+		if stats.Percentile(ws, 50) < 16 {
+			t.Errorf("%s: median workers %g implausibly low", f, stats.Percentile(ws, 50))
+		}
+	}
+}
+
+func TestDurationsHeavyTail(t *testing.T) {
+	var all []float64
+	for _, f := range Families() {
+		all = append(all, Durations(Generate(f, 400, 2))...)
+	}
+	// Figure 2b: most jobs last over an hour; top 10% beyond ~96 hours.
+	if med := stats.Percentile(all, 50); med < 1 {
+		t.Errorf("median duration %g h, want > 1 h", med)
+	}
+	if p90 := stats.Percentile(all, 90); p90 < 48 {
+		t.Errorf("p90 duration %g h, want heavy tail approaching 96 h", p90)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(NLP, 50, 7)
+	b := Generate(NLP, 50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce jobs")
+		}
+	}
+}
+
+func TestNetworkOverheadGrowsWithGPUs(t *testing.T) {
+	// Figure 3 shape: monotone growth, reaching tens of percent at 128.
+	prev := -1.0
+	for _, g := range []int{8, 16, 32, 64, 128} {
+		o := NetworkOverhead(g, 0.3)
+		if o <= prev {
+			t.Errorf("overhead not increasing at %d GPUs: %g <= %g", g, o, prev)
+		}
+		prev = o
+	}
+	if o := NetworkOverhead(128, 0.8); o < 40 || o > 80 {
+		t.Errorf("network-heavy model at 128 GPUs = %g%%, want 40-80%%", o)
+	}
+	if NetworkOverhead(1, 1) != 0 {
+		t.Error("single GPU has no network overhead")
+	}
+}
+
+func TestProductionHeatmapRingSignature(t *testing.T) {
+	tm := ProductionHeatmap(Recommendation, 48, 3)
+	if !IsRingDominant(tm) {
+		t.Error("ring diagonal should dominate the heatmap (Figure 4)")
+	}
+	// Recommendation jobs have MP rows: some off-diagonal traffic exists.
+	off := int64(0)
+	for s := 0; s < 48; s++ {
+		for d := 0; d < 48; d++ {
+			if d != (s+1)%48 && s != d {
+				off += tm[s][d]
+			}
+		}
+	}
+	if off == 0 {
+		t.Error("recommendation heatmap should include MP traffic")
+	}
+	// Image recognition is pure data parallel: no MP.
+	tmImg := ProductionHeatmap(ImageRecognition, 48, 3)
+	for s := 0; s < 48; s++ {
+		for d := 0; d < 48; d++ {
+			if d != (s+1)%48 && tmImg[s][d] != 0 {
+				t.Fatal("image recognition should be ring-only")
+			}
+		}
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for _, f := range Families() {
+		if f.String() == "Unknown" || f.String() == "" {
+			t.Errorf("family %d has no name", f)
+		}
+	}
+	if Family(99).String() != "Unknown" {
+		t.Error("unknown family should say Unknown")
+	}
+}

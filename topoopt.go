@@ -1,0 +1,357 @@
+// Package topoopt is the public API of the TopoOpt library: co-optimizing
+// network topology and parallelization strategy for distributed DNN
+// training jobs (Wang et al., NSDI 2023).
+//
+// The central entry point is Optimize, which runs the alternating
+// optimization of the paper's §4 — FlexFlow-style MCMC strategy search in
+// the Comp.×Comm. plane alternating with the TOPOLOGY FINDER algorithm in
+// the Comm.×Topo. plane — and returns a deployable Plan: the
+// direct-connect topology (patch-panel circuits), the AllReduce ring
+// permutations (TotientPerms), routing rules (coin-change + k-shortest
+// path), the parallelization strategy, and the predicted iteration time
+// from a flow-level simulation.
+//
+//	m := topoopt.DLRM(topoopt.Sec53)
+//	plan, err := topoopt.Optimize(m, topoopt.Options{
+//	    Servers: 128, Degree: 4, LinkBandwidth: 100e9,
+//	})
+//
+// Comparison baselines (Ideal Switch, cost-equivalent Fat-tree, 2:1
+// oversubscribed Fat-tree, Expander, SiP-ML-style reconfigurable fabrics)
+// and the §5.2 cost model are exposed through Compare and Cost.
+package topoopt
+
+import (
+	"fmt"
+
+	"topoopt/internal/core"
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/topo"
+	"topoopt/internal/traffic"
+)
+
+// Model is a DNN training workload (a coarse operator graph).
+type Model = model.Model
+
+// Strategy is a parallelization strategy + device placement.
+type Strategy = parallel.Strategy
+
+// Demand is a job's per-iteration traffic demand: mutable AllReduce
+// groups plus the immutable MP transfer matrix.
+type Demand = traffic.Demand
+
+// GPU is the roofline compute model used for per-layer compute times.
+type GPU = model.GPU
+
+// A100 is the default accelerator model.
+var A100 = model.A100
+
+// Section selects a paper experiment configuration for workload presets.
+type Section = model.Section
+
+// Preset sections from List 1 (Appendix D).
+const (
+	Sec53 = model.Sec53 // §5.3 dedicated-cluster simulations
+	Sec56 = model.Sec56 // §5.6 shared-cluster simulations
+	Sec6  = model.Sec6  // §6 12-node testbed
+)
+
+// Workload presets (List 1).
+func DLRM(s Section) *Model     { return model.DLRMPreset(s) }
+func CANDLE(s Section) *Model   { return model.CANDLEPreset(s) }
+func BERT(s Section) *Model     { return model.BERTPreset(s) }
+func NCF() *Model               { return model.NCFPreset() }
+func ResNet50(s Section) *Model { return model.ResNetPreset(s) }
+func VGG16(s Section) *Model    { return model.VGGPreset(s) }
+
+// Options configures Optimize.
+type Options struct {
+	// Servers is the number of dedicated training servers (n).
+	Servers int
+	// Degree is the number of optical interfaces per server (d).
+	Degree int
+	// LinkBandwidth is per-interface bandwidth in bits/s (B).
+	LinkBandwidth float64
+	// BatchPerGPU overrides the model's default when > 0.
+	BatchPerGPU int
+	// Rounds is the alternating-optimization hyper-parameter k
+	// (default 3).
+	Rounds int
+	// MCMCIters is the strategy-search budget per round (default 200).
+	MCMCIters int
+	// Seed makes the search deterministic.
+	Seed int64
+	// PrimeOnly restricts TotientPerms to prime generators (recommended
+	// beyond a few hundred servers).
+	PrimeOnly bool
+	// GPU overrides the accelerator model (default A100).
+	GPU GPU
+}
+
+func (o Options) validate() error {
+	if o.Servers < 2 {
+		return fmt.Errorf("topoopt: Servers must be >= 2, got %d", o.Servers)
+	}
+	if o.Degree < 1 {
+		return fmt.Errorf("topoopt: Degree must be >= 1, got %d", o.Degree)
+	}
+	if o.LinkBandwidth <= 0 {
+		return fmt.Errorf("topoopt: LinkBandwidth must be positive, got %g", o.LinkBandwidth)
+	}
+	return nil
+}
+
+// Circuit is one directed optical circuit of the plan: the TX fiber of
+// From's interface patched to an RX fiber of To.
+type Circuit struct {
+	From, To int
+}
+
+// RingSpec describes the AllReduce rings selected for one group.
+type RingSpec struct {
+	Members []int
+	// Ps are the "+p" generation rules (co-prime with the group size).
+	Ps []int
+}
+
+// Plan is the deployable output of Optimize.
+type Plan struct {
+	// Strategy is the chosen parallelization strategy.
+	Strategy Strategy
+	// Circuits lists the patch-panel connections to program.
+	Circuits []Circuit
+	// Rings are the TotientPerms AllReduce permutations per group, to be
+	// installed into the collective library (the paper's NCCL patch).
+	Rings []RingSpec
+	// Routes maps src -> dst -> node path for host-based forwarding.
+	Routes map[int]map[int][]int
+	// DegreeAllReduce / DegreeMP is the interface split of Algorithm 1.
+	DegreeAllReduce int
+	DegreeMP        int
+	// PredictedIteration is the flow-level simulated iteration time
+	// breakdown.
+	PredictedIteration IterationBreakdown
+	// Demand is the traffic demand of the chosen strategy.
+	Demand Demand
+}
+
+// IterationBreakdown splits an iteration into its phases (§5.4's no-overlap
+// accounting).
+type IterationBreakdown struct {
+	MPSeconds        float64
+	ComputeSeconds   float64
+	AllReduceSeconds float64
+	BandwidthTax     float64
+}
+
+// Total returns the full iteration time in seconds.
+func (b IterationBreakdown) Total() float64 {
+	return b.MPSeconds + b.ComputeSeconds + b.AllReduceSeconds
+}
+
+// Optimize co-optimizes topology and parallelization strategy for the
+// model under the given options (§4's alternating optimization).
+func Optimize(m *Model, o Options) (*Plan, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	res, err := flexnet.CoOptimize(m, flexnet.CoOptConfig{
+		N: o.Servers, Degree: o.Degree, LinkBW: o.LinkBandwidth,
+		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
+		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return planFromResult(res, o.Servers), nil
+}
+
+func planFromResult(res *flexnet.CoOptResult, n int) *Plan {
+	p := &Plan{
+		Strategy:        res.Strategy,
+		DegreeAllReduce: res.Topo.DegreeAllReduce,
+		DegreeMP:        res.Topo.DegreeMP,
+		Demand:          res.Demand,
+		PredictedIteration: IterationBreakdown{
+			MPSeconds:        res.IterTime.MPTime,
+			ComputeSeconds:   res.IterTime.ComputeTime,
+			AllReduceSeconds: res.IterTime.AllReduceTime,
+			BandwidthTax:     res.IterTime.BandwidthTax,
+		},
+	}
+	for _, e := range res.Topo.Network.G.Edges() {
+		p.Circuits = append(p.Circuits, Circuit{From: e.From, To: e.To})
+	}
+	for _, gr := range res.Topo.Rings {
+		p.Rings = append(p.Rings, RingSpec{
+			Members: append([]int(nil), gr.Members...),
+			Ps:      append([]int(nil), gr.Ps...),
+		})
+	}
+	p.Routes = make(map[int]map[int][]int)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if nodes := res.Topo.Routes.Get(s, d); nodes != nil {
+				if p.Routes[s] == nil {
+					p.Routes[s] = make(map[int][]int)
+				}
+				p.Routes[s][d] = append([]int(nil), nodes...)
+			}
+		}
+	}
+	return p
+}
+
+// Architecture identifies a comparison fabric (§5.1).
+type Architecture string
+
+const (
+	ArchTopoOpt  Architecture = "TopoOpt"
+	ArchIdeal    Architecture = "IdealSwitch"
+	ArchFatTree  Architecture = "Fat-tree"
+	ArchOversub  Architecture = "OversubFatTree"
+	ArchExpander Architecture = "Expander"
+	ArchSiPML    Architecture = "SiP-ML"
+	ArchOCS      Architecture = "OCS-reconfig"
+)
+
+// Architectures lists the §5.3 comparison set in the paper's order.
+func Architectures() []Architecture {
+	return []Architecture{ArchTopoOpt, ArchIdeal, ArchFatTree, ArchOversub,
+		ArchExpander, ArchSiPML, ArchOCS}
+}
+
+// CompareResult is the iteration time of one architecture for one model.
+type CompareResult struct {
+	Arch      Architecture
+	Iteration IterationBreakdown
+	// CostUSD is the §5.2 interconnect cost.
+	CostUSD float64
+}
+
+// Compare evaluates a model across architectures at equal nominal degree
+// and bandwidth: TopoOpt and Expander get d interfaces of B; Ideal Switch
+// gets a non-blocking d×B per server; Fat-tree gets the cost-equivalent
+// reduced bandwidth (§5.1); Oversub gets d×B with a halved fabric;
+// SiP-ML and OCS-reconfig run the reconfigurable heuristic.
+func Compare(m *Model, o Options, archs ...Architecture) ([]CompareResult, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if len(archs) == 0 {
+		archs = Architectures()
+	}
+	iters := o.MCMCIters
+	if iters <= 0 {
+		iters = 100
+	}
+	var out []CompareResult
+	for _, a := range archs {
+		cr := CompareResult{Arch: a}
+		if c, err := cost.Of(string(a), o.Servers, o.Degree, o.LinkBandwidth); err == nil {
+			cr.CostUSD = c
+		}
+		switch a {
+		case ArchTopoOpt:
+			plan, err := Optimize(m, o)
+			if err != nil {
+				return nil, err
+			}
+			cr.Iteration = plan.PredictedIteration
+		case ArchIdeal, ArchFatTree, ArchOversub, ArchExpander:
+			fab, err := baselineFabric(a, o)
+			if err != nil {
+				return nil, err
+			}
+			_, it, err := flexnet.SearchOnFabric(m, fab, o.Servers, o.BatchPerGPU, iters, o.Seed, o.GPU)
+			if err != nil {
+				return nil, err
+			}
+			cr.Iteration = IterationBreakdown{
+				MPSeconds: it.MPTime, ComputeSeconds: it.ComputeTime,
+				AllReduceSeconds: it.AllReduceTime, BandwidthTax: it.BandwidthTax,
+			}
+		case ArchSiPML, ArchOCS:
+			t, err := reconfigurableIteration(m, o, a)
+			if err != nil {
+				return nil, err
+			}
+			cr.Iteration = t
+		default:
+			return nil, fmt.Errorf("topoopt: unknown architecture %q", a)
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+func baselineFabric(a Architecture, o Options) (*flexnet.Fabric, error) {
+	switch a {
+	case ArchIdeal:
+		return flexnet.NewSwitchFabric(topo.IdealSwitch(o.Servers, float64(o.Degree)*o.LinkBandwidth)), nil
+	case ArchFatTree:
+		bft := cost.EquivalentFatTreeBandwidth(o.Servers, o.Degree, o.LinkBandwidth)
+		return flexnet.NewSwitchFabric(topo.FatTree(o.Servers, bft)), nil
+	case ArchOversub:
+		rack := 8
+		if o.Servers < 16 {
+			rack = 4
+		}
+		return flexnet.NewSwitchFabric(topo.OversubFatTree(o.Servers, rack, float64(o.Degree)*o.LinkBandwidth)), nil
+	case ArchExpander:
+		nw, err := topo.Expander(o.Servers, o.Degree, o.LinkBandwidth, o.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		return flexnet.NewSwitchFabric(nw), nil
+	}
+	return nil, fmt.Errorf("topoopt: %q is not a static baseline", a)
+}
+
+func reconfigurableIteration(m *Model, o Options, a Architecture) (IterationBreakdown, error) {
+	batch := o.BatchPerGPU
+	if batch <= 0 {
+		batch = m.BatchPerGPU
+	}
+	gpu := o.GPU
+	if gpu.PeakFLOPS == 0 {
+		gpu = A100
+	}
+	st := parallel.Hybrid(m, o.Servers)
+	dem, err := traffic.FromStrategy(m, st, batch)
+	if err != nil {
+		return IterationBreakdown{}, err
+	}
+	compute := st.MaxComputeTime(m, gpu, batch)
+	cfg := flexnet.OCSRunConfig{
+		N: o.Servers, D: o.Degree, LinkBW: o.LinkBandwidth,
+		MeasureInterval: 0.050,
+	}
+	switch a {
+	case ArchSiPML:
+		cfg.ReconfigLatency = 25e-6
+		cfg.HostForwarding = false
+		cfg.Discount = core.UnitDiscount
+	case ArchOCS:
+		cfg.ReconfigLatency = 10e-3
+		cfg.HostForwarding = true
+	}
+	total, err := flexnet.SimulateOCSIteration(cfg, dem, compute)
+	if err != nil {
+		return IterationBreakdown{}, err
+	}
+	return IterationBreakdown{ComputeSeconds: compute,
+		AllReduceSeconds: total - compute, BandwidthTax: 1}, nil
+}
+
+// Cost returns the §5.2 interconnect cost in USD of an architecture at
+// the given scale.
+func Cost(a Architecture, servers, degree int, linkBandwidth float64) (float64, error) {
+	return cost.Of(string(a), servers, degree, linkBandwidth)
+}
