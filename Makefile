@@ -1,0 +1,38 @@
+# Build/verify/benchmark entry points. `make tier1` is the recipe CI (and
+# the ROADMAP's tier-1 gate) runs; `make bench` records the netsim
+# microbenchmarks into BENCH_netsim.json; `make benchcheck` fails when the
+# current tree regresses against the recorded numbers.
+
+GO ?= go
+
+# bench/benchcheck pipe `go test` into benchdiff; without pipefail a
+# crashed benchmark run with partial output would still exit 0.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: tier1 fmt vet build test bench benchcheck
+
+tier1: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=1s \
+		| $(GO) run ./cmd/benchdiff -out BENCH_netsim.json
+
+benchcheck:
+	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=1s \
+		| $(GO) run ./cmd/benchdiff -check BENCH_netsim.json

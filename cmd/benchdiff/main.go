@@ -1,0 +1,198 @@
+// Command benchdiff records and gates the netsim microbenchmark results
+// that anchor the repository's performance trajectory (see DESIGN.md,
+// "Simulator performance").
+//
+// Record mode (the `make bench` target):
+//
+//	go test ./internal/netsim -bench BenchmarkNetsim -benchmem | benchdiff -out BENCH_netsim.json
+//
+// parses `go test -bench` output from stdin and rewrites the "current"
+// section of the JSON file, preserving the committed "seed_baseline"
+// section (the pre-refactor allocator's numbers).
+//
+// Check mode (the `make benchcheck` target):
+//
+//	go test ./internal/netsim -bench BenchmarkNetsim -benchmem | benchdiff -check BENCH_netsim.json
+//
+// compares stdin against the file's "current" section and exits nonzero
+// when ns/op or allocs/op regress beyond the tolerances, so future PRs can
+// gate on simulator regressions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_*.json layout: the frozen pre-refactor baseline plus
+// the latest recorded run.
+type File struct {
+	Note         string   `json:"note,omitempty"`
+	SeedBaseline []Result `json:"seed_baseline,omitempty"`
+	Current      []Result `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "", "record mode: write/update this BENCH_*.json")
+	check := flag.String("check", "", "check mode: compare stdin against this BENCH_*.json")
+	maxNs := flag.Float64("max-ns-regress", 1.30, "check mode: allowed ns/op growth factor")
+	maxAllocs := flag.Float64("max-alloc-regress", 1.10, "check mode: allowed allocs/op growth factor")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		if err := record(*out, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(results), *out)
+		return
+	}
+	if fails := compare(*check, results, *maxNs, *maxAllocs); fails > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts Result rows from `go test -bench -benchmem` output,
+// e.g. "BenchmarkFoo-8   123   4567 ns/op   89 B/op   10 allocs/op".
+func parseBench(r *os.File) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		res := Result{Name: strings.TrimSuffix(fields[0], cpuSuffix(fields[0]))}
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if res.NsPerOp > 0 {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// cpuSuffix returns the "-N" GOMAXPROCS suffix of a benchmark name, if
+// present, so recorded names are machine-independent.
+func cpuSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[i:]
+		}
+	}
+	return ""
+}
+
+func record(path string, results []Result) error {
+	var f File
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	f.Current = results
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func compare(path string, results []Result, maxNs, maxAllocs float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	recorded := make(map[string]Result, len(f.Current))
+	for _, r := range f.Current {
+		recorded[r.Name] = r
+	}
+	fails := 0
+	// A recorded benchmark that vanished from the run (renamed, deleted,
+	// or crashed before reporting) is a failure, not a silent pass.
+	ran := make(map[string]bool, len(results))
+	for _, r := range results {
+		ran[r.Name] = true
+	}
+	for _, r := range f.Current {
+		if !ran[r.Name] {
+			fmt.Printf("benchdiff: %-40s MISSING from this run\n", r.Name)
+			fails++
+		}
+	}
+	for _, r := range results {
+		base, ok := recorded[r.Name]
+		if !ok {
+			fmt.Printf("benchdiff: %-40s NEW (no recorded value)\n", r.Name)
+			continue
+		}
+		nsRatio := r.NsPerOp / base.NsPerOp
+		status := "ok"
+		if nsRatio > maxNs {
+			status = "REGRESSION"
+			fails++
+		}
+		fmt.Printf("benchdiff: %-40s ns/op %.0f -> %.0f (%.2fx) %s\n",
+			r.Name, base.NsPerOp, r.NsPerOp, nsRatio, status)
+		if base.AllocsPerOp > 0 {
+			aRatio := float64(r.AllocsPerOp) / float64(base.AllocsPerOp)
+			if aRatio > maxAllocs {
+				fmt.Printf("benchdiff: %-40s allocs/op %d -> %d (%.2fx) REGRESSION\n",
+					r.Name, base.AllocsPerOp, r.AllocsPerOp, aRatio)
+				fails++
+			}
+		} else if r.AllocsPerOp > base.AllocsPerOp {
+			fmt.Printf("benchdiff: %-40s allocs/op %d -> %d REGRESSION\n",
+				r.Name, base.AllocsPerOp, r.AllocsPerOp)
+			fails++
+		}
+	}
+	return fails
+}

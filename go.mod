@@ -1,0 +1,3 @@
+module topoopt
+
+go 1.22

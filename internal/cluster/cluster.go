@@ -11,7 +11,6 @@ import (
 	"topoopt/internal/core"
 	"topoopt/internal/flexnet"
 	"topoopt/internal/model"
-	"topoopt/internal/netsim"
 	"topoopt/internal/parallel"
 	"topoopt/internal/traffic"
 )
@@ -160,7 +159,7 @@ func RunShared(fab *flexnet.Fabric, jobs []*Job, iters int, gpu model.GPU) ([][]
 			return nil, err
 		}
 	}
-	sim := netsim.New(fab.Net.G, fab.LinkLatency)
+	sim := fab.AcquireSim()
 	times := make([][]float64, len(jobs))
 	var injectErr error
 

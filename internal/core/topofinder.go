@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"topoopt/internal/graph"
@@ -84,7 +85,7 @@ func TopologyFinder(cfg Config, dem traffic.Demand) (*Result, error) {
 	sumMP := float64(dem.TotalMPBytes())
 	dA := cfg.D
 	if sumAR+sumMP > 0 {
-		dA = int(ceil(float64(cfg.D) * sumAR / (sumAR + sumMP)))
+		dA = int(math.Ceil(float64(cfg.D) * sumAR / (sumAR + sumMP)))
 	}
 	if dA < 1 {
 		dA = 1
@@ -151,7 +152,7 @@ func TopologyFinder(cfg Config, dem traffic.Demand) (*Result, error) {
 		}
 		dk := remaining
 		if totalGroupVol > 0 {
-			dk = int(ceil(float64(dA) * groupVolume(grp) / totalGroupVol))
+			dk = int(math.Ceil(float64(dA) * groupVolume(grp) / totalGroupVol))
 		}
 		if dk > remaining {
 			dk = remaining
@@ -398,14 +399,6 @@ func groupVolume(g traffic.Group) float64 {
 		return 0
 	}
 	return float64(k) * float64(traffic.RingPerNodeBytes(g.Bytes, k))
-}
-
-func ceil(x float64) float64 {
-	i := float64(int64(x))
-	if x > i {
-		return i + 1
-	}
-	return i
 }
 
 // MaxOutDegree returns the maximum server out-degree of the result's

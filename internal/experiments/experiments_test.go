@@ -146,3 +146,21 @@ func TestExtRoutingTE(t *testing.T) {
 	out := ExtRoutingTE(tiny)
 	checkOutput(t, "ext-te", out, "single path", "TE (min-max)")
 }
+
+// TestRepeatedRunsIdentical asserts the seed-determinism guarantee at the
+// experiment level: regenerating the same figures twice in one process
+// must produce byte-identical text. The simulator iterates slices (never
+// maps), so there is no run-to-run rate residue.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	gens := map[string]func() string{
+		"fig12": func() string { return Fig12AllToAll(tiny) },
+		"fig13": func() string { return Fig13BandwidthTax(tiny) },
+		"fig16": func() string { return Fig16SharedCluster(tiny) },
+		"fig17": func() string { return Fig17ReconfigLatency(tiny) },
+	}
+	for name, gen := range gens {
+		if a, b := gen(), gen(); a != b {
+			t.Errorf("%s: repeated runs differ", name)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package flexnet
 import (
 	"fmt"
 
-	"topoopt/internal/netsim"
 	"topoopt/internal/traffic"
 )
 
@@ -30,7 +29,7 @@ func SimulateIteration(f *Fabric, dem traffic.Demand, computeTime float64) (Iter
 		if tm.Total() == 0 {
 			return 0, nil
 		}
-		sim := netsim.New(f.Net.G, f.LinkLatency)
+		sim := f.AcquireSim()
 		pending := 0
 		if err := f.InjectMatrix(sim, tm, &pending, nil); err != nil {
 			return 0, err

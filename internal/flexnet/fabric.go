@@ -30,6 +30,24 @@ type Fabric struct {
 	// LinkLatency is per-hop propagation delay for simulation (seconds);
 	// negative selects the default 1 µs.
 	LinkLatency float64
+
+	// sim is the fabric's cached simulator, reused across evaluations so
+	// MCMC iterations and sweep points stop re-allocating one per call.
+	sim *netsim.Sim
+}
+
+// AcquireSim returns the fabric's cached simulator, reset to the empty
+// state over the fabric's graph. Each call invalidates the previous one's
+// state, so at most one simulation per fabric may be in flight — fine for
+// the sequential evaluation loops this repository runs. Not safe for
+// concurrent use.
+func (f *Fabric) AcquireSim() *netsim.Sim {
+	if f.sim == nil {
+		f.sim = netsim.New(f.Net.G, f.LinkLatency)
+	} else {
+		f.sim.Reset(f.Net.G, f.LinkLatency)
+	}
+	return f.sim
 }
 
 // NewSwitchFabric prepares a switch-based network (Ideal Switch, Fat-tree,

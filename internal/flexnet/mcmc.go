@@ -35,6 +35,22 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Memoize evaluator results by strategy fingerprint: the chain
+	// revisits states constantly (rejected proposals, toggles that undo
+	// each other), and the evaluator is deterministic, so a revisit is a
+	// map hit instead of a re-evaluation.
+	memo := make(map[string]float64)
+	rawEval := eval
+	eval = func(s parallel.Strategy) float64 {
+		key := s.Fingerprint()
+		if c, ok := memo[key]; ok {
+			return c
+		}
+		c := rawEval(s)
+		memo[key] = c
+		return c
+	}
+
 	cur := parallel.Hybrid(m, n)
 	curCost := eval(cur)
 	best := cur.Clone()

@@ -72,6 +72,9 @@ func SimulateOCSIteration(cfg OCSRunConfig, dem traffic.Demand, computeTime floa
 func drainOnReconfigurable(cfg OCSRunConfig, demand traffic.Matrix) (float64, error) {
 	remaining := demand.Clone()
 	elapsed := 0.0
+	// One simulator for all rounds: each round's topology differs, but
+	// Reset re-targets the warm buffers at the new graph.
+	var sim *netsim.Sim
 	const maxRounds = 100000
 	for round := 0; round < maxRounds; round++ {
 		if remaining.Total() == 0 {
@@ -95,7 +98,11 @@ func drainOnReconfigurable(cfg OCSRunConfig, demand traffic.Matrix) (float64, er
 				}
 			}
 		}
-		sim := netsim.New(nw.G, -1)
+		if sim == nil {
+			sim = netsim.New(nw.G, -1)
+		} else {
+			sim.Reset(nw.G, -1)
+		}
 		type key struct{ s, d int }
 		flows := make(map[key][]*netsim.Flow)
 		progressed := false

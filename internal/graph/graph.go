@@ -76,6 +76,16 @@ func (g *Graph) AddDuplex(a, b int, cap float64) (int, int) {
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
+// EdgeTo returns the head node of the edge with the given ID. It avoids
+// copying the whole Edge struct on hot paths (netsim path resolution).
+func (g *Graph) EdgeTo(id int) int { return g.edges[id].To }
+
+// EdgeFrom returns the tail node of the edge with the given ID.
+func (g *Graph) EdgeFrom(id int) int { return g.edges[id].From }
+
+// EdgeCap returns the capacity of the edge with the given ID.
+func (g *Graph) EdgeCap(id int) float64 { return g.edges[id].Cap }
+
 // Edges returns a copy of all edges.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"testing"
+
+	"topoopt/internal/graph"
+)
+
+// The benchmark scenarios mirror the traffic shapes the simulator sees in
+// production use: ring AllReduce (the TopoOpt fast path), all-to-all MP
+// (worst-case link sharing), and reconfiguration churn (OCS sweeps). Each
+// iteration runs one full scenario to completion, so ns/op and allocs/op
+// track the whole arrival→reallocate→complete pipeline. `make bench`
+// records the results in BENCH_netsim.json; see DESIGN.md ("Simulator
+// performance") for how these gate regressions.
+
+// ringGraph builds a directed ring over n nodes with `parallel` links per
+// hop (the shape TopologyFinder emits for a +1 ring with duplicated
+// permutations).
+func ringGraph(n, parallel int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for p := 0; p < parallel; p++ {
+			g.AddEdge(i, (i+1)%n, 100e9)
+		}
+	}
+	return g
+}
+
+// runRingAllReduce injects one ring-AllReduce step per node (every node
+// sends to its successor) and drains the simulator.
+func runRingAllReduce(b *testing.B, n int) {
+	b.Helper()
+	g := ringGraph(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(g, 1e-6)
+		for v := 0; v < n; v++ {
+			if _, err := s.AddFlowNodes([]int{v, (v + 1) % n}, float64(1e6+v), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(0)
+		if s.ActiveFlows() != 0 {
+			b.Fatal("flows stuck")
+		}
+	}
+}
+
+func BenchmarkNetsimRingAllReduce32(b *testing.B)  { runRingAllReduce(b, 32) }
+func BenchmarkNetsimRingAllReduce128(b *testing.B) { runRingAllReduce(b, 128) }
+
+// BenchmarkNetsimAllToAll32 sends a flow between every ordered pair of a
+// 32-node ring (multi-hop shortest paths), the heaviest link-sharing
+// pattern: every reallocation touches O(n) links with O(n²) flows.
+func BenchmarkNetsimAllToAll32(b *testing.B) {
+	const n = 32
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddDuplex(i, (i+1)%n, 100e9)
+	}
+	// Precompute node paths outside the timed loop.
+	var paths [][]int
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			paths = append(paths, g.ShortestPath(s, d).Nodes(g, s))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(g, 1e-6)
+		for j, p := range paths {
+			if _, err := s.AddFlowNodes(p, float64(1e5*(j%7+1)), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(0)
+		if s.ActiveFlows() != 0 {
+			b.Fatal("flows stuck")
+		}
+	}
+}
+
+// BenchmarkNetsimReconfigChurn models an OCS sweep: long-lived flows while
+// link capacities are rewritten at successive instants, so every toggle
+// pays a full reallocation against a stable flow population once time
+// advances past it. This is the reallocation-dominated scenario of the
+// ISSUE's acceptance criteria.
+func BenchmarkNetsimReconfigChurn(b *testing.B) {
+	const n = 64
+	g := ringGraph(n, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(g, 0)
+		for v := 0; v < n; v++ {
+			// Big flows that outlive the churn below.
+			if _, err := s.AddFlowNodes([]int{v, (v + 1) % n}, 1e12, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for r := 0; r < 100; r++ {
+			r := r
+			s.Schedule(float64(r+1)*1e-6, func() {
+				if r%2 == 0 {
+					s.SetLinkCap(r%n, 50e9)
+				} else {
+					s.SetLinkCap(r%n, 100e9)
+				}
+			})
+		}
+		s.Run(200e-6)
+		if s.ActiveFlows() != n {
+			b.Fatal("long flows should outlive the churn window")
+		}
+	}
+}
+
+// BenchmarkNetsimRingAllReduceReset is the ring scenario with simulator
+// reuse via Reset — the steady-state path used by MCMC loops, sweep points
+// and OCS rounds. After warm-up it should allocate (almost) nothing.
+func BenchmarkNetsimRingAllReduceReset(b *testing.B) {
+	const n = 32
+	g := ringGraph(n, 2)
+	s := New(g, 1e-6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset(g, 1e-6)
+		for v := 0; v < n; v++ {
+			if _, err := s.AddFlowNodes([]int{v, (v + 1) % n}, float64(1e6+v), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(0)
+		if s.ActiveFlows() != 0 {
+			b.Fatal("flows stuck")
+		}
+	}
+}
+
+// BenchmarkNetsimArrivalChurn stresses flow add/remove bookkeeping: waves
+// of short flows arrive while a backlog of long flows keeps every link
+// busy, so each arrival and each completion triggers a reallocation over a
+// large active set.
+func BenchmarkNetsimArrivalChurn(b *testing.B) {
+	const n = 32
+	g := ringGraph(n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(g, 0)
+		for v := 0; v < n; v++ {
+			if _, err := s.AddFlowNodes([]int{v, (v + 1) % n}, 1e9, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Ten waves of short flows, each wave scheduled mid-run.
+		for w := 0; w < 10; w++ {
+			w := w
+			s.Schedule(float64(w)*1e-3, func() {
+				for v := 0; v < n; v++ {
+					s.AddFlowNodes([]int{v, (v + 1) % n}, 1e5, nil)
+				}
+			})
+		}
+		s.Run(0)
+		if s.ActiveFlows() != 0 {
+			b.Fatal("flows stuck")
+		}
+	}
+}

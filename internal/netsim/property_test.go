@@ -1,0 +1,288 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"topoopt/internal/graph"
+)
+
+// This file checks the incremental allocator against (a) the max-min
+// fairness invariants and (b) the seed's map-based progressive-filling
+// implementation, kept below as an executable specification. The two
+// algorithms perform identical arithmetic in identical round order, so
+// rates must match bit-for-bit, not just within a tolerance.
+
+// referenceMaxMin is the seed implementation: rebuild link→flow maps from
+// scratch and progressively fill, freezing the minimum-fair-share
+// bottleneck each round (ties to the lowest edge ID).
+func referenceMaxMin(flows []*Flow, linkCap []float64) map[int]float64 {
+	rates := make(map[int]float64, len(flows))
+	if len(flows) == 0 {
+		return rates
+	}
+	linkFlows := make(map[int][]*Flow)
+	for _, f := range flows {
+		seen := make(map[int]bool, len(f.Path))
+		for _, id := range f.Path {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			linkFlows[id] = append(linkFlows[id], f)
+		}
+		rates[f.ID] = 0
+	}
+	frozen := make(map[int]bool, len(flows))
+	remaining := make(map[int]float64, len(linkFlows))
+	unfrozenCount := make(map[int]int, len(linkFlows))
+	for id, fl := range linkFlows {
+		remaining[id] = linkCap[id]
+		unfrozenCount[id] = len(fl)
+	}
+	for len(frozen) < len(flows) {
+		bottleneck := -1
+		fair := math.Inf(1)
+		for id, cnt := range unfrozenCount {
+			if cnt == 0 {
+				continue
+			}
+			f := remaining[id] / float64(cnt)
+			if f < fair || (f == fair && (bottleneck == -1 || id < bottleneck)) {
+				fair = f
+				bottleneck = id
+			}
+		}
+		if bottleneck == -1 {
+			for _, f := range flows {
+				if !frozen[f.ID] {
+					rates[f.ID] = math.Inf(1)
+					frozen[f.ID] = true
+				}
+			}
+			break
+		}
+		for _, f := range linkFlows[bottleneck] {
+			if frozen[f.ID] {
+				continue
+			}
+			rates[f.ID] = fair
+			frozen[f.ID] = true
+			seen := make(map[int]bool, len(f.Path))
+			for _, id := range f.Path {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				remaining[id] -= fair
+				if remaining[id] < 0 {
+					remaining[id] = 0
+				}
+				unfrozenCount[id]--
+			}
+		}
+	}
+	return rates
+}
+
+// randomScenario builds a random multigraph and a random flow population
+// on it, returning the simulator with rates flushed.
+func randomScenario(rng *rand.Rand) *Sim {
+	n := 4 + rng.Intn(12)
+	g := graph.New(n)
+	// Ring backbone (guarantees connectivity) + random chords, some
+	// parallel, with varied capacities.
+	for i := 0; i < n; i++ {
+		g.AddDuplex(i, (i+1)%n, float64(10+rng.Intn(90))*1e9)
+	}
+	for c := 0; c < n; c++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b, float64(5+rng.Intn(95))*1e9)
+		}
+	}
+	s := New(g, 0)
+	nf := 1 + rng.Intn(40)
+	for i := 0; i < nf; i++ {
+		// Random walk path of 1..4 edges.
+		hops := 1 + rng.Intn(4)
+		at := rng.Intn(n)
+		var path []int
+		for h := 0; h < hops; h++ {
+			out := g.Out(at)
+			if len(out) == 0 {
+				break
+			}
+			id := out[rng.Intn(len(out))]
+			path = append(path, id)
+			at = g.EdgeTo(id)
+		}
+		if len(path) == 0 {
+			continue
+		}
+		s.AddFlowPath(path, float64(1+rng.Intn(1000))*1e6, nil)
+	}
+	s.flushRates()
+	return s
+}
+
+func TestAllocatorMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomScenario(rng)
+		ref := referenceMaxMin(s.active, s.linkCap)
+		for _, f := range s.active {
+			if want := ref[f.ID]; f.Rate != want {
+				t.Fatalf("seed %d: flow %d rate %g, reference %g", seed, f.ID, f.Rate, want)
+			}
+		}
+	}
+}
+
+func TestAllocatorInvariants(t *testing.T) {
+	for seed := int64(200); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomScenario(rng)
+		// Invariant 1: no link carries more than its capacity.
+		for id := 0; id < s.g.M(); id++ {
+			sum := 0.0
+			for _, f := range s.linkFlows[id] {
+				sum += f.Rate
+			}
+			if cap := s.linkCap[id]; sum > cap*(1+1e-9)+1e-6 {
+				t.Fatalf("seed %d: link %d over capacity: %g > %g", seed, id, sum, cap)
+			}
+		}
+		// Invariant 2 (max-min): every flow has a bottleneck link — one
+		// that is saturated and on which no other flow gets a higher rate,
+		// so no flow's rate can be raised without lowering a smaller or
+		// equal one.
+		for _, f := range s.active {
+			if math.IsInf(f.Rate, 1) {
+				continue
+			}
+			bottlenecked := false
+			for _, id := range f.uniq {
+				sum := 0.0
+				maxRate := 0.0
+				for _, other := range s.linkFlows[id] {
+					sum += other.Rate
+					if other.Rate > maxRate {
+						maxRate = other.Rate
+					}
+				}
+				saturated := sum >= s.linkCap[id]*(1-1e-9)-1e-6
+				if saturated && f.Rate >= maxRate*(1-1e-9) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				t.Fatalf("seed %d: flow %d (rate %g) has no bottleneck link", seed, f.ID, f.Rate)
+			}
+		}
+	}
+}
+
+// TestResetReuseMatchesFreshSim drives a scenario on a fresh simulator and
+// on one recycled from a different, differently-shaped scenario; completion
+// times must agree exactly — Reset must leak no state.
+func TestResetReuseMatchesFreshSim(t *testing.T) {
+	scenario := func(s *Sim, g *graph.Graph) []float64 {
+		var times []float64
+		for i := 0; i < 24; i++ {
+			src, dst := i%8, (i*3+1)%8
+			if src == dst {
+				continue
+			}
+			p := g.ShortestPath(src, dst).Nodes(g, src)
+			if _, err := s.AddFlowNodes(p, float64(1e6*(i%5+1)), func(now float64) {
+				times = append(times, now)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run(0)
+		return times
+	}
+	mkGraph := func() *graph.Graph {
+		g := graph.New(8)
+		for i := 0; i < 8; i++ {
+			g.AddDuplex(i, (i+1)%8, 10e9)
+		}
+		return g
+	}
+
+	g1 := mkGraph()
+	fresh := scenario(New(g1, 1e-6), g1)
+
+	// Dirty the reused sim with a larger unrelated scenario first.
+	big := graph.New(20)
+	for i := 0; i < 20; i++ {
+		big.AddDuplex(i, (i+1)%20, 25e9)
+		big.AddDuplex(i, (i+7)%20, 25e9)
+	}
+	s := New(big, 0)
+	for i := 0; i < 50; i++ {
+		p := big.ShortestPath(i%20, (i+9)%20).Nodes(big, i%20)
+		s.AddFlowNodes(p, 1e7, nil)
+	}
+	s.Run(0)
+
+	g2 := mkGraph()
+	s.Reset(g2, 1e-6)
+	reused := scenario(s, g2)
+
+	if len(fresh) != len(reused) {
+		t.Fatalf("completion counts differ: %d vs %d", len(fresh), len(reused))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("completion %d differs: %g (fresh) vs %g (reused)", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestRepeatedRunsByteIdentical asserts run-to-run determinism: the same
+// scenario executed twice produces exactly the same completion sequence
+// (the allocator iterates slices, never maps, so there is no iteration-
+// order residue).
+func TestRepeatedRunsByteIdentical(t *testing.T) {
+	run := func() []float64 {
+		g := graph.New(10)
+		for i := 0; i < 10; i++ {
+			g.AddDuplex(i, (i+1)%10, 25e9)
+			g.AddDuplex(i, (i+3)%10, 10e9)
+		}
+		s := New(g, 1e-6)
+		var times []float64
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			src := rng.Intn(10)
+			dst := (src + 1 + rng.Intn(9)) % 10
+			p := g.ShortestPath(src, dst).Nodes(g, src)
+			s.AddFlowNodes(p, float64(1e5*(rng.Intn(9)+1)), func(now float64) {
+				times = append(times, now)
+			})
+		}
+		// Mid-run churn: reconfigure a link and add late arrivals.
+		s.Schedule(1e-4, func() { s.SetLinkCap(0, 5e9) })
+		s.Schedule(2e-4, func() { s.SetLinkCap(0, 25e9) })
+		s.Schedule(1.5e-4, func() {
+			p := g.ShortestPath(2, 7).Nodes(g, 2)
+			s.AddFlowNodes(p, 3e6, func(now float64) { times = append(times, now) })
+		})
+		s.Run(0)
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("completion counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("completion %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -70,6 +71,23 @@ func (s Strategy) Validate(m *model.Model) error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a compact key that uniquely identifies the strategy
+// (N plus every layer's kind and group, order-sensitive). MCMC search uses
+// it to memoize evaluator results, so revisiting a state costs a map
+// lookup instead of a re-simulation.
+func (s Strategy) Fingerprint() string {
+	var b []byte
+	b = binary.AppendVarint(b, int64(s.N))
+	for _, ls := range s.Layers {
+		b = binary.AppendVarint(b, int64(ls.Kind))
+		b = binary.AppendVarint(b, int64(len(ls.Group)))
+		for _, v := range ls.Group {
+			b = binary.AppendVarint(b, int64(v))
+		}
+	}
+	return string(b)
 }
 
 // Clone returns a deep copy (for MCMC proposals).
