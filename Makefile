@@ -1,7 +1,9 @@
 # Build/verify/benchmark entry points. `make tier1` is the recipe CI (and
 # the ROADMAP's tier-1 gate) runs; `make bench` records the netsim
-# microbenchmarks into BENCH_netsim.json; `make benchcheck` fails when the
-# current tree regresses against the recorded numbers.
+# microbenchmarks into BENCH_netsim.json and `make serve-bench` the
+# planning-service benchmarks into BENCH_serve.json; the matching
+# *benchcheck targets fail when the current tree regresses against the
+# recorded numbers.
 
 GO ?= go
 
@@ -10,7 +12,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: tier1 fmt vet build test bench benchcheck
+# `build` compiles ./... which includes examples/; TestExamplesBuild in
+# the test step additionally pins them as an explicit guarantee.
+.PHONY: tier1 fmt vet build test bench benchcheck serve-bench serve-benchcheck
 
 tier1: fmt vet build test
 
@@ -36,3 +40,11 @@ bench:
 benchcheck:
 	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=1s \
 		| $(GO) run ./cmd/benchdiff -check BENCH_netsim.json
+
+serve-bench:
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=1s \
+		| $(GO) run ./cmd/benchdiff -out BENCH_serve.json
+
+serve-benchcheck:
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=1s \
+		| $(GO) run ./cmd/benchdiff -check BENCH_serve.json

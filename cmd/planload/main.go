@@ -1,0 +1,149 @@
+// Command planload is a load generator for topooptd: it fires concurrent
+// POST /v1/plan requests, optionally spreading them over several seeds to
+// control the cache hit ratio, and reports client-side latency quantiles
+// plus the server's own /v1/metrics counters afterwards.
+//
+// Usage:
+//
+//	planload -addr http://localhost:7070 -n 200 -c 16 \
+//	         -model bert -section 6 -servers 12 -degree 4 \
+//	         -bandwidth 25 -mcmc 30 -rounds 1 -seeds 4
+//
+// With -seeds 1 every request is identical: the first one pays for the
+// optimization and the rest coalesce onto it or hit the cache, which is
+// the serving hot path the BenchmarkServe* suite records.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"topoopt"
+	"topoopt/internal/serve"
+	"topoopt/internal/stats"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:7070", "topooptd base URL")
+		n         = flag.Int("n", 100, "total requests")
+		c         = flag.Int("c", 8, "concurrent clients")
+		modelName = flag.String("model", "bert", "workload preset")
+		section   = flag.String("section", "6", "preset section: 5.3, 5.6 or 6")
+		servers   = flag.Int("servers", 12, "servers (n)")
+		degree    = flag.Int("degree", 4, "interfaces per server (d)")
+		bandwidth = flag.Float64("bandwidth", 25, "per-interface bandwidth in Gbps")
+		mcmc      = flag.Int("mcmc", 30, "MCMC iterations per round")
+		rounds    = flag.Int("rounds", 1, "alternating-optimization rounds")
+		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
+	)
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *seeds <= 0 {
+		fatal(fmt.Errorf("-n, -c and -seeds must be positive"))
+	}
+
+	bodies := make([][]byte, *seeds)
+	for i := range bodies {
+		req := serve.PlanRequest{
+			Model: topoopt.ModelSpec{Preset: *modelName, Section: *section},
+			Options: topoopt.Options{
+				Servers: *servers, Degree: *degree, LinkBandwidth: *bandwidth * 1e9,
+				MCMCIters: *mcmc, Rounds: *rounds, Seed: int64(i + 1),
+			},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		statuses  = map[int]int{}
+		cached    int
+		failures  []string
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				resp, err := client.Post(*addr+"/v1/plan", "application/json",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				lat := time.Since(t0).Seconds()
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, err.Error())
+					mu.Unlock()
+					continue
+				}
+				statuses[resp.StatusCode]++
+				latencies = append(latencies, lat)
+				mu.Unlock()
+				var pr serve.PlanResponse
+				if resp.StatusCode == http.StatusOK &&
+					json.NewDecoder(resp.Body).Decode(&pr) == nil && pr.Cached {
+					mu.Lock()
+					cached++
+					mu.Unlock()
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("planload: %d requests, %d clients, %d seed(s) in %.2fs (%.1f req/s)\n",
+		*n, *c, *seeds, elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+	for code, count := range statuses {
+		fmt.Printf("  HTTP %d: %d\n", code, count)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("  transport errors: %d (first: %s)\n", len(failures), failures[0])
+	}
+	if len(latencies) > 0 {
+		fmt.Printf("  latency: %s\n", stats.Summary(latencies))
+		fmt.Printf("  cache-hit responses: %d\n", cached)
+	}
+
+	resp, err := client.Get(*addr + "/v1/metrics")
+	if err != nil {
+		fatal(fmt.Errorf("fetching server metrics: %w", err))
+	}
+	defer resp.Body.Close()
+	var m serve.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		fatal(fmt.Errorf("decoding server metrics: %w", err))
+	}
+	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d\n",
+		m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity)
+	if m.Latency.Count > 0 {
+		fmt.Printf("server latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
+			m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "planload:", err)
+	os.Exit(1)
+}

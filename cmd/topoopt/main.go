@@ -98,32 +98,7 @@ func main() {
 }
 
 func pickModel(name, section string) (*topoopt.Model, error) {
-	var sec topoopt.Section
-	switch section {
-	case "5.3":
-		sec = topoopt.Sec53
-	case "5.6":
-		sec = topoopt.Sec56
-	case "6":
-		sec = topoopt.Sec6
-	default:
-		return nil, fmt.Errorf("unknown section %q (want 5.3, 5.6 or 6)", section)
-	}
-	switch strings.ToLower(name) {
-	case "dlrm":
-		return topoopt.DLRM(sec), nil
-	case "candle":
-		return topoopt.CANDLE(sec), nil
-	case "bert":
-		return topoopt.BERT(sec), nil
-	case "ncf":
-		return topoopt.NCF(), nil
-	case "resnet50", "resnet":
-		return topoopt.ResNet50(sec), nil
-	case "vgg16", "vgg":
-		return topoopt.VGG16(sec), nil
-	}
-	return nil, fmt.Errorf("unknown model %q", name)
+	return topoopt.ModelSpec{Preset: name, Section: section}.Resolve()
 }
 
 func fatal(err error) {

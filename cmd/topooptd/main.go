@@ -1,0 +1,85 @@
+// Command topooptd is the TopoOpt planning daemon: it serves the library's
+// Optimize/Compare/Cost entry points over HTTP/JSON with a bounded worker
+// pool, a fingerprint-keyed plan cache, coalescing of identical in-flight
+// requests, async jobs with cancellation, and a metrics endpoint.
+//
+// Usage:
+//
+//	topooptd [-addr :7070] [-workers N] [-queue 64] [-cache 256]
+//
+// Endpoints (see internal/serve and DESIGN.md, "Planning service"):
+//
+//	POST   /v1/plan       {"model": {"preset": "bert", "section": "5.3"},
+//	                       "options": {"servers": 16, "degree": 4,
+//	                                   "link_bandwidth": 100e9, "seed": 1}}
+//	POST   /v1/compare    same body plus optional "archs": ["TopoOpt", ...]
+//	GET    /v1/cost?arch=TopoOpt&servers=128&degree=4&bandwidth_gbps=100
+//	POST   /v1/jobs       async plan; poll GET /v1/jobs/{id}, cancel with
+//	                      DELETE /v1/jobs/{id}
+//	GET    /v1/metrics    request counts, cache hit rate, queue depth,
+//	                      latency quantiles
+//	GET    /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"topoopt/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		workers = flag.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "queued request bound (full queue returns 503)")
+		cache   = flag.Int("cache", 256, "plan cache entries (LRU)")
+		verbose = flag.Bool("v", false, "log each request")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Config{Workers: *workers, QueueLen: *queue, CacheEntries: *cache})
+	var handler http.Handler = svc.Handler()
+	if *verbose {
+		handler = logRequests(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Println("topooptd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		svc.Close()
+	}()
+
+	log.Printf("topooptd: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "topooptd:", err)
+		os.Exit(1)
+	}
+	// ListenAndServe returns the instant Shutdown begins; wait for the
+	// drain (and the worker pool) to finish before exiting.
+	<-drained
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}

@@ -1,0 +1,31 @@
+package topoopt
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program so public-API changes
+// cannot silently break them (a plain `go test` does not build main
+// packages' dependents).
+func TestExamplesBuild(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 4 {
+		t.Fatalf("expected at least 4 example programs, found %v", dirs)
+	}
+	cmd := exec.Command("go", "build", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,68 @@
+package flexnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/topo"
+)
+
+func TestMCMCSearchCancelledSkipsChain(t *testing.T) {
+	m := model.DLRMPreset(model.Sec6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	evals := 0
+	eval := func(parallel.Strategy) float64 { evals++; return 1 }
+	st, _ := MCMCSearch(m, 8, 0, eval, MCMCConfig{Iters: 500, Seed: 1, Ctx: ctx})
+	// Only the hybrid and pure-DP starting points are evaluated; the chain
+	// itself never runs.
+	if evals > 2 {
+		t.Errorf("cancelled search ran %d evaluations, want ≤ 2", evals)
+	}
+	if err := st.Validate(m); err != nil {
+		t.Errorf("cancelled search must still return a valid strategy: %v", err)
+	}
+}
+
+func TestCoOptimizeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CoOptimizeContext(ctx, model.DLRMPreset(model.Sec6), CoOptConfig{
+		N: 8, Degree: 4, LinkBW: 25e9, Rounds: 1, MCMCIters: 10, Seed: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchOnFabricContextCancelled(t *testing.T) {
+	fab := NewSwitchFabric(topo.IdealSwitch(8, 100e9))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := SearchOnFabricContext(ctx, model.CANDLEPreset(model.Sec6), fab,
+		8, 0, 10, 1, model.GPU{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMCMCDefaultItersUnified(t *testing.T) {
+	if DefaultMCMCIters != 200 {
+		t.Fatalf("DefaultMCMCIters = %d, want 200", DefaultMCMCIters)
+	}
+	// A zero-iteration config must still run the full default budget: count
+	// proposals via evaluator calls (memoization may dedupe, so just check
+	// the chain ran well past the old hard-coded 100).
+	// Ever-improving costs make every fresh proposal accepted, so the chain
+	// keeps moving and revisits (memoized, not re-evaluated) stay rare.
+	m := model.DLRMPreset(model.Sec6)
+	evals := 0
+	eval := func(s parallel.Strategy) float64 { evals++; return -float64(evals) }
+	MCMCSearch(m, 8, 0, eval, MCMCConfig{Seed: 1})
+	if evals < 150 {
+		t.Errorf("default search made %d evaluations, expected a 200-iteration budget", evals)
+	}
+}

@@ -1,6 +1,7 @@
 package flexnet
 
 import (
+	"context"
 	"fmt"
 
 	"topoopt/internal/core"
@@ -19,7 +20,7 @@ type CoOptConfig struct {
 	// Rounds is the hyper-parameter k: alternations between the
 	// Comp.×Comm. and Comm.×Topo. planes (default 3).
 	Rounds int
-	// MCMCIters per round (default 200).
+	// MCMCIters per round (≤ 0 inherits DefaultMCMCIters via MCMCSearch).
 	MCMCIters int
 	Seed      int64
 	PrimeOnly bool
@@ -44,11 +45,20 @@ type CoOptResult struct {
 // demand to TopologyFinder, feed the topology back, and repeat until the
 // estimate stops improving or Rounds is exhausted.
 func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
+	return CoOptimizeContext(context.Background(), m, cfg)
+}
+
+// CoOptimizeContext is CoOptimize with cancellation: ctx is polled between
+// MCMC iterations, between alternating-optimization rounds and before the
+// final flow-level simulation. Cancellation never interrupts a simulation
+// in flight, so every fabric's cached simulator is left in a completed,
+// reusable state and the hot path pays nothing for the plumbing.
+func CoOptimizeContext(ctx context.Context, m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 3
-	}
-	if cfg.MCMCIters <= 0 {
-		cfg.MCMCIters = 200
 	}
 	if cfg.GPU.PeakFLOPS == 0 {
 		cfg.GPU = model.A100
@@ -76,6 +86,9 @@ func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
 	best.History = append(best.History, bestCost)
 
 	for round := 0; round < cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		curFab := best.Fabric
 		eval := func(s parallel.Strategy) float64 {
 			d, err := traffic.FromStrategy(m, s, batch)
@@ -87,7 +100,11 @@ func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
 		st, _ := MCMCSearch(m, cfg.N, batch, eval, MCMCConfig{
 			Iters: cfg.MCMCIters,
 			Seed:  cfg.Seed + int64(round),
+			Ctx:   ctx,
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		dem, err := traffic.FromStrategy(m, st, batch)
 		if err != nil {
 			return nil, err
@@ -107,6 +124,9 @@ func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	it, err := SimulateIteration(best.Fabric, best.Demand,
 		best.Strategy.MaxComputeTime(m, cfg.GPU, batch))
 	if err != nil {
@@ -120,6 +140,12 @@ func CoOptimize(m *model.Model, cfg CoOptConfig) (*CoOptResult, error) {
 // topology-aware search used for Ideal Switch, Fat-tree, Oversub, SiP-ML
 // and Expander baselines, §5.1) and simulates its iteration.
 func SearchOnFabric(m *model.Model, fab *Fabric, n, batch, iters int, seed int64, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
+	return SearchOnFabricContext(context.Background(), m, fab, n, batch, iters, seed, gpu)
+}
+
+// SearchOnFabricContext is SearchOnFabric with cancellation, polled
+// between MCMC iterations and before the final simulation.
+func SearchOnFabricContext(ctx context.Context, m *model.Model, fab *Fabric, n, batch, iters int, seed int64, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
 	if gpu.PeakFLOPS == 0 {
 		gpu = model.A100
 	}
@@ -133,7 +159,10 @@ func SearchOnFabric(m *model.Model, fab *Fabric, n, batch, iters int, seed int64
 		}
 		return EstimateIteration(fab, d, s.MaxComputeTime(m, gpu, batch))
 	}
-	st, _ := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: iters, Seed: seed})
+	st, _ := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: iters, Seed: seed, Ctx: ctx})
+	if err := ctx.Err(); err != nil {
+		return st, IterationResult{}, err
+	}
 	dem, err := traffic.FromStrategy(m, st, batch)
 	if err != nil {
 		return st, IterationResult{}, err

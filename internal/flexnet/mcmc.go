@@ -1,6 +1,7 @@
 package flexnet
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -11,15 +12,27 @@ import (
 // Evaluator scores a strategy: lower is better (iteration seconds).
 type Evaluator func(parallel.Strategy) float64
 
+// DefaultMCMCIters is the strategy-search budget applied whenever a
+// caller leaves the iteration count unset (≤ 0). It is the single place
+// the default lives: CoOptimize, SearchOnFabric and the public
+// Optimize/Compare entry points all inherit it from MCMCSearch.
+const DefaultMCMCIters = 200
+
 // MCMCConfig parameterizes the FlexFlow-style Markov-chain Monte Carlo
 // search over parallelization strategies (§4.1 uses FlexFlow's search in
 // the Comp.×Comm. plane).
 type MCMCConfig struct {
+	// Iters is the proposal budget (default DefaultMCMCIters).
 	Iters int
 	Seed  int64
 	// Temp is the initial Metropolis temperature as a fraction of the
 	// initial cost (default 0.05). Temperature decays linearly to ~0.
 	Temp float64
+	// Ctx, when non-nil, is checked between iterations: a cancelled or
+	// expired context stops the chain early and the best strategy found
+	// so far is returned. The check sits between iterations (never inside
+	// an evaluation), so it adds no cost to the simulation hot path.
+	Ctx context.Context
 }
 
 // MCMCSearch explores layer-wise parallelization decisions starting from
@@ -28,7 +41,7 @@ type MCMCConfig struct {
 // placements. Returns the best strategy found and its cost.
 func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConfig) (parallel.Strategy, float64) {
 	if cfg.Iters <= 0 {
-		cfg.Iters = 200
+		cfg.Iters = DefaultMCMCIters
 	}
 	if cfg.Temp <= 0 {
 		cfg.Temp = 0.05
@@ -71,6 +84,9 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 	}
 	t0 := cfg.Temp * curCost
 	for it := 0; it < cfg.Iters; it++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return best, bestCost
+		}
 		prop := cur.Clone()
 		li := shardable[rng.Intn(len(shardable))]
 		switch rng.Intn(3) {

@@ -119,11 +119,11 @@ func (m *Model) ShardableLayers() []int {
 // compute time (FLOPs / peak) and its memory time (bytes touched / HBM
 // bandwidth).
 type GPU struct {
-	Name string
+	Name string `json:"name"`
 	// PeakFLOPS is sustained training throughput in FLOP/s.
-	PeakFLOPS float64
+	PeakFLOPS float64 `json:"peak_flops"`
 	// MemBandwidth is HBM bandwidth in bytes/s.
-	MemBandwidth float64
+	MemBandwidth float64 `json:"mem_bandwidth"`
 }
 
 // A100 approximates an NVIDIA A100: 312 TFLOPS tensor-core peak derated to

@@ -34,17 +34,18 @@ func (k Kind) String() string {
 	return "sharded"
 }
 
-// LayerStrategy is the parallelization decision for one layer.
+// LayerStrategy is the parallelization decision for one layer. JSON tags
+// define the public wire format (topoopt's Plan serialization).
 type LayerStrategy struct {
-	Kind  Kind
-	Group []int // replica group (Replicated) or shard hosts (Sharded)
+	Kind  Kind  `json:"kind"`
+	Group []int `json:"group"` // replica group (Replicated) or shard hosts (Sharded)
 }
 
 // Strategy is a full parallelization strategy + device placement for a job
 // on N servers. Layers is parallel to the model's layer slice.
 type Strategy struct {
-	N      int
-	Layers []LayerStrategy
+	N      int             `json:"n"`
+	Layers []LayerStrategy `json:"layers"`
 }
 
 // Validate checks structural consistency against the model.

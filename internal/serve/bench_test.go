@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"topoopt"
+)
+
+// BenchmarkServeCacheHit measures the serving hot path: POST /v1/plan for
+// a fingerprint already in the cache — HTTP handling, request decode +
+// validation, cache lookup and plan (re)serialization, no optimization.
+// Recorded into BENCH_serve.json by `make serve-bench`.
+func BenchmarkServeCacheHit(b *testing.B) {
+	plan := stubPlan(b)
+	s := New(Config{Workers: 2, Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+		return plan, nil
+	}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, err := json.Marshal(testRequest(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	warm, err := client.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkServeCoalesce measures coalescing under concurrency: each
+// round fires 16 identical uncached requests; the service must collapse
+// them onto one (simulated 100 µs) optimization. ns/op ≈ one optimization
+// plus the full coordination overhead for all 16 waiters.
+func BenchmarkServeCoalesce(b *testing.B) {
+	const fanout = 16
+	plan := stubPlan(b)
+	s := New(Config{Workers: 4, QueueLen: 64, CacheEntries: 4, Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+		time.Sleep(100 * time.Microsecond)
+		return plan, nil
+	}})
+	defer s.Close()
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := testRequest(int64(i) + 1000) // fresh fingerprint every round
+		var wg sync.WaitGroup
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, _, err := s.Plan(ctx, req); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	m := s.Metrics()
+	if got := m.Optimizations; got != int64(b.N) {
+		b.Fatalf("ran %d optimizations for %d rounds: coalescing broken", got, b.N)
+	}
+}
+
+// BenchmarkServeFingerprint measures request fingerprinting, which sits
+// on every request including cache hits.
+func BenchmarkServeFingerprint(b *testing.B) {
+	req := testRequest(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if req.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
+// BenchmarkServePlanEncode measures serializing a realistic Plan — the
+// dominant per-byte cost of a cache-hit response.
+func BenchmarkServePlanEncode(b *testing.B) {
+	plan := stubPlan(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

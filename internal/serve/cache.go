@@ -1,0 +1,46 @@
+package serve
+
+import "container/list"
+
+// planCache is a plain LRU keyed by request fingerprint. It is not
+// concurrency-safe; the Service guards it with its mutex, which also
+// makes the lookup-then-coalesce sequence atomic.
+type planCache struct {
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(key string) (any, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *planCache) add(key string, val any) {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int { return c.ll.Len() }

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"topoopt"
+)
+
+// maxRequestBytes bounds request bodies; plan requests are tiny.
+const maxRequestBytes = 1 << 20
+
+// apiError is the structured error envelope: every non-2xx response is
+// {"error": {"code": ..., "message": ...}}.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func badRequest(code string, err error) *apiError {
+	return &apiError{Status: http.StatusBadRequest, Code: code, Message: err.Error()}
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	json.NewEncoder(w).Encode(map[string]*apiError{"error": e})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// serviceError maps Plan/Compare errors onto transport errors.
+func serviceError(err error) *apiError {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "queue_full", Message: err.Error()}
+	case errors.Is(err, ErrClosed):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down", Message: err.Error()}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: "optimize_failed", Message: err.Error()}
+	}
+}
+
+// decodeJSON strictly decodes a bounded request body into dst.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("bad_json", err)
+	}
+	return nil
+}
+
+// validatePlanFields resolves the spec and validates the options — the
+// single validation pipeline every planning endpoint shares, with
+// field-specific 400 codes: bad_model (unresolvable ModelSpec),
+// bad_options (Options.Validate failure). The resolved model is returned
+// so downstream code never re-resolves.
+func validatePlanFields(spec topoopt.ModelSpec, o topoopt.Options) (*topoopt.Model, *apiError) {
+	m, err := spec.Resolve()
+	if err != nil {
+		return nil, badRequest("bad_model", err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, badRequest("bad_options", err)
+	}
+	return m, nil
+}
+
+// decodePlanRequest decodes and validates the shared request body.
+func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest) (*topoopt.Model, *apiError) {
+	if aerr := decodeJSON(w, r, dst); aerr != nil {
+		return nil, aerr
+	}
+	return validatePlanFields(dst.Model, dst.Options)
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/plan       — synchronous optimization (cached, coalesced)
+//	POST   /v1/compare    — architecture comparison
+//	GET    /v1/cost       — §5.2 cost model lookup
+//	POST   /v1/jobs       — submit an async planning job
+//	GET    /v1/jobs/{id}  — poll a job
+//	DELETE /v1/jobs/{id}  — cancel a job
+//	GET    /v1/metrics    — counters, gauges, latency quantiles
+//	GET    /healthz       — liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /v1/cost", s.handleCost)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// PlanResponse is the POST /v1/plan response body.
+type PlanResponse struct {
+	Fingerprint string        `json:"fingerprint"`
+	Cached      bool          `json:"cached"`
+	Plan        *topoopt.Plan `json:"plan"`
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("plan")
+	var req PlanRequest
+	m, aerr := decodePlanRequest(w, r, &req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	start := time.Now()
+	plan, fp, cached, err := s.plan(r.Context(), req.Options, req.Fingerprint(), resolved(m), nil)
+	if err != nil {
+		writeError(w, serviceError(err))
+		return
+	}
+	s.met.observeLatency(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, PlanResponse{Fingerprint: fp, Cached: cached, Plan: plan})
+}
+
+// CompareRequest is the POST /v1/compare request body. Archs defaults to
+// the full §5.1 comparison set.
+type CompareRequest struct {
+	Model   topoopt.ModelSpec `json:"model"`
+	Options topoopt.Options   `json:"options"`
+	Archs   []string          `json:"archs,omitempty"`
+}
+
+// CompareResponse is the POST /v1/compare response body.
+type CompareResponse struct {
+	Results []topoopt.CompareResult `json:"results"`
+}
+
+func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("compare")
+	var req CompareRequest
+	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	m, aerr := validatePlanFields(req.Model, req.Options)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	known := make(map[topoopt.Architecture]bool)
+	for _, a := range topoopt.Architectures() {
+		known[a] = true
+	}
+	archs := make([]topoopt.Architecture, 0, len(req.Archs))
+	for _, a := range req.Archs {
+		if !known[topoopt.Architecture(a)] {
+			writeError(w, badRequest("bad_arch", fmt.Errorf("unknown architecture %q", a)))
+			return
+		}
+		archs = append(archs, topoopt.Architecture(a))
+	}
+	// Compare latencies are not observed: a multi-architecture sweep is
+	// seconds-scale and would swamp the serving-path quantiles the
+	// latency window exists to track.
+	res, err := s.Compare(r.Context(), m, req.Options, archs)
+	if err != nil {
+		writeError(w, serviceError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, CompareResponse{Results: res})
+}
+
+// CostResponse is the GET /v1/cost response body.
+type CostResponse struct {
+	Arch          string  `json:"arch"`
+	Servers       int     `json:"servers"`
+	Degree        int     `json:"degree"`
+	LinkBandwidth float64 `json:"link_bandwidth"`
+	CostUSD       float64 `json:"cost_usd"`
+}
+
+func (s *Service) handleCost(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("cost")
+	q := r.URL.Query()
+	arch := q.Get("arch")
+	servers, err1 := strconv.Atoi(q.Get("servers"))
+	degree, err2 := strconv.Atoi(q.Get("degree"))
+	gbps, err3 := strconv.ParseFloat(q.Get("bandwidth_gbps"), 64)
+	if arch == "" || err1 != nil || err2 != nil || err3 != nil {
+		writeError(w, badRequest("bad_query",
+			errors.New("required query parameters: arch, servers, degree, bandwidth_gbps")))
+		return
+	}
+	bw := gbps * 1e9
+	// Same bounds as Options.Validate, so /v1/cost rejects what /v1/plan
+	// would instead of pricing a nonsensical deployment.
+	if err := (topoopt.Options{Servers: servers, Degree: degree, LinkBandwidth: bw}).Validate(); err != nil {
+		writeError(w, badRequest("bad_query", err))
+		return
+	}
+	c, err := topoopt.Cost(topoopt.Architecture(arch), servers, degree, bw)
+	if err != nil {
+		writeError(w, badRequest("bad_arch", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, CostResponse{
+		Arch: arch, Servers: servers, Degree: degree, LinkBandwidth: bw, CostUSD: c,
+	})
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("jobs_submit")
+	var req PlanRequest
+	m, aerr := decodePlanRequest(w, r, &req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	j, err := s.submitJob(m, req)
+	if err != nil {
+		writeError(w, serviceError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("jobs_get")
+	j, ok := s.GetJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("jobs_cancel")
+	j, ok := s.CancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sync"
+
+	"topoopt/internal/stats"
+)
+
+// latencyWindow bounds the ring buffer the latency quantiles are computed
+// over: large enough for stable tails, small enough that a long-lived
+// daemon's /metrics reflects recent behavior.
+const latencyWindow = 1024
+
+// metrics aggregates service counters. All methods are safe for
+// concurrent use; it has its own mutex so hot counters never contend
+// with the Service's cache/flight lock.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]int64
+	hits      int64
+	misses    int64
+	coalesced int64
+	optimized int64
+	queueFull int64
+	lat       []float64
+	latPos    int
+	latCount  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]int64)}
+}
+
+func (m *metrics) incRequest(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) bump(field *int64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit()      { m.bump(&m.hits) }
+func (m *metrics) cacheMiss()     { m.bump(&m.misses) }
+func (m *metrics) coalesce()      { m.bump(&m.coalesced) }
+func (m *metrics) optimizedDone() { m.bump(&m.optimized) }
+func (m *metrics) queueFullDrop() { m.bump(&m.queueFull) }
+
+func (m *metrics) observeLatency(seconds float64) {
+	m.mu.Lock()
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, seconds)
+	} else {
+		m.lat[m.latPos] = seconds
+		m.latPos = (m.latPos + 1) % latencyWindow
+	}
+	m.latCount++
+	m.mu.Unlock()
+}
+
+// LatencySummary reports quantiles over the recent-request window.
+type LatencySummary struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// MetricsSnapshot is the /v1/metrics response body.
+type MetricsSnapshot struct {
+	Requests      map[string]int64 `json:"requests"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	CacheEntries  int              `json:"cache_entries"`
+	Coalesced     int64            `json:"coalesced"`
+	Optimizations int64            `json:"optimizations"`
+	InFlight      int              `json:"in_flight"`
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCapacity int              `json:"queue_capacity"`
+	QueueFull     int64            `json:"queue_full"`
+	JobsTracked   int              `json:"jobs_tracked"`
+	Latency       LatencySummary   `json:"latency"`
+}
+
+// snapshot copies the counters; cache/queue/job gauges are filled in by
+// the Service, which owns those structures.
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Requests:      make(map[string]int64, len(m.requests)),
+		CacheHits:     m.hits,
+		CacheMisses:   m.misses,
+		Coalesced:     m.coalesced,
+		Optimizations: m.optimized,
+		QueueFull:     m.queueFull,
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	if len(m.lat) > 0 {
+		window := append([]float64(nil), m.lat...)
+		s.Latency = LatencySummary{
+			Count:       m.latCount,
+			MeanSeconds: stats.Mean(window),
+			P50Seconds:  stats.Percentile(window, 50),
+			P90Seconds:  stats.Percentile(window, 90),
+			P99Seconds:  stats.Percentile(window, 99),
+			MaxSeconds:  stats.Max(window),
+		}
+	}
+	return s
+}

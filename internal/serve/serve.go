@@ -1,0 +1,595 @@
+// Package serve is the planning-service core behind cmd/topooptd: it
+// turns the blocking topoopt library calls into a concurrent service with
+// a bounded worker pool, a fingerprint-keyed LRU plan cache, in-flight
+// request coalescing (N identical concurrent requests cost one
+// optimization), async jobs, and metrics with latency quantiles.
+//
+// Request identity is a deterministic fingerprint of (ModelSpec, Options)
+// — including the seed, so two requests that would walk different MCMC
+// chains never alias. Cancellation flows through context: every queued
+// optimization runs under a context that is cancelled as soon as all
+// clients waiting on it have gone away, and topoopt.OptimizeContext polls
+// it between MCMC iterations.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"topoopt"
+)
+
+// OptimizeFunc computes a plan. It is injectable so tests and benchmarks
+// can count or stub the expensive call; the default is
+// topoopt.OptimizeContext.
+type OptimizeFunc func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error)
+
+// Config parameterizes a Service. Zero values select defaults.
+type Config struct {
+	// Workers bounds concurrent optimizations (default GOMAXPROCS).
+	Workers int
+	// QueueLen bounds queued-but-not-running work; a full queue rejects
+	// with ErrQueueFull rather than growing without bound (default 64).
+	QueueLen int
+	// CacheEntries bounds the plan LRU (default 256).
+	CacheEntries int
+	// MaxJobs bounds tracked async jobs; the oldest finished jobs are
+	// evicted past the bound (default 1024).
+	MaxJobs int
+	// Optimize overrides the planner (tests); default
+	// topoopt.OptimizeContext.
+	Optimize OptimizeFunc
+}
+
+// Service errors surfaced to transport layers.
+var (
+	ErrQueueFull = errors.New("serve: work queue full")
+	ErrClosed    = errors.New("serve: service closed")
+)
+
+// PlanRequest is the wire request shared by POST /v1/plan and
+// POST /v1/jobs.
+type PlanRequest struct {
+	Model   topoopt.ModelSpec `json:"model"`
+	Options topoopt.Options   `json:"options"`
+}
+
+// Fingerprint returns the deterministic cache/coalescing key of the
+// request: SHA-256 over the canonical JSON of (ModelSpec, Options), both
+// normalized first so spelling variants of the same computation ("BERT"
+// vs "bert", an implicit vs explicit default section, omitted vs default
+// Rounds/MCMCIters/GPU) share one cache entry. The seed is part of
+// Options, so identical workloads with different seeds are distinct
+// entries.
+func (r PlanRequest) Fingerprint() string {
+	r.Model = r.Model.Canonical()
+	r.Options = r.Options.Canonical()
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Both structs are plain data; Marshal cannot fail on them.
+		panic(fmt.Sprintf("serve: fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// flight is one in-progress optimization that any number of identical
+// requests wait on. waiters counts them; when the last one abandons the
+// request, the flight's context is cancelled and the optimization aborts
+// at its next MCMC-iteration check.
+type flight struct {
+	fp      string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	plan    *topoopt.Plan
+	err     error
+	waiters int
+	// started flips when a worker dequeues the task; onStart callbacks
+	// (job status transitions) fire at that moment. Both under Service.mu.
+	started bool
+	onStart []func()
+}
+
+// Service is the planning service. Create with New, serve HTTP with
+// Handler, stop with Close.
+type Service struct {
+	cfg      Config
+	optimize OptimizeFunc
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan func()
+	wg         sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	cache   *planCache
+	flights map[string]*flight
+	jobs    map[string]*job
+	jobID   uint64
+	jobSeq  []string // creation order, for bounded eviction
+
+	met *metrics
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.Optimize == nil {
+		cfg.Optimize = func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			return topoopt.OptimizeContext(ctx, m, o)
+		}
+	}
+	s := &Service{
+		cfg:      cfg,
+		optimize: cfg.Optimize,
+		queue:    make(chan func(), cfg.QueueLen),
+		cache:    newPlanCache(cfg.CacheEntries),
+		flights:  make(map[string]*flight),
+		jobs:     make(map[string]*job),
+		met:      newMetrics(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case fn := <-s.queue:
+			fn()
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// Close stops the workers and fails all pending work with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// Plan returns the plan for req, consulting the cache first and coalescing
+// concurrent identical requests onto a single optimization. The returned
+// bool reports whether the plan came from the cache. ctx cancels only this
+// caller's wait; the underlying optimization keeps running while any other
+// request still waits on it.
+func (s *Service) Plan(ctx context.Context, req PlanRequest) (*topoopt.Plan, string, bool, error) {
+	return s.plan(ctx, req.Options, req.Fingerprint(), func() (*topoopt.Model, error) {
+		m, err := req.Model.Resolve()
+		if err == nil {
+			err = req.Options.Validate()
+		}
+		return m, err
+	}, nil)
+}
+
+// resolved wraps an already-resolved model for the plan call (the HTTP
+// decode layer and jobs resolve exactly once up front).
+func resolved(m *topoopt.Model) func() (*topoopt.Model, error) {
+	return func() (*topoopt.Model, error) { return m, nil }
+}
+
+// plan is the core of Plan. resolve is only invoked on the
+// flight-creating path, outside the service lock: cache hits and
+// coalesced joins are served by fingerprint alone, so they never pay for
+// model materialization or re-validation (a cached fingerprint implies
+// the request was valid). onStart, when non-nil, fires once the
+// optimization actually begins executing (async jobs use it to move from
+// "queued" to "running").
+func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func()) (*topoopt.Plan, string, bool, error) {
+	cached, f, err := s.joinOrCreate(fp, nil, o, onStart)
+	if err != nil {
+		return nil, fp, false, err
+	}
+	if cached != nil {
+		return cached, fp, true, nil
+	}
+	if f == nil {
+		// Miss: materialize the model without holding the lock, then race
+		// to create the flight (a concurrent identical request may win, in
+		// which case we join its flight instead).
+		m, rerr := resolve()
+		if rerr != nil {
+			return nil, fp, false, rerr
+		}
+		cached, f, err = s.joinOrCreate(fp, m, o, onStart)
+		if err != nil {
+			return nil, fp, false, err
+		}
+		if cached != nil {
+			return cached, fp, true, nil
+		}
+	}
+	p, err := s.waitFlight(ctx, f)
+	return p, fp, false, err
+}
+
+// waitFlight blocks until the flight completes, the caller's ctx is
+// cancelled (dropping this waiter), or the service closes.
+func (s *Service) waitFlight(ctx context.Context, f *flight) (*topoopt.Plan, error) {
+	select {
+	case <-f.done:
+		return f.plan, f.err
+	case <-ctx.Done():
+		s.abandon(f)
+		return nil, ctx.Err()
+	case <-s.baseCtx.Done():
+		return nil, ErrClosed
+	}
+}
+
+// joinOrCreate is the locked cache-lookup → flight-join → flight-create
+// sequence. With m == nil it only looks up and joins, returning
+// (nil, nil, nil) on a miss so the caller can resolve the model lock-free
+// and call again with m set.
+func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, onStart func()) (*topoopt.Plan, *flight, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if v, ok := s.cache.get(fp); ok {
+		s.mu.Unlock()
+		s.met.cacheHit()
+		return v.(*topoopt.Plan), nil, nil
+	}
+	if f, ok := s.flights[fp]; ok {
+		f.waiters++
+		fireNow := false
+		if onStart != nil {
+			if f.started {
+				fireNow = true
+			} else {
+				f.onStart = append(f.onStart, onStart)
+			}
+		}
+		s.mu.Unlock()
+		if fireNow {
+			onStart()
+		}
+		s.met.coalesce()
+		return nil, f, nil
+	}
+	if m == nil {
+		s.mu.Unlock()
+		return nil, nil, nil
+	}
+	fctx, cancel := context.WithCancel(s.baseCtx)
+	f := &flight{fp: fp, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	if onStart != nil {
+		f.onStart = append(f.onStart, onStart)
+	}
+	task := func() { s.runFlight(f, m, o) }
+	select {
+	case s.queue <- task:
+		s.flights[fp] = f
+	default:
+		cancel()
+		s.mu.Unlock()
+		s.met.queueFullDrop()
+		return nil, nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.met.cacheMiss()
+	return nil, f, nil
+}
+
+// runFlight executes one flight on a worker: mark started, fire the
+// start callbacks, then optimize — unless every waiter already left
+// while the task sat in the queue, in which case the dead task finishes
+// immediately instead of running a doomed optimization.
+func (s *Service) runFlight(f *flight, m *topoopt.Model, o topoopt.Options) {
+	s.mu.Lock()
+	f.started = true
+	cbs := f.onStart
+	f.onStart = nil
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+	if err := f.ctx.Err(); err != nil {
+		s.finish(f, nil, err)
+		return
+	}
+	p, err := s.optimize(f.ctx, m, o)
+	s.finish(f, p, err)
+}
+
+// finish publishes a flight's result, caching successes.
+func (s *Service) finish(f *flight, plan *topoopt.Plan, err error) {
+	s.mu.Lock()
+	if s.flights[f.fp] == f {
+		delete(s.flights, f.fp)
+	}
+	if err == nil {
+		s.cache.add(f.fp, plan)
+	}
+	f.plan, f.err = plan, err
+	close(f.done)
+	s.mu.Unlock()
+	if err == nil {
+		s.met.optimizedDone()
+	}
+	f.cancel()
+}
+
+// abandon drops one waiter; the last one out cancels the optimization and
+// unregisters the flight so a later identical request starts fresh.
+func (s *Service) abandon(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	if f.waiters <= 0 {
+		select {
+		case <-f.done:
+			// Already finished; nothing to cancel.
+		default:
+			if s.flights[f.fp] == f {
+				delete(s.flights, f.fp)
+			}
+			f.cancel()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Compare runs topoopt.CompareContext on the worker pool (bounded like
+// plans, but uncached: comparisons sweep up to seven architectures and are
+// not on the serving hot path).
+func (s *Service) Compare(ctx context.Context, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) ([]topoopt.CompareResult, error) {
+	var (
+		res []topoopt.CompareResult
+		err error
+	)
+	runErr := s.runTask(ctx, func(tctx context.Context) {
+		res, err = topoopt.CompareContext(tctx, m, o, archs...)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, err
+}
+
+// runTask executes fn on the worker pool and waits for it. fn receives a
+// context cancelled when the caller stops waiting or the service closes.
+func (s *Service) runTask(ctx context.Context, fn func(context.Context)) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	tctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	done := make(chan struct{})
+	task := func() {
+		defer close(done)
+		fn(tctx)
+	}
+	select {
+	case s.queue <- task:
+	default:
+		s.met.queueFullDrop()
+		return ErrQueueFull
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.baseCtx.Done():
+		return ErrClosed
+	}
+}
+
+// Job states.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job is the externally visible state of an async planning job.
+type Job struct {
+	ID          string        `json:"id"`
+	Status      string        `json:"status"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Plan        *topoopt.Plan `json:"plan,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	CreatedAt   time.Time     `json:"created_at"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+}
+
+type job struct {
+	snap   Job
+	cancel context.CancelFunc
+}
+
+// SubmitJob validates req, registers an async job and starts it. The job
+// flows through the same cache/coalescing path as synchronous plans.
+func (s *Service) SubmitJob(req PlanRequest) (Job, error) {
+	m, err := req.Model.Resolve()
+	if err == nil {
+		err = req.Options.Validate()
+	}
+	if err != nil {
+		return Job{}, err
+	}
+	return s.submitJob(m, req)
+}
+
+// submitJob is SubmitJob after validation; m is the already-resolved
+// model (the HTTP layer resolves it during request decoding). The
+// cache/flight/queue admission runs synchronously so backpressure
+// surfaces as an error here (a 503 at the HTTP layer), never as an
+// accepted job that asynchronously "fails" with a full queue.
+func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
+	fp := req.Fingerprint()
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return Job{}, ErrClosed
+	}
+	s.jobID++
+	id := fmt.Sprintf("j%08d", s.jobID)
+	j := &job{
+		snap:   Job{ID: id, Status: JobQueued, Fingerprint: fp, CreatedAt: time.Now().UTC()},
+		cancel: cancel,
+	}
+	s.jobs[id] = j
+	s.jobSeq = append(s.jobSeq, id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+
+	// The job stays "queued" until a worker actually dequeues its flight;
+	// cache hits jump straight to "done".
+	onStart := func() {
+		s.setJob(id, func(j *Job) { j.Status = JobRunning })
+	}
+	finish := func(plan *topoopt.Plan, err error) {
+		now := time.Now().UTC()
+		s.setJob(id, func(j *Job) {
+			j.FinishedAt = &now
+			switch {
+			case err == nil:
+				j.Status, j.Plan = JobDone, plan
+			case errors.Is(err, context.Canceled):
+				j.Status, j.Error = JobCancelled, err.Error()
+			default:
+				j.Status, j.Error = JobFailed, err.Error()
+			}
+		})
+	}
+
+	cached, f, err := s.joinOrCreate(fp, m, req.Options, onStart)
+	if err != nil {
+		cancel()
+		s.mu.Lock()
+		delete(s.jobs, id) // never admitted; jobSeq is cleaned lazily
+		s.mu.Unlock()
+		return Job{}, err
+	}
+	if cached != nil {
+		finish(cached, nil)
+		cancel()
+	} else {
+		go func() {
+			defer cancel()
+			plan, werr := s.waitFlight(jctx, f)
+			finish(plan, werr)
+		}()
+	}
+	snap, _ := s.GetJob(id)
+	return snap, nil
+}
+
+// GetJob returns a snapshot of the job, if tracked.
+func (s *Service) GetJob(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snap, true
+}
+
+// CancelJob cancels a queued or running job. Finished jobs are left
+// untouched.
+func (s *Service) CancelJob(id string) (Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, false
+	}
+	cancel := j.cancel
+	snap := j.snap
+	s.mu.Unlock()
+	if snap.Status == JobQueued || snap.Status == JobRunning {
+		cancel()
+	}
+	return snap, true
+}
+
+func (s *Service) setJob(id string, mut func(*Job)) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		// Never regress a finished job (a slow "running" update racing a
+		// fast completion).
+		if j.snap.FinishedAt == nil {
+			mut(&j.snap)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// evictJobsLocked drops the oldest finished jobs past cfg.MaxJobs.
+func (s *Service) evictJobsLocked() {
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.jobSeq {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.jobSeq = append(s.jobSeq[:i], s.jobSeq[i+1:]...)
+				evicted = true
+				break
+			}
+			if j.snap.FinishedAt != nil {
+				delete(s.jobs, id)
+				s.jobSeq = append(s.jobSeq[:i], s.jobSeq[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything still running; let it finish
+		}
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the service counters and
+// gauges.
+func (s *Service) Metrics() MetricsSnapshot {
+	snap := s.met.snapshot()
+	s.mu.Lock()
+	snap.CacheEntries = s.cache.len()
+	snap.InFlight = len(s.flights)
+	snap.JobsTracked = len(s.jobs)
+	s.mu.Unlock()
+	snap.QueueDepth = len(s.queue)
+	snap.QueueCapacity = cap(s.queue)
+	return snap
+}

@@ -84,18 +84,19 @@ func (m Matrix) Clone() Matrix {
 
 // Group is one AllReduce group: the servers that hold replicas of the same
 // weights, and the gradient bytes they must synchronize each iteration.
+// JSON tags define the public wire format (topoopt's Plan serialization).
 type Group struct {
-	Members []int
-	Bytes   int64
+	Members []int `json:"members"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // Demand is the traffic demand of one training job for one iteration: the
 // TopologyFinder inputs T_AllReduce (as groups, since AllReduce traffic is
 // mutable) and T_MP (as a fixed matrix, since MP traffic is not).
 type Demand struct {
-	N      int
-	Groups []Group
-	MP     Matrix
+	N      int     `json:"n"`
+	Groups []Group `json:"groups"`
+	MP     Matrix  `json:"mp"`
 }
 
 // TotalAllReduceBytes returns the logical AllReduce volume: each group

@@ -22,6 +22,7 @@
 package topoopt
 
 import (
+	"context"
 	"fmt"
 
 	"topoopt/internal/core"
@@ -67,31 +68,37 @@ func NCF() *Model               { return model.NCFPreset() }
 func ResNet50(s Section) *Model { return model.ResNetPreset(s) }
 func VGG16(s Section) *Model    { return model.VGGPreset(s) }
 
-// Options configures Optimize.
+// Options configures Optimize. The JSON tags define the canonical wire
+// format used by the topooptd planning service (see ModelSpec).
 type Options struct {
 	// Servers is the number of dedicated training servers (n).
-	Servers int
+	Servers int `json:"servers"`
 	// Degree is the number of optical interfaces per server (d).
-	Degree int
+	Degree int `json:"degree"`
 	// LinkBandwidth is per-interface bandwidth in bits/s (B).
-	LinkBandwidth float64
+	LinkBandwidth float64 `json:"link_bandwidth"`
 	// BatchPerGPU overrides the model's default when > 0.
-	BatchPerGPU int
+	BatchPerGPU int `json:"batch_per_gpu,omitempty"`
 	// Rounds is the alternating-optimization hyper-parameter k
 	// (default 3).
-	Rounds int
-	// MCMCIters is the strategy-search budget per round (default 200).
-	MCMCIters int
+	Rounds int `json:"rounds,omitempty"`
+	// MCMCIters is the strategy-search budget per round. When ≤ 0, both
+	// Optimize and Compare inherit the single default applied inside
+	// flexnet's MCMC search (flexnet.DefaultMCMCIters, 200).
+	MCMCIters int `json:"mcmc_iters,omitempty"`
 	// Seed makes the search deterministic.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// PrimeOnly restricts TotientPerms to prime generators (recommended
 	// beyond a few hundred servers).
-	PrimeOnly bool
+	PrimeOnly bool `json:"prime_only,omitempty"`
 	// GPU overrides the accelerator model (default A100).
-	GPU GPU
+	GPU GPU `json:"gpu"`
 }
 
-func (o Options) validate() error {
+// Validate checks that the options describe a feasible deployment. It is
+// exported so services decoding Options off the wire (internal/serve) can
+// reject bad requests up front with structured errors.
+func (o Options) Validate() error {
 	if o.Servers < 2 {
 		return fmt.Errorf("topoopt: Servers must be >= 2, got %d", o.Servers)
 	}
@@ -104,17 +111,37 @@ func (o Options) validate() error {
 	return nil
 }
 
+// Canonical returns o with defaulted fields made explicit — the same
+// defaults the optimization itself applies (Rounds 3, MCMCIters 200, GPU
+// A100) — so an omitted field and its explicit default describe the same
+// computation. The serving layer fingerprints canonical options, letting
+// both spellings share one cache entry. BatchPerGPU stays as-is: its
+// default is per-model and only known after preset resolution.
+func (o Options) Canonical() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	if o.MCMCIters <= 0 {
+		o.MCMCIters = flexnet.DefaultMCMCIters
+	}
+	if o.GPU.PeakFLOPS == 0 {
+		o.GPU = A100
+	}
+	return o
+}
+
 // Circuit is one directed optical circuit of the plan: the TX fiber of
 // From's interface patched to an RX fiber of To.
 type Circuit struct {
-	From, To int
+	From int `json:"from"`
+	To   int `json:"to"`
 }
 
 // RingSpec describes the AllReduce rings selected for one group.
 type RingSpec struct {
-	Members []int
+	Members []int `json:"members"`
 	// Ps are the "+p" generation rules (co-prime with the group size).
-	Ps []int
+	Ps []int `json:"ps"`
 }
 
 // Plan is the deployable output of Optimize.
@@ -141,10 +168,10 @@ type Plan struct {
 // IterationBreakdown splits an iteration into its phases (§5.4's no-overlap
 // accounting).
 type IterationBreakdown struct {
-	MPSeconds        float64
-	ComputeSeconds   float64
-	AllReduceSeconds float64
-	BandwidthTax     float64
+	MPSeconds        float64 `json:"mp_seconds"`
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	AllReduceSeconds float64 `json:"allreduce_seconds"`
+	BandwidthTax     float64 `json:"bandwidth_tax"`
 }
 
 // Total returns the full iteration time in seconds.
@@ -155,10 +182,19 @@ func (b IterationBreakdown) Total() float64 {
 // Optimize co-optimizes topology and parallelization strategy for the
 // model under the given options (§4's alternating optimization).
 func Optimize(m *Model, o Options) (*Plan, error) {
-	if err := o.validate(); err != nil {
+	return OptimizeContext(context.Background(), m, o)
+}
+
+// OptimizeContext is Optimize with cancellation: ctx is polled between
+// MCMC iterations, between alternating-optimization rounds and before the
+// final flow-level simulation, so a cancelled or expired context aborts
+// the search promptly with ctx.Err(). Cancellation never interrupts a
+// simulation in flight, leaving reused simulators in a consistent state.
+func OptimizeContext(ctx context.Context, m *Model, o Options) (*Plan, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := flexnet.CoOptimize(m, flexnet.CoOptConfig{
+	res, err := flexnet.CoOptimizeContext(ctx, m, flexnet.CoOptConfig{
 		N: o.Servers, Degree: o.Degree, LinkBW: o.LinkBandwidth,
 		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
 		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
@@ -229,10 +265,10 @@ func Architectures() []Architecture {
 
 // CompareResult is the iteration time of one architecture for one model.
 type CompareResult struct {
-	Arch      Architecture
-	Iteration IterationBreakdown
+	Arch      Architecture       `json:"arch"`
+	Iteration IterationBreakdown `json:"iteration"`
 	// CostUSD is the §5.2 interconnect cost.
-	CostUSD float64
+	CostUSD float64 `json:"cost_usd"`
 }
 
 // Compare evaluates a model across architectures at equal nominal degree
@@ -241,25 +277,34 @@ type CompareResult struct {
 // reduced bandwidth (§5.1); Oversub gets d×B with a halved fabric;
 // SiP-ML and OCS-reconfig run the reconfigurable heuristic.
 func Compare(m *Model, o Options, archs ...Architecture) ([]CompareResult, error) {
-	if err := o.validate(); err != nil {
+	return CompareContext(context.Background(), m, o, archs...)
+}
+
+// CompareContext is Compare with cancellation: ctx is polled between
+// architectures and between MCMC iterations inside each baseline search.
+func CompareContext(ctx context.Context, m *Model, o Options, archs ...Architecture) ([]CompareResult, error) {
+	if err := o.Validate(); err != nil {
 		return nil, err
 	}
 	if len(archs) == 0 {
 		archs = Architectures()
 	}
-	iters := o.MCMCIters
-	if iters <= 0 {
-		iters = 100
-	}
 	var out []CompareResult
 	for _, a := range archs {
-		cr := CompareResult{Arch: a}
-		if c, err := cost.Of(string(a), o.Servers, o.Degree, o.LinkBandwidth); err == nil {
-			cr.CostUSD = c
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		cr := CompareResult{Arch: a}
+		c, err := cost.Of(string(a), o.Servers, o.Degree, o.LinkBandwidth)
+		if err != nil {
+			// A zero CostUSD would be indistinguishable from "free":
+			// surface pricing failures instead of swallowing them.
+			return nil, fmt.Errorf("topoopt: pricing %s: %w", a, err)
+		}
+		cr.CostUSD = c
 		switch a {
 		case ArchTopoOpt:
-			plan, err := Optimize(m, o)
+			plan, err := OptimizeContext(ctx, m, o)
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +314,7 @@ func Compare(m *Model, o Options, archs ...Architecture) ([]CompareResult, error
 			if err != nil {
 				return nil, err
 			}
-			_, it, err := flexnet.SearchOnFabric(m, fab, o.Servers, o.BatchPerGPU, iters, o.Seed, o.GPU)
+			_, it, err := flexnet.SearchOnFabricContext(ctx, m, fab, o.Servers, o.BatchPerGPU, o.MCMCIters, o.Seed, o.GPU)
 			if err != nil {
 				return nil, err
 			}
