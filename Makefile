@@ -1,11 +1,20 @@
 # Build/verify/benchmark entry points. `make tier1` is the recipe CI (and
 # the ROADMAP's tier-1 gate) runs; `make bench` records the netsim
-# microbenchmarks into BENCH_netsim.json and `make serve-bench` the
-# planning-service benchmarks into BENCH_serve.json; the matching
-# *benchcheck targets fail when the current tree regresses against the
-# recorded numbers.
+# microbenchmarks into BENCH_netsim.json, `make serve-bench` the
+# planning-service benchmarks into BENCH_serve.json and
+# `make flexnet-bench` the parallel MCMC search benchmarks into
+# BENCH_flexnet.json; the matching *benchcheck targets fail when the
+# current tree regresses against the recorded numbers. `make ci` mirrors
+# exactly what .github/workflows/ci.yml runs, so the pipeline is
+# reproducible locally without act.
 
 GO ?= go
+
+# Benchtime for the *bench/*benchcheck targets; `make ci` shrinks it for
+# the smoke pass and flips benchdiff into warn-only mode, since short
+# runs on noisy shared runners should flag, not hard-fail.
+BENCHTIME ?= 1s
+BENCHDIFF_FLAGS ?=
 
 # bench/benchcheck pipe `go test` into benchdiff; without pipefail a
 # crashed benchmark run with partial output would still exit 0.
@@ -14,7 +23,8 @@ SHELL := /bin/bash
 
 # `build` compiles ./... which includes examples/; TestExamplesBuild in
 # the test step additionally pins them as an explicit guarantee.
-.PHONY: tier1 fmt vet build test bench benchcheck serve-bench serve-benchcheck
+.PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
+	serve-benchcheck flexnet-bench flexnet-benchcheck bench-smoke lint ci
 
 tier1: fmt vet build test
 
@@ -33,18 +43,52 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 bench:
-	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=1s \
+	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -out BENCH_netsim.json
 
 benchcheck:
-	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=1s \
-		| $(GO) run ./cmd/benchdiff -check BENCH_netsim.json
+	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -check BENCH_netsim.json $(BENCHDIFF_FLAGS)
 
 serve-bench:
-	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=1s \
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -out BENCH_serve.json
 
 serve-benchcheck:
-	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=1s \
-		| $(GO) run ./cmd/benchdiff -check BENCH_serve.json
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -check BENCH_serve.json $(BENCHDIFF_FLAGS)
+
+flexnet-bench:
+	$(GO) test ./internal/flexnet -run '^$$' -bench BenchmarkMCMCSearch -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -out BENCH_flexnet.json
+
+flexnet-benchcheck:
+	$(GO) test ./internal/flexnet -run '^$$' -bench BenchmarkMCMCSearch -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -check BENCH_flexnet.json $(BENCHDIFF_FLAGS)
+
+# Short-benchtime pass over every recorded suite. Warn-only: CI runners
+# are noisy and 0.2s samples are for catching order-of-magnitude
+# regressions, not 1.3x ones.
+bench-smoke:
+	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck
+
+# staticcheck and govulncheck run when installed (CI installs them; dev
+# machines may not have them, and the tier-1 gate must stay hermetic).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
+
+# The exact job list of .github/workflows/ci.yml, runnable locally.
+ci: tier1 race lint bench-smoke

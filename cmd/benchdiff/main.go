@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -50,6 +51,7 @@ func main() {
 	check := flag.String("check", "", "check mode: compare stdin against this BENCH_*.json")
 	maxNs := flag.Float64("max-ns-regress", 1.30, "check mode: allowed ns/op growth factor")
 	maxAllocs := flag.Float64("max-alloc-regress", 1.10, "check mode: allowed allocs/op growth factor")
+	warnOnly := flag.Bool("warn-only", false, "check mode: report regressions but exit 0 (for noisy CI runners)")
 	flag.Parse()
 	if (*out == "") == (*check == "") {
 		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -out or -check is required")
@@ -75,13 +77,17 @@ func main() {
 		return
 	}
 	if fails := compare(*check, results, *maxNs, *maxAllocs); fails > 0 {
+		if *warnOnly {
+			fmt.Printf("benchdiff: %d regression(s) — warn-only mode, not failing\n", fails)
+			return
+		}
 		os.Exit(1)
 	}
 }
 
 // parseBench extracts Result rows from `go test -bench -benchmem` output,
 // e.g. "BenchmarkFoo-8   123   4567 ns/op   89 B/op   10 allocs/op".
-func parseBench(r *os.File) ([]Result, error) {
+func parseBench(r io.Reader) ([]Result, error) {
 	var out []Result
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: topoopt/internal/netsim
+BenchmarkNetsimSmall-8   	    1000	   1200 ns/op	      16 B/op	       2 allocs/op
+BenchmarkNetsimLarge-8   	     100	  50000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	topoopt/internal/netsim	2.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	got := results[0]
+	if got.Name != "BenchmarkNetsimSmall" {
+		t.Errorf("name %q should have the -8 CPU suffix stripped", got.Name)
+	}
+	if got.NsPerOp != 1200 || got.BytesPerOp != 16 || got.AllocsPerOp != 2 {
+		t.Errorf("unexpected measurements: %+v", got)
+	}
+}
+
+func writeBenchFile(t *testing.T, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegressionAndTolerance(t *testing.T) {
+	path := writeBenchFile(t, File{Current: []Result{
+		{Name: "BenchmarkNetsimSmall", NsPerOp: 1000, AllocsPerOp: 2},
+		{Name: "BenchmarkNetsimLarge", NsPerOp: 50000},
+	}})
+	results, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1200 vs 1000 ns/op = 1.20x: inside a 1.30 tolerance, outside 1.10.
+	if fails := compare(path, results, 1.30, 1.10); fails != 0 {
+		t.Errorf("within tolerance, got %d failures", fails)
+	}
+	if fails := compare(path, results, 1.10, 1.10); fails == 0 {
+		t.Error("a 1.20x ns/op regression should fail a 1.10 tolerance")
+	}
+}
+
+func TestCompareFlagsMissingBenchmarks(t *testing.T) {
+	path := writeBenchFile(t, File{Current: []Result{
+		{Name: "BenchmarkNetsimSmall", NsPerOp: 1000},
+		{Name: "BenchmarkVanished", NsPerOp: 1},
+	}})
+	results, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := compare(path, results, 10, 10); fails == 0 {
+		t.Error("a recorded benchmark missing from the run must fail the check")
+	}
+}
+
+func TestRecordPreservesSeedBaseline(t *testing.T) {
+	path := writeBenchFile(t, File{
+		Note:         "n",
+		SeedBaseline: []Result{{Name: "BenchmarkNetsimSmall", NsPerOp: 99999}},
+		Current:      []Result{{Name: "BenchmarkNetsimSmall", NsPerOp: 2000}},
+	})
+	results, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := record(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.SeedBaseline) != 1 || f.SeedBaseline[0].NsPerOp != 99999 {
+		t.Error("record must never touch the frozen seed baseline")
+	}
+	if len(f.Current) != 2 || f.Current[0].NsPerOp != 1200 {
+		t.Errorf("current section not rewritten: %+v", f.Current)
+	}
+}

@@ -40,8 +40,9 @@ func main() {
 		servers   = flag.Int("servers", 12, "servers (n)")
 		degree    = flag.Int("degree", 4, "interfaces per server (d)")
 		bandwidth = flag.Float64("bandwidth", 25, "per-interface bandwidth in Gbps")
-		mcmc      = flag.Int("mcmc", 30, "MCMC iterations per round")
+		mcmc      = flag.Int("mcmc", 30, "MCMC iterations per round (total across chains)")
 		rounds    = flag.Int("rounds", 1, "alternating-optimization rounds")
+		parallel  = flag.Int("parallel", 0, "parallel MCMC chains per request (0 = server default of 1)")
 		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
 	)
 	flag.Parse()
@@ -49,20 +50,14 @@ func main() {
 		fatal(fmt.Errorf("-n, -c and -seeds must be positive"))
 	}
 
-	bodies := make([][]byte, *seeds)
-	for i := range bodies {
-		req := serve.PlanRequest{
-			Model: topoopt.ModelSpec{Preset: *modelName, Section: *section},
-			Options: topoopt.Options{
-				Servers: *servers, Degree: *degree, LinkBandwidth: *bandwidth * 1e9,
-				MCMCIters: *mcmc, Rounds: *rounds, Seed: int64(i + 1),
-			},
-		}
-		b, err := json.Marshal(req)
-		if err != nil {
-			fatal(err)
-		}
-		bodies[i] = b
+	bodies, err := requestBodies(loadSpec{
+		Model: *modelName, Section: *section,
+		Servers: *servers, Degree: *degree, BandwidthGbps: *bandwidth,
+		MCMCIters: *mcmc, Rounds: *rounds, Parallelism: *parallel,
+		Seeds: *seeds,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	var (
@@ -141,6 +136,39 @@ func main() {
 		fmt.Printf("server latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
 			m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
 	}
+}
+
+// loadSpec describes the request population one load run fires.
+type loadSpec struct {
+	Model, Section    string
+	Servers, Degree   int
+	BandwidthGbps     float64
+	MCMCIters, Rounds int
+	Parallelism       int
+	Seeds             int
+}
+
+// requestBodies pre-marshals one plan request per seed. Splitting this
+// from main keeps the request surface testable: a body must decode into
+// a PlanRequest the server would accept.
+func requestBodies(s loadSpec) ([][]byte, error) {
+	bodies := make([][]byte, s.Seeds)
+	for i := range bodies {
+		req := serve.PlanRequest{
+			Model: topoopt.ModelSpec{Preset: s.Model, Section: s.Section},
+			Options: topoopt.Options{
+				Servers: s.Servers, Degree: s.Degree, LinkBandwidth: s.BandwidthGbps * 1e9,
+				MCMCIters: s.MCMCIters, Rounds: s.Rounds, Parallelism: s.Parallelism,
+				Seed: int64(i + 1),
+			},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"topoopt/internal/serve"
+)
+
+func TestRequestBodiesDecodeToValidPlanRequests(t *testing.T) {
+	bodies, err := requestBodies(loadSpec{
+		Model: "bert", Section: "6", Servers: 12, Degree: 4,
+		BandwidthGbps: 25, MCMCIters: 30, Rounds: 1, Parallelism: 8, Seeds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 3 {
+		t.Fatalf("got %d bodies, want 3", len(bodies))
+	}
+	for i, b := range bodies {
+		var req serve.PlanRequest
+		if err := json.Unmarshal(b, &req); err != nil {
+			t.Fatalf("body %d does not decode: %v", i, err)
+		}
+		if _, err := req.Model.Resolve(); err != nil {
+			t.Errorf("body %d: model would be rejected: %v", i, err)
+		}
+		if err := req.Options.Validate(); err != nil {
+			t.Errorf("body %d: options would be rejected: %v", i, err)
+		}
+		if req.Options.Seed != int64(i+1) {
+			t.Errorf("body %d: seed %d, want %d", i, req.Options.Seed, i+1)
+		}
+		if req.Options.LinkBandwidth != 25e9 {
+			t.Errorf("body %d: bandwidth %g, want 25e9 (Gbps scaling)", i, req.Options.LinkBandwidth)
+		}
+		if req.Options.Parallelism != 8 {
+			t.Errorf("body %d: parallelism %d not carried onto the wire", i, req.Options.Parallelism)
+		}
+	}
+}
+
+func TestRequestBodiesDistinctSeedsDistinctFingerprints(t *testing.T) {
+	bodies, err := requestBodies(loadSpec{
+		Model: "dlrm", Servers: 8, Degree: 4, BandwidthGbps: 100,
+		MCMCIters: 10, Rounds: 1, Seeds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b serve.PlanRequest
+	if err := json.Unmarshal(bodies[0], &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodies[1], &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct seeds should produce distinct fingerprints (cache-miss traffic)")
+	}
+}

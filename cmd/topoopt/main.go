@@ -6,7 +6,11 @@
 // Usage:
 //
 //	topoopt -model dlrm -servers 16 -degree 4 -bandwidth 100 [-batch 128]
-//	        [-rounds 3] [-mcmc 200] [-seed 1] [-section 5.3|5.6|6] [-v]
+//	        [-rounds 3] [-mcmc 200] [-parallel 8] [-seed 1]
+//	        [-section 5.3|5.6|6] [-v]
+//
+// -parallel K splits the MCMC budget over K concurrent chains; the plan
+// is deterministic for a fixed (seed, K) regardless of core count.
 package main
 
 import (
@@ -28,7 +32,8 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 100, "per-interface bandwidth in Gbps (B)")
 		batch     = flag.Int("batch", 0, "per-GPU batch size (0 = model default)")
 		rounds    = flag.Int("rounds", 3, "alternating-optimization rounds (k)")
-		mcmc      = flag.Int("mcmc", 200, "MCMC iterations per round")
+		mcmc      = flag.Int("mcmc", 200, "MCMC iterations per round (total across chains)")
+		parallel  = flag.Int("parallel", 1, "parallel MCMC chains K (deterministic per seed+K)")
 		seed      = flag.Int64("seed", 1, "search seed")
 		prime     = flag.Bool("prime", false, "restrict TotientPerms to prime generators")
 		verbose   = flag.Bool("v", false, "print full routing table")
@@ -42,7 +47,7 @@ func main() {
 	plan, err := topoopt.Optimize(m, topoopt.Options{
 		Servers: *servers, Degree: *degree, LinkBandwidth: *bandwidth * 1e9,
 		BatchPerGPU: *batch, Rounds: *rounds, MCMCIters: *mcmc,
-		Seed: *seed, PrimeOnly: *prime,
+		Seed: *seed, PrimeOnly: *prime, Parallelism: *parallel,
 	})
 	if err != nil {
 		fatal(err)

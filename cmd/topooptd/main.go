@@ -6,12 +6,21 @@
 // Usage:
 //
 //	topooptd [-addr :7070] [-workers N] [-queue 64] [-cache 256]
+//	         [-search-threads N]
+//
+// -search-threads caps the total goroutines spent on parallel MCMC chains
+// across all concurrent optimizations (requests opt into chains with
+// "parallelism" in their options); grants are metered on demand, so a
+// lone request gets the whole budget and a busy pool degrades each
+// request toward sequential chains. Plans are deterministic per
+// (seed, parallelism) regardless of the thread budget.
 //
 // Endpoints (see internal/serve and DESIGN.md, "Planning service"):
 //
 //	POST   /v1/plan       {"model": {"preset": "bert", "section": "5.3"},
 //	                       "options": {"servers": 16, "degree": 4,
-//	                                   "link_bandwidth": 100e9, "seed": 1}}
+//	                                   "link_bandwidth": 100e9, "seed": 1,
+//	                                   "parallelism": 8}}
 //	POST   /v1/compare    same body plus optional "archs": ["TopoOpt", ...]
 //	GET    /v1/cost?arch=TopoOpt&servers=128&degree=4&bandwidth_gbps=100
 //	POST   /v1/jobs       async plan; poll GET /v1/jobs/{id}, cancel with
@@ -36,22 +45,65 @@ import (
 	"topoopt/internal/serve"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		workers = flag.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "queued request bound (full queue returns 503)")
-		cache   = flag.Int("cache", 256, "plan cache entries (LRU)")
-		verbose = flag.Bool("v", false, "log each request")
-	)
-	flag.Parse()
+// daemonConfig is the parsed command line.
+type daemonConfig struct {
+	Addr          string
+	Workers       int
+	Queue         int
+	Cache         int
+	SearchThreads int
+	Verbose       bool
+}
 
-	svc := serve.New(serve.Config{Workers: *workers, QueueLen: *queue, CacheEntries: *cache})
-	var handler http.Handler = svc.Handler()
-	if *verbose {
-		handler = logRequests(handler)
+// parseFlags parses args (excluding the program name) into a
+// daemonConfig using a fresh FlagSet, so tests can exercise the exact
+// flag surface main uses.
+func parseFlags(args []string) (daemonConfig, error) {
+	var cfg daemonConfig
+	fs := flag.NewFlagSet("topooptd", flag.ContinueOnError)
+	fs.StringVar(&cfg.Addr, "addr", ":7070", "listen address")
+	fs.IntVar(&cfg.Workers, "workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.Queue, "queue", 64, "queued request bound (full queue returns 503)")
+	fs.IntVar(&cfg.Cache, "cache", 256, "plan cache entries (LRU)")
+	fs.IntVar(&cfg.SearchThreads, "search-threads", 0,
+		"total goroutines for parallel MCMC chains across requests (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.Verbose, "v", false, "log each request")
+	if err := fs.Parse(args); err != nil {
+		return daemonConfig{}, err
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	return cfg, nil
+}
+
+// newService builds the planning service for a daemonConfig.
+func newService(cfg daemonConfig) *serve.Service {
+	return serve.New(serve.Config{
+		Workers:       cfg.Workers,
+		QueueLen:      cfg.Queue,
+		CacheEntries:  cfg.Cache,
+		SearchThreads: cfg.SearchThreads,
+	})
+}
+
+// handler wires the service's HTTP API with optional request logging.
+func handler(svc *serve.Service, verbose bool) http.Handler {
+	var h http.Handler = svc.Handler()
+	if verbose {
+		h = logRequests(h)
+	}
+	return h
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+
+	svc := newService(cfg)
+	srv := &http.Server{Addr: cfg.Addr, Handler: handler(svc, cfg.Verbose)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -66,7 +118,7 @@ func main() {
 		svc.Close()
 	}()
 
-	log.Printf("topooptd: listening on %s", *addr)
+	log.Printf("topooptd: listening on %s", cfg.Addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "topooptd:", err)
 		os.Exit(1)

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"topoopt"
+	"topoopt/internal/serve"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Addr != ":7070" || cfg.Workers != 0 || cfg.Queue != 64 ||
+		cfg.Cache != 256 || cfg.SearchThreads != 0 || cfg.Verbose {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", ":9999", "-workers", "3", "-queue", "7",
+		"-cache", "11", "-search-threads", "5", "-v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := daemonConfig{Addr: ":9999", Workers: 3, Queue: 7, Cache: 11,
+		SearchThreads: 5, Verbose: true}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsRejectsUnknown(t *testing.T) {
+	if _, err := parseFlags([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+// TestDaemonServesPlan spins the real daemon wiring (flags → service →
+// handler) and drives one parallel plan request through it.
+func TestDaemonServesPlan(t *testing.T) {
+	cfg, err := parseFlags([]string{"-workers", "2", "-search-threads", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newService(cfg)
+	defer svc.Close()
+	ts := httptest.NewServer(handler(svc, cfg.Verbose))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(serve.PlanRequest{
+		Model: topoopt.ModelSpec{Preset: "bert", Section: "6"},
+		Options: topoopt.Options{Servers: 12, Degree: 4, LinkBandwidth: 25e9,
+			Rounds: 1, MCMCIters: 10, Seed: 1, Parallelism: 2},
+	})
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	var pr serve.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Plan == nil || pr.Plan.PredictedIteration.Total() <= 0 {
+		t.Fatalf("no usable plan: %+v", pr.Plan)
+	}
+}

@@ -160,6 +160,7 @@ func RunShared(fab *flexnet.Fabric, jobs []*Job, iters int, gpu model.GPU) ([][]
 		}
 	}
 	sim := fab.AcquireSim()
+	defer fab.ReleaseSim(sim)
 	times := make([][]float64, len(jobs))
 	var injectErr error
 

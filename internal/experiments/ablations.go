@@ -129,7 +129,7 @@ func AblationAlternating(p Params) string {
 	}
 	// Naive: best strategy on an ideal switch, then one TopologyFinder.
 	ideal := flexnet.NewSwitchFabric(topo.IdealSwitch(n, 4*100e9))
-	st, _, err := flexnet.SearchOnFabric(m, ideal, n, 0, p.MCMCIters, p.Seed, model.A100)
+	st, _, err := flexnet.SearchOnFabric(m, ideal, n, 0, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, model.A100)
 	if err != nil {
 		return b.String() + "error: " + err.Error()
 	}

@@ -114,16 +114,16 @@ func dedicatedIteration(m *model.Model, arch string, n, d int, bw float64, p Par
 		return res.IterTime.Total(), nil
 	case "IdealSwitch":
 		fab := flexnet.NewSwitchFabric(topo.IdealSwitch(n, float64(d)*bw))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
 		return it.Total(), err
 	case "Fat-tree":
 		bft := cost.EquivalentFatTreeBandwidth(n, d, bw)
 		fab := flexnet.NewSwitchFabric(topo.FatTree(n, bft))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
 		return it.Total(), err
 	case "OversubFatTree":
 		fab := flexnet.NewSwitchFabric(topo.OversubFatTree(n, 8, float64(d)*bw))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
 		return it.Total(), err
 	case "Expander":
 		nw, err := topo.Expander(n, d, bw, p.Seed+7)
@@ -131,7 +131,7 @@ func dedicatedIteration(m *model.Model, arch string, n, d int, bw float64, p Par
 			return 0, err
 		}
 		fab := flexnet.NewSwitchFabric(nw)
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, p.MCMCIters, p.Seed, gpu)
+		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
 		return it.Total(), err
 	case "SiP-ML", "OCS-reconfig":
 		st := parallel.Hybrid(m, n)

@@ -43,7 +43,7 @@ func TestSearchOnFabricContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, _, err := SearchOnFabricContext(ctx, model.CANDLEPreset(model.Sec6), fab,
-		8, 0, 10, 1, model.GPU{})
+		8, 0, MCMCConfig{Iters: 10, Seed: 1}, model.GPU{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -25,6 +25,15 @@ type CoOptConfig struct {
 	Seed      int64
 	PrimeOnly bool
 	GPU       model.GPU
+	// Parallelism is the number of MCMC chains per search round (K).
+	// Semantic: results depend deterministically on (Seed, Parallelism)
+	// and on nothing else. Default 1 — the original sequential search.
+	Parallelism int
+	// SearchWorkers bounds the goroutines running those chains. A pure
+	// execution hint (any value yields identical results); services use
+	// it to keep per-request search threads within a global budget.
+	// Default min(Parallelism, GOMAXPROCS).
+	SearchWorkers int
 }
 
 // CoOptResult is the converged strategy + topology pair.
@@ -98,9 +107,11 @@ func CoOptimizeContext(ctx context.Context, m *model.Model, cfg CoOptConfig) (*C
 			return EstimateIteration(curFab, d, s.MaxComputeTime(m, cfg.GPU, batch))
 		}
 		st, _ := MCMCSearch(m, cfg.N, batch, eval, MCMCConfig{
-			Iters: cfg.MCMCIters,
-			Seed:  cfg.Seed + int64(round),
-			Ctx:   ctx,
+			Iters:       cfg.MCMCIters,
+			Seed:        cfg.Seed + int64(round),
+			Ctx:         ctx,
+			Parallelism: cfg.Parallelism,
+			Workers:     cfg.SearchWorkers,
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -138,14 +149,16 @@ func CoOptimizeContext(ctx context.Context, m *model.Model, cfg CoOptConfig) (*C
 
 // SearchOnFabric finds the best strategy for a fixed fabric (the
 // topology-aware search used for Ideal Switch, Fat-tree, Oversub, SiP-ML
-// and Expander baselines, §5.1) and simulates its iteration.
-func SearchOnFabric(m *model.Model, fab *Fabric, n, batch, iters int, seed int64, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
-	return SearchOnFabricContext(context.Background(), m, fab, n, batch, iters, seed, gpu)
+// and Expander baselines, §5.1) and simulates its iteration. The search
+// budget, seed and chain parallelism come from mc (mc.Ctx is ignored;
+// use SearchOnFabricContext for cancellation).
+func SearchOnFabric(m *model.Model, fab *Fabric, n, batch int, mc MCMCConfig, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
+	return SearchOnFabricContext(context.Background(), m, fab, n, batch, mc, gpu)
 }
 
 // SearchOnFabricContext is SearchOnFabric with cancellation, polled
-// between MCMC iterations and before the final simulation.
-func SearchOnFabricContext(ctx context.Context, m *model.Model, fab *Fabric, n, batch, iters int, seed int64, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
+// between MCMC iterations (per chain) and before the final simulation.
+func SearchOnFabricContext(ctx context.Context, m *model.Model, fab *Fabric, n, batch int, mc MCMCConfig, gpu model.GPU) (parallel.Strategy, IterationResult, error) {
 	if gpu.PeakFLOPS == 0 {
 		gpu = model.A100
 	}
@@ -159,7 +172,8 @@ func SearchOnFabricContext(ctx context.Context, m *model.Model, fab *Fabric, n, 
 		}
 		return EstimateIteration(fab, d, s.MaxComputeTime(m, gpu, batch))
 	}
-	st, _ := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: iters, Seed: seed, Ctx: ctx})
+	mc.Ctx = ctx
+	st, _ := MCMCSearch(m, n, batch, eval, mc)
 	if err := ctx.Err(); err != nil {
 		return st, IterationResult{}, err
 	}

@@ -30,6 +30,7 @@ func SimulateIteration(f *Fabric, dem traffic.Demand, computeTime float64) (Iter
 			return 0, nil
 		}
 		sim := f.AcquireSim()
+		defer f.ReleaseSim(sim)
 		pending := 0
 		if err := f.InjectMatrix(sim, tm, &pending, nil); err != nil {
 			return 0, err

@@ -10,6 +10,8 @@
 package flexnet
 
 import (
+	"sync"
+
 	"topoopt/internal/core"
 	"topoopt/internal/netsim"
 	"topoopt/internal/route"
@@ -31,23 +33,32 @@ type Fabric struct {
 	// negative selects the default 1 µs.
 	LinkLatency float64
 
-	// sim is the fabric's cached simulator, reused across evaluations so
-	// MCMC iterations and sweep points stop re-allocating one per call.
-	sim *netsim.Sim
+	// simPool recycles simulators across evaluations so MCMC iterations
+	// and sweep points stop re-allocating one per call. A pool (rather
+	// than a single cached instance) lets concurrent users — parallel
+	// search chains, overlapping service requests — each hold their own
+	// simulator while still reusing retired ones via Sim.Reset.
+	simPool sync.Pool
 }
 
-// AcquireSim returns the fabric's cached simulator, reset to the empty
-// state over the fabric's graph. Each call invalidates the previous one's
-// state, so at most one simulation per fabric may be in flight — fine for
-// the sequential evaluation loops this repository runs. Not safe for
-// concurrent use.
+// AcquireSim returns a simulator reset to the empty state over the
+// fabric's graph, reusing a pooled instance when one is available (the
+// allocation-free path) and allocating otherwise. Callers that finish a
+// simulation should hand the instance back with ReleaseSim so the next
+// evaluation can Reset-reuse it. Safe for concurrent use: every caller
+// gets a private instance.
 func (f *Fabric) AcquireSim() *netsim.Sim {
-	if f.sim == nil {
-		f.sim = netsim.New(f.Net.G, f.LinkLatency)
-	} else {
-		f.sim.Reset(f.Net.G, f.LinkLatency)
+	if s, ok := f.simPool.Get().(*netsim.Sim); ok {
+		s.Reset(f.Net.G, f.LinkLatency)
+		return s
 	}
-	return f.sim
+	return netsim.New(f.Net.G, f.LinkLatency)
+}
+
+// ReleaseSim returns a simulator obtained from AcquireSim to the pool.
+// The caller must not use it afterwards.
+func (f *Fabric) ReleaseSim(s *netsim.Sim) {
+	f.simPool.Put(s)
 }
 
 // NewSwitchFabric prepares a switch-based network (Ideal Switch, Fat-tree,

@@ -216,7 +216,7 @@ func TestCoOptimizeBeatsCostEquivalentFatTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	ft := NewSwitchFabric(topo.FatTree(n, 100e9))
-	_, ftIter, err := SearchOnFabric(m, ft, n, 0, 30, 1, model.GPU{})
+	_, ftIter, err := SearchOnFabric(m, ft, n, 0, MCMCConfig{Iters: 30, Seed: 1}, model.GPU{})
 	if err != nil {
 		t.Fatal(err)
 	}

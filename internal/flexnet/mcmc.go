@@ -4,12 +4,19 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"topoopt/internal/model"
 	"topoopt/internal/parallel"
 )
 
-// Evaluator scores a strategy: lower is better (iteration seconds).
+// Evaluator scores a strategy: lower is better (iteration seconds). It
+// must be deterministic (MCMC results are memoized by strategy
+// fingerprint) and, when the search runs more than one chain worker
+// (Parallelism > 1 and Workers != 1), safe for concurrent use. The
+// evaluators flexnet itself builds (traffic.FromStrategy +
+// EstimateIteration over an immutable Fabric) satisfy both.
 type Evaluator func(parallel.Strategy) float64
 
 // DefaultMCMCIters is the strategy-search budget applied whenever a
@@ -18,27 +25,139 @@ type Evaluator func(parallel.Strategy) float64
 // Optimize/Compare entry points all inherit it from MCMCSearch.
 const DefaultMCMCIters = 200
 
+// mcmcExchangePeriod is the epoch length: how many proposals each chain
+// runs between best-so-far exchanges. It is a fixed constant (not derived
+// from the worker count), so the exchange schedule — and therefore the
+// result — depends only on (Seed, Iters, Parallelism).
+const mcmcExchangePeriod = 25
+
+// MaxParallelism bounds MCMCConfig.Parallelism (and the wire-level
+// Options.Parallelism): chains beyond any plausible core count only cost
+// memory, and the bound keeps a hostile planning request from allocating
+// an unbounded chain array.
+const MaxParallelism = 64
+
 // MCMCConfig parameterizes the FlexFlow-style Markov-chain Monte Carlo
 // search over parallelization strategies (§4.1 uses FlexFlow's search in
 // the Comp.×Comm. plane).
 type MCMCConfig struct {
-	// Iters is the proposal budget (default DefaultMCMCIters).
+	// Iters is the total proposal budget across all chains (default
+	// DefaultMCMCIters). With Parallelism K it is split as evenly as
+	// possible: chain i gets Iters/K proposals, the first Iters%K chains
+	// one extra.
 	Iters int
 	Seed  int64
 	// Temp is the initial Metropolis temperature as a fraction of the
-	// initial cost (default 0.05). Temperature decays linearly to ~0.
+	// initial cost (default 0.05). Temperature decays linearly to ~0 over
+	// each chain's own budget.
 	Temp float64
-	// Ctx, when non-nil, is checked between iterations: a cancelled or
-	// expired context stops the chain early and the best strategy found
-	// so far is returned. The check sits between iterations (never inside
-	// an evaluation), so it adds no cost to the simulation hot path.
+	// Ctx, when non-nil, is checked by every chain between its own
+	// iterations: a cancelled or expired context stops all chains early
+	// and the best strategy found so far is returned. The check sits
+	// between iterations (never inside an evaluation), so it adds no cost
+	// to the simulation hot path.
 	Ctx context.Context
+	// Parallelism is the number of independent chains K (default 1).
+	// Each chain draws from its own rand.Source derived deterministically
+	// from Seed, so the result depends only on (Seed, Iters, Parallelism)
+	// — never on Workers, GOMAXPROCS or scheduling. K=1 reproduces the
+	// original sequential chain exactly.
+	Parallelism int
+	// Workers bounds the goroutines that execute chain epochs (default
+	// min(Parallelism, GOMAXPROCS)). Purely an execution hint: any value
+	// produces byte-identical results. Services use it to keep
+	// per-request search threads within a global budget.
+	Workers int
+}
+
+// mcmcChain is one independently-seeded Metropolis chain. Chains advance
+// in epoch steps of mcmcExchangePeriod proposals; between epochs the
+// engine merges their memo deltas into the shared store and runs the
+// pull-only best exchange.
+type mcmcChain struct {
+	rng      *rand.Rand
+	cur      parallel.Strategy
+	curCost  float64
+	best     parallel.Strategy
+	bestCost float64
+	t0       float64 // initial temperature (Temp × starting cost)
+	iters    int     // this chain's share of the total budget
+	done     int     // proposals consumed so far
+	// delta holds evaluations made this epoch. It is chain-private while
+	// chains run and merged into the shared store at the barrier, so
+	// chains read the store without any synchronization.
+	delta map[string]float64
+}
+
+// memoShards is the shard count of the shared memo store. Sharding keeps
+// each underlying map small (cheaper rehash during barrier merges) and
+// leaves room to parallelize the merge itself if it ever shows up in
+// profiles.
+const memoShards = 16
+
+// memoStore is the strategy-fingerprint → cost cache shared by all
+// chains. Reads are mutex-free: writes only happen at epoch barriers
+// (merge) or before chains start (put), when no chain goroutine is
+// running, and the barrier's WaitGroup establishes the happens-before
+// edge for the next epoch's readers.
+type memoStore struct {
+	shards [memoShards]map[string]float64
+}
+
+func newMemoStore() *memoStore {
+	ms := &memoStore{}
+	for i := range ms.shards {
+		ms.shards[i] = make(map[string]float64)
+	}
+	return ms
+}
+
+// memoShard hashes a fingerprint to its shard (FNV-1a).
+func memoShard(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % memoShards)
+}
+
+func (ms *memoStore) get(key string) (float64, bool) {
+	v, ok := ms.shards[memoShard(key)][key]
+	return v, ok
+}
+
+// put inserts one entry. Only call while no chain is running.
+func (ms *memoStore) put(key string, v float64) {
+	ms.shards[memoShard(key)][key] = v
+}
+
+// merge folds a chain's epoch delta into the store. Only call at a
+// barrier. Map iteration order is irrelevant: a fingerprint always maps
+// to the same deterministic cost, whichever chain computed it.
+func (ms *memoStore) merge(delta map[string]float64) {
+	for k, v := range delta {
+		ms.shards[memoShard(k)][k] = v
+	}
+}
+
+// chainSeed derives chain i's rand.Source seed from the root seed using a
+// splitmix64-style golden-ratio increment. chainSeed(root, 0) == root, so
+// a single chain replays exactly the sequence the sequential search used.
+func chainSeed(root int64, chain int) int64 {
+	return int64(uint64(root) + uint64(chain)*0x9E3779B97F4A7C15)
 }
 
 // MCMCSearch explores layer-wise parallelization decisions starting from
 // the hybrid strategy: proposals move a shard to another server, toggle a
 // shardable layer between sharded and replicated, or swap two shard
-// placements. Returns the best strategy found and its cost.
+// placements. With cfg.Parallelism = K > 1 the total budget is split
+// across K independently-seeded chains that run concurrently on a bounded
+// goroutine pool, share the evaluation memo, and exchange their
+// best-so-far at epoch barriers (pull-only: a chain adopts the global
+// best only when it strictly beats everything the chain has seen).
+// Returns the global argmin over all chains and its cost; ties resolve to
+// the lowest chain index, so the result is identical for any worker count
+// or GOMAXPROCS setting.
 func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConfig) (parallel.Strategy, float64) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = DefaultMCMCIters
@@ -46,79 +165,206 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 	if cfg.Temp <= 0 {
 		cfg.Temp = 0.05
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// Memoize evaluator results by strategy fingerprint: the chain
-	// revisits states constantly (rejected proposals, toggles that undo
-	// each other), and the evaluator is deterministic, so a revisit is a
-	// map hit instead of a re-evaluation.
-	memo := make(map[string]float64)
-	rawEval := eval
-	eval = func(s parallel.Strategy) float64 {
-		key := s.Fingerprint()
-		if c, ok := memo[key]; ok {
-			return c
-		}
-		c := rawEval(s)
-		memo[key] = c
-		return c
+	k := cfg.Parallelism
+	if k <= 0 {
+		k = 1
+	}
+	if k > MaxParallelism {
+		k = MaxParallelism
 	}
 
-	cur := parallel.Hybrid(m, n)
-	curCost := eval(cur)
-	best := cur.Clone()
-	bestCost := curCost
-
+	// Evaluate the two canonical starting points once, shared by every
+	// chain. (When the model has no shardable layers they coincide and
+	// the fingerprint dedupes the second evaluation.)
+	store := newMemoStore()
+	hybrid := parallel.Hybrid(m, n)
+	hybridCost := eval(hybrid)
+	store.put(hybrid.Fingerprint(), hybridCost)
 	// Also consider the pure-DP start; keep whichever is better (the
 	// paper's final strategies are "either hybrid or pure data-parallel",
 	// §5.1).
 	dp := parallel.DataParallel(m, n)
-	if c := eval(dp); c < bestCost {
-		cur, curCost = dp.Clone(), c
-		best, bestCost = dp, c
+	dpCost, ok := store.get(dp.Fingerprint())
+	if !ok {
+		dpCost = eval(dp)
+		store.put(dp.Fingerprint(), dpCost)
+	}
+
+	best := hybrid.Clone()
+	bestCost := hybridCost
+	if dpCost < bestCost {
+		best, bestCost = dp.Clone(), dpCost
 	}
 
 	shardable := m.ShardableLayers()
 	if len(shardable) == 0 {
 		return best, bestCost
 	}
-	t0 := cfg.Temp * curCost
-	for it := 0; it < cfg.Iters; it++ {
-		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-			return best, bestCost
+
+	chains := make([]*mcmcChain, k)
+	per, extra := cfg.Iters/k, cfg.Iters%k
+	for i := range chains {
+		c := &mcmcChain{
+			rng:   rand.New(rand.NewSource(chainSeed(cfg.Seed, i))),
+			iters: per,
+			delta: make(map[string]float64),
 		}
-		prop := cur.Clone()
-		li := shardable[rng.Intn(len(shardable))]
-		switch rng.Intn(3) {
+		if i < extra {
+			c.iters++
+		}
+		c.cur, c.curCost = hybrid.Clone(), hybridCost
+		if dpCost < c.curCost {
+			c.cur, c.curCost = dp.Clone(), dpCost
+		}
+		c.best, c.bestCost = c.cur.Clone(), c.curCost
+		c.t0 = cfg.Temp * c.curCost
+		chains[i] = c
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+
+	run := func(c *mcmcChain) { c.runEpoch(n, shardable, eval, store, cfg) }
+	active := make([]*mcmcChain, 0, k)
+	for {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break
+		}
+		active = active[:0]
+		for _, c := range chains {
+			if c.done < c.iters {
+				active = append(active, c)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+		runChainEpochs(active, workers, run)
+		// Barrier reached: merge epoch deltas (chain order; values are
+		// deterministic per key so the order cannot matter) and run the
+		// pull-only exchange.
+		for _, c := range chains {
+			store.merge(c.delta)
+			clear(c.delta)
+		}
+		g := chains[0]
+		for _, c := range chains[1:] {
+			if c.bestCost < g.bestCost {
+				g = c
+			}
+		}
+		for _, c := range chains {
+			if g.bestCost < c.bestCost {
+				c.cur, c.curCost = g.best.Clone(), g.bestCost
+				c.best, c.bestCost = g.best.Clone(), g.bestCost
+			}
+		}
+	}
+
+	for _, c := range chains {
+		if c.bestCost < bestCost {
+			best, bestCost = c.best, c.bestCost
+		}
+	}
+	return best, bestCost
+}
+
+// runChainEpochs executes one epoch for every active chain on at most
+// `workers` goroutines and waits for all of them (the barrier). A single
+// worker — the K=1 case, or a service that pinned the search to one
+// thread — runs inline with zero goroutine overhead.
+func runChainEpochs(active []*mcmcChain, workers int, run func(*mcmcChain)) {
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers <= 1 {
+		for _, c := range active {
+			run(c)
+		}
+		return
+	}
+	work := make(chan *mcmcChain)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				run(c)
+			}
+		}()
+	}
+	for _, c := range active {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+}
+
+// runEpoch advances the chain by up to mcmcExchangePeriod proposals,
+// stopping early when its budget is exhausted or cfg.Ctx is cancelled.
+// The proposal/accept logic is exactly the original sequential search's,
+// so one chain with the whole budget reproduces it move for move.
+func (c *mcmcChain) runEpoch(n int, shardable []int, eval Evaluator, store *memoStore, cfg MCMCConfig) {
+	// memoEval consults the chain's epoch delta, then the shared store
+	// (read-only during the epoch), and only then pays for an evaluation.
+	memoEval := func(s parallel.Strategy) float64 {
+		key := s.Fingerprint()
+		if v, ok := c.delta[key]; ok {
+			return v
+		}
+		if v, ok := store.get(key); ok {
+			return v
+		}
+		v := eval(s)
+		c.delta[key] = v
+		return v
+	}
+
+	stop := c.done + mcmcExchangePeriod
+	if stop > c.iters {
+		stop = c.iters
+	}
+	for ; c.done < stop; c.done++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return
+		}
+		prop := c.cur.Clone()
+		li := shardable[c.rng.Intn(len(shardable))]
+		switch c.rng.Intn(3) {
 		case 0: // move shard (or shard a replicated layer) to a random host
-			prop.PlaceShard(li, rng.Intn(n))
+			prop.PlaceShard(li, c.rng.Intn(n))
 		case 1: // toggle
 			if prop.Layers[li].Kind == parallel.Sharded {
 				prop.Replicate(li)
 			} else {
-				prop.PlaceShard(li, rng.Intn(n))
+				prop.PlaceShard(li, c.rng.Intn(n))
 			}
 		case 2: // swap placements of two sharded layers
-			lj := shardable[rng.Intn(len(shardable))]
+			lj := shardable[c.rng.Intn(len(shardable))]
 			if prop.Layers[li].Kind == parallel.Sharded && prop.Layers[lj].Kind == parallel.Sharded {
 				prop.Layers[li].Group, prop.Layers[lj].Group =
 					prop.Layers[lj].Group, prop.Layers[li].Group
 			} else {
-				prop.PlaceShard(li, rng.Intn(n))
+				prop.PlaceShard(li, c.rng.Intn(n))
 			}
 		}
-		propCost := eval(prop)
-		temp := t0 * (1 - float64(it)/float64(cfg.Iters))
-		accept := propCost <= curCost
+		propCost := memoEval(prop)
+		temp := c.t0 * (1 - float64(c.done)/float64(c.iters))
+		accept := propCost <= c.curCost
 		if !accept && temp > 0 {
-			accept = rng.Float64() < math.Exp((curCost-propCost)/temp)
+			accept = c.rng.Float64() < math.Exp((c.curCost-propCost)/temp)
 		}
 		if accept {
-			cur, curCost = prop, propCost
-			if curCost < bestCost {
-				best, bestCost = cur.Clone(), curCost
+			c.cur, c.curCost = prop, propCost
+			if c.curCost < c.bestCost {
+				c.best, c.bestCost = c.cur.Clone(), c.curCost
 			}
 		}
 	}
-	return best, bestCost
 }

@@ -43,8 +43,20 @@ type Config struct {
 	// MaxJobs bounds tracked async jobs; the oldest finished jobs are
 	// evicted past the bound (default 1024).
 	MaxJobs int
+	// SearchThreads is the total goroutine budget the service grants to
+	// parallel MCMC chains across all concurrent optimizations (default
+	// GOMAXPROCS). The budget is metered on demand: a request asking for
+	// Parallelism K acquires up to K workers from whatever is currently
+	// unclaimed — a lone request on an idle daemon gets min(K,
+	// SearchThreads) genuinely concurrent chains, while a full pool
+	// degrades each request toward one goroutine (never below, so
+	// searches always make progress). The cap is an execution hint only:
+	// a request's plan is identical whether its chains run on one
+	// goroutine or eight.
+	SearchThreads int
 	// Optimize overrides the planner (tests); default
-	// topoopt.OptimizeContext.
+	// topoopt.OptimizeContext with the per-request search-worker cap
+	// applied.
 	Optimize OptimizeFunc
 }
 
@@ -103,6 +115,10 @@ type flight struct {
 type Service struct {
 	cfg      Config
 	optimize OptimizeFunc
+	// chains meters SearchThreads across in-flight searches. Every
+	// optimization AND every comparison acquires through it, so no
+	// request type can bypass the thread budget.
+	chains *chainBudget
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -134,14 +150,27 @@ func New(cfg Config) *Service {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.SearchThreads <= 0 {
+		cfg.SearchThreads = runtime.GOMAXPROCS(0)
+	}
+	chains := &chainBudget{avail: cfg.SearchThreads}
 	if cfg.Optimize == nil {
 		cfg.Optimize = func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			// SearchWorkers is server policy, never client input (it is
+			// excluded from the wire format): acquire chain workers from
+			// the shared budget for the duration of the optimization, so
+			// concurrent parallel searches cannot oversubscribe the host
+			// while a lone request gets the whole budget.
+			granted := chains.acquire(o.Parallelism)
+			defer chains.release(granted)
+			o.SearchWorkers = granted
 			return topoopt.OptimizeContext(ctx, m, o)
 		}
 	}
 	s := &Service{
 		cfg:      cfg,
 		optimize: cfg.Optimize,
+		chains:   chains,
 		queue:    make(chan func(), cfg.QueueLen),
 		cache:    newPlanCache(cfg.CacheEntries),
 		flights:  make(map[string]*flight),
@@ -154,6 +183,43 @@ func New(cfg Config) *Service {
 		go s.worker()
 	}
 	return s
+}
+
+// chainBudget meters the SearchThreads goroutine budget across in-flight
+// searches on demand. acquire never blocks and never returns less than
+// one (searches must always make progress), so when the budget is
+// exhausted, extra requests run their chains sequentially; the soft
+// floor lets avail go transiently negative and release restores it.
+// Plans are unaffected by whatever is granted (the worker count is an
+// execution hint — chain count and seeds fully determine the result).
+type chainBudget struct {
+	mu    sync.Mutex
+	avail int
+}
+
+// acquire claims up to want workers (want ≤ 0 is treated as 1, the
+// sequential search). Pair every acquire with a release of the grant.
+func (b *chainBudget) acquire(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := 1
+	if b.avail > 0 {
+		g = want
+		if g > b.avail {
+			g = b.avail
+		}
+	}
+	b.avail -= g
+	return g
+}
+
+func (b *chainBudget) release(n int) {
+	b.mu.Lock()
+	b.avail += n
+	b.mu.Unlock()
 }
 
 func (s *Service) worker() {
@@ -363,13 +429,18 @@ func (s *Service) abandon(f *flight) {
 
 // Compare runs topoopt.CompareContext on the worker pool (bounded like
 // plans, but uncached: comparisons sweep up to seven architectures and are
-// not on the serving hot path).
+// not on the serving hot path). The per-request search-worker cap applies
+// here too: comparisons run the same parallel MCMC chains as plans and
+// must not bypass the SearchThreads budget.
 func (s *Service) Compare(ctx context.Context, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) ([]topoopt.CompareResult, error) {
 	var (
 		res []topoopt.CompareResult
 		err error
 	)
 	runErr := s.runTask(ctx, func(tctx context.Context) {
+		granted := s.chains.acquire(o.Parallelism)
+		defer s.chains.release(granted)
+		o.SearchWorkers = granted
 		res, err = topoopt.CompareContext(tctx, m, o, archs...)
 	})
 	if runErr != nil {

@@ -1,0 +1,111 @@
+package topoopt
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestOptimizeParallelPlanByteIdentical is the determinism proof the
+// parallel search engine promises at the plan level: same seed + same
+// Parallelism K ⇒ byte-identical serialized plan, across repeat runs,
+// across SearchWorkers settings and across GOMAXPROCS values.
+func TestOptimizeParallelPlanByteIdentical(t *testing.T) {
+	m := DLRM(Sec6)
+	opts := Options{
+		Servers: 12, Degree: 4, LinkBandwidth: 25e9,
+		Rounds: 1, MCMCIters: 80, Seed: 5, Parallelism: 4,
+	}
+	marshal := func(o Options) []byte {
+		t.Helper()
+		plan, err := Optimize(m, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := marshal(opts)
+
+	if again := marshal(opts); !bytes.Equal(base, again) {
+		t.Error("same seed + same K produced different plans across runs")
+	}
+
+	pinned := opts
+	pinned.SearchWorkers = 1
+	if b := marshal(pinned); !bytes.Equal(base, b) {
+		t.Error("plan changed when chains ran on a single worker")
+	}
+	pinned.SearchWorkers = 8
+	if b := marshal(pinned); !bytes.Equal(base, b) {
+		t.Error("plan changed when chains ran on eight workers")
+	}
+
+	old := runtime.GOMAXPROCS(4)
+	b := marshal(opts)
+	runtime.GOMAXPROCS(old)
+	if !bytes.Equal(base, b) {
+		t.Error("plan changed under a different GOMAXPROCS")
+	}
+}
+
+// TestOptionsParallelismValidation pins the bounds of the new knob.
+func TestOptionsParallelismValidation(t *testing.T) {
+	ok := Options{Servers: 8, Degree: 4, LinkBandwidth: 100e9}
+	for _, k := range []int{0, 1, 64} {
+		o := ok
+		o.Parallelism = k
+		if err := o.Validate(); err != nil {
+			t.Errorf("Parallelism %d should validate: %v", k, err)
+		}
+	}
+	for _, k := range []int{-1, 65, 1 << 20} {
+		o := ok
+		o.Parallelism = k
+		if err := o.Validate(); err == nil {
+			t.Errorf("Parallelism %d should be rejected", k)
+		}
+	}
+}
+
+// TestOptionsParallelismCanonicalAndWire pins the wire contract:
+// parallelism is part of the JSON format (it changes results), omitted
+// and explicit-1 spell the same canonical computation, and SearchWorkers
+// never reaches the wire.
+func TestOptionsParallelismCanonicalAndWire(t *testing.T) {
+	o := Options{Servers: 8, Degree: 4, LinkBandwidth: 100e9, Parallelism: 8, SearchWorkers: 3}
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["parallelism"] != float64(8) {
+		t.Errorf("parallelism missing from wire format: %s", b)
+	}
+	for k := range m {
+		if k == "search_workers" || k == "SearchWorkers" {
+			t.Errorf("execution hint leaked onto the wire: %s", b)
+		}
+	}
+
+	if got := (Options{Servers: 8, Degree: 4, LinkBandwidth: 100e9}).Canonical().Parallelism; got != 1 {
+		t.Errorf("Canonical Parallelism = %d, want 1", got)
+	}
+	var decoded Options
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Parallelism != 8 {
+		t.Errorf("round-trip lost parallelism: %+v", decoded)
+	}
+	if decoded.SearchWorkers != 0 {
+		t.Errorf("SearchWorkers should not round-trip, got %d", decoded.SearchWorkers)
+	}
+}

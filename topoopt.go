@@ -93,6 +93,19 @@ type Options struct {
 	PrimeOnly bool `json:"prime_only,omitempty"`
 	// GPU overrides the accelerator model (default A100).
 	GPU GPU `json:"gpu"`
+	// Parallelism is the number of parallel MCMC chains (K) per strategy
+	// search (default 1, max flexnet.MaxParallelism). Semantic: the plan
+	// depends deterministically on (Seed, Parallelism) — the same seed
+	// and K produce a byte-identical plan for any worker count or
+	// GOMAXPROCS setting — so K is part of the wire format and the
+	// service fingerprint.
+	Parallelism int `json:"parallelism,omitempty"`
+	// SearchWorkers bounds the goroutines executing those chains
+	// (0 = min(Parallelism, GOMAXPROCS)). A pure execution hint that
+	// never changes results, so it is excluded from the wire format and
+	// the fingerprint; the planning service sets it per request from its
+	// global search-thread budget.
+	SearchWorkers int `json:"-"`
 }
 
 // Validate checks that the options describe a feasible deployment. It is
@@ -108,15 +121,23 @@ func (o Options) Validate() error {
 	if o.LinkBandwidth <= 0 {
 		return fmt.Errorf("topoopt: LinkBandwidth must be positive, got %g", o.LinkBandwidth)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("topoopt: Parallelism must be >= 0, got %d", o.Parallelism)
+	}
+	if o.Parallelism > flexnet.MaxParallelism {
+		return fmt.Errorf("topoopt: Parallelism must be <= %d, got %d", flexnet.MaxParallelism, o.Parallelism)
+	}
 	return nil
 }
 
 // Canonical returns o with defaulted fields made explicit — the same
 // defaults the optimization itself applies (Rounds 3, MCMCIters 200, GPU
-// A100) — so an omitted field and its explicit default describe the same
-// computation. The serving layer fingerprints canonical options, letting
-// both spellings share one cache entry. BatchPerGPU stays as-is: its
-// default is per-model and only known after preset resolution.
+// A100, Parallelism 1) — so an omitted field and its explicit default
+// describe the same computation. The serving layer fingerprints canonical
+// options, letting both spellings share one cache entry. BatchPerGPU
+// stays as-is: its default is per-model and only known after preset
+// resolution. SearchWorkers is untouched: it never affects results and is
+// excluded from the wire format anyway.
 func (o Options) Canonical() Options {
 	if o.Rounds <= 0 {
 		o.Rounds = 3
@@ -126,6 +147,9 @@ func (o Options) Canonical() Options {
 	}
 	if o.GPU.PeakFLOPS == 0 {
 		o.GPU = A100
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -198,6 +222,7 @@ func OptimizeContext(ctx context.Context, m *Model, o Options) (*Plan, error) {
 		N: o.Servers, Degree: o.Degree, LinkBW: o.LinkBandwidth,
 		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
 		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
+		Parallelism: o.Parallelism, SearchWorkers: o.SearchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -314,7 +339,10 @@ func CompareContext(ctx context.Context, m *Model, o Options, archs ...Architect
 			if err != nil {
 				return nil, err
 			}
-			_, it, err := flexnet.SearchOnFabricContext(ctx, m, fab, o.Servers, o.BatchPerGPU, o.MCMCIters, o.Seed, o.GPU)
+			_, it, err := flexnet.SearchOnFabricContext(ctx, m, fab, o.Servers, o.BatchPerGPU, flexnet.MCMCConfig{
+				Iters: o.MCMCIters, Seed: o.Seed,
+				Parallelism: o.Parallelism, Workers: o.SearchWorkers,
+			}, o.GPU)
 			if err != nil {
 				return nil, err
 			}
