@@ -24,7 +24,8 @@ SHELL := /bin/bash
 # `build` compiles ./... which includes examples/; TestExamplesBuild in
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
-	serve-benchcheck flexnet-bench flexnet-benchcheck bench-smoke lint ci
+	serve-benchcheck flexnet-bench flexnet-benchcheck bench-smoke cover \
+	lint ci
 
 tier1: fmt vet build test
 
@@ -62,12 +63,16 @@ serve-benchcheck:
 	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -check BENCH_serve.json $(BENCHDIFF_FLAGS)
 
+# The flexnet suite records the search engine AND the registry-dispatched
+# Compare sweep (BenchmarkCompare in the root package): the comparison
+# path is two map lookups per architecture on top of the searches, so the
+# recorded number is the guard that registry dispatch stays free.
 flexnet-bench:
-	$(GO) test ./internal/flexnet -run '^$$' -bench BenchmarkMCMCSearch -benchmem -benchtime=$(BENCHTIME) \
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -out BENCH_flexnet.json
 
 flexnet-benchcheck:
-	$(GO) test ./internal/flexnet -run '^$$' -bench BenchmarkMCMCSearch -benchmem -benchtime=$(BENCHTIME) \
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -check BENCH_flexnet.json $(BENCHDIFF_FLAGS)
 
 # Short-benchtime pass over every recorded suite. Warn-only: CI runners
@@ -75,6 +80,26 @@ flexnet-benchcheck:
 # regressions, not 1.3x ones.
 bench-smoke:
 	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck
+
+# Per-package coverage floors for the packages where a silent coverage
+# slide is most dangerous: the architecture registry (every backend must
+# stay exercised or a broken fabric ships silently) and the cost model
+# (unpriced components corrupt every Figure 10 reproduction). Floors sit
+# below current coverage with headroom for refactors; raise them as the
+# packages grow.
+COVER_FLOORS := internal/arch:80 internal/cost:90
+
+cover:
+	@set -e; for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		out=$$($(GO) test -cover ./$$pkg 2>&1) \
+			|| { echo "$$out"; echo "cover: tests failed in $$pkg"; exit 1; }; \
+		pct=$$(echo "$$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; exit 1; fi; \
+		echo "$$pkg: $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' \
+			|| { echo "cover: $$pkg coverage $$pct% below floor $$floor%"; exit 1; }; \
+	done
 
 # staticcheck and govulncheck run when installed (CI installs them; dev
 # machines may not have them, and the tier-1 gate must stay hermetic).
@@ -91,4 +116,4 @@ lint:
 	fi
 
 # The exact job list of .github/workflows/ci.yml, runnable locally.
-ci: tier1 race lint bench-smoke
+ci: tier1 race cover lint bench-smoke

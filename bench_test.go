@@ -206,6 +206,29 @@ func BenchmarkAblationMultiRing(b *testing.B) {
 	}
 }
 
+// BenchmarkCompare sweeps every registered architecture backend through
+// the public Compare at a tiny budget. Recorded via `make flexnet-bench`
+// into BENCH_flexnet.json: the number tracks the registry-dispatch path
+// end to end, so replacing the old per-arch switch with Lookup/Evaluate
+// must not move it (dispatch is two map reads per architecture against
+// seconds of search).
+func BenchmarkCompare(b *testing.B) {
+	m := CANDLE(Sec6)
+	opts := Options{Servers: 8, Degree: 2, LinkBandwidth: 100e9,
+		Rounds: 1, MCMCIters: 5, Seed: 3}
+	archs := Architectures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Compare(m, opts, archs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(archs) {
+			b.Fatalf("results = %d, want %d", len(res), len(archs))
+		}
+	}
+}
+
 // BenchmarkOptimizeEndToEnd times the public-API co-optimization itself.
 func BenchmarkOptimizeEndToEnd(b *testing.B) {
 	m := DLRM(Sec6)

@@ -1,5 +1,8 @@
 // Command costcalc prices interconnect architectures with the §5.2 cost
-// model (Table 2 component prices, Appendix G bill of materials).
+// model (Table 2 component prices, Appendix G bill of materials). Every
+// registered fabric backend is priced: the §5.1 comparison set in the
+// figure's cheap-to-expensive order, then any additional backends in
+// registry order.
 //
 // Usage:
 //
@@ -11,8 +14,29 @@ import (
 	"fmt"
 	"os"
 
-	"topoopt/internal/cost"
+	"topoopt"
+	"topoopt/internal/arch"
+	"topoopt/internal/experiments"
 )
+
+// priceOrder returns every registered architecture: Figure 10's
+// cheap-to-expensive order for the §5.1 set (shared with the figure
+// generator), then backends registered since, in registry order.
+func priceOrder() []topoopt.Architecture {
+	figure := experiments.Fig10ArchOrder()
+	listed := make(map[topoopt.Architecture]bool, len(figure))
+	out := make([]topoopt.Architecture, 0, len(figure))
+	for _, a := range figure {
+		out = append(out, topoopt.Architecture(a))
+		listed[topoopt.Architecture(a)] = true
+	}
+	for _, a := range topoopt.Architectures() {
+		if !listed[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -22,20 +46,24 @@ func main() {
 	)
 	flag.Parse()
 	bw := *bandwidth * 1e9
-	archs := []string{cost.ArchExpander, cost.ArchTopoOpt, cost.ArchFatTree,
-		cost.ArchOCS, cost.ArchOversub, cost.ArchIdeal, cost.ArchSiPML}
 	fmt.Printf("Interconnect cost, n=%d servers, d=%d, B=%.0f Gbps\n",
 		*servers, *degree, *bandwidth)
-	topoCost, _ := cost.Of(cost.ArchTopoOpt, *servers, *degree, bw)
-	for _, a := range archs {
-		c, err := cost.Of(a, *servers, *degree, bw)
+	topoCost, err := topoopt.Cost(topoopt.ArchTopoOpt, *servers, *degree, bw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costcalc:", err)
+		os.Exit(1)
+	}
+	for _, a := range priceOrder() {
+		c, err := topoopt.Cost(a, *servers, *degree, bw)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "costcalc:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("  %-16s $%12.0f  (%.2fx TopoOpt)\n", a, c, c/topoCost)
 	}
-	bft := cost.EquivalentFatTreeBandwidth(*servers, *degree, bw)
-	fmt.Printf("cost-equivalent Fat-tree per-server bandwidth: %.0f Gbps (vs d*B = %.0f Gbps)\n",
-		bft/1e9, float64(*degree)**bandwidth)
+	if ft, ok := arch.Lookup(string(topoopt.ArchFatTree)); ok {
+		spec := ft.Interfaces(arch.Options{Servers: *servers, Degree: *degree, LinkBW: bw})
+		fmt.Printf("cost-equivalent Fat-tree per-server bandwidth: %.0f Gbps (vs d*B = %.0f Gbps)\n",
+			spec.LinkBW/1e9, float64(*degree)**bandwidth)
+	}
 }

@@ -7,10 +7,16 @@
 //
 //	topoopt -model dlrm -servers 16 -degree 4 -bandwidth 100 [-batch 128]
 //	        [-rounds 3] [-mcmc 200] [-parallel 8] [-seed 1]
-//	        [-section 5.3|5.6|6] [-v]
+//	        [-section 5.3|5.6|6] [-arch TopoOpt] [-list-archs] [-v]
 //
 // -parallel K splits the MCMC budget over K concurrent chains; the plan
 // is deterministic for a fixed (seed, K) regardless of core count.
+//
+// -arch selects any fabric backend from the architecture registry
+// (-list-archs prints the menu). The default, TopoOpt, prints the full
+// deployable plan; any other backend evaluates the workload on that
+// fabric and prints its predicted iteration time and §5.2 interconnect
+// cost.
 package main
 
 import (
@@ -36,19 +42,38 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "parallel MCMC chains K (deterministic per seed+K)")
 		seed      = flag.Int64("seed", 1, "search seed")
 		prime     = flag.Bool("prime", false, "restrict TotientPerms to prime generators")
+		archName  = flag.String("arch", string(topoopt.ArchTopoOpt),
+			"fabric backend to evaluate (see -list-archs); TopoOpt prints the full plan")
+		listArchs = flag.Bool("list-archs", false, "list registered architecture backends and exit")
 		verbose   = flag.Bool("v", false, "print full routing table")
 	)
 	flag.Parse()
+
+	if *listArchs {
+		for _, a := range topoopt.Architectures() {
+			fmt.Println(a)
+		}
+		return
+	}
 
 	m, err := pickModel(*modelName, *section)
 	if err != nil {
 		fatal(err)
 	}
-	plan, err := topoopt.Optimize(m, topoopt.Options{
+	opts := topoopt.Options{
 		Servers: *servers, Degree: *degree, LinkBandwidth: *bandwidth * 1e9,
 		BatchPerGPU: *batch, Rounds: *rounds, MCMCIters: *mcmc,
 		Seed: *seed, PrimeOnly: *prime, Parallelism: *parallel,
-	})
+	}
+	if topoopt.Architecture(*archName) != topoopt.ArchTopoOpt {
+		out, err := evaluateArch(m, opts, *archName, *bandwidth)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	plan, err := topoopt.Optimize(m, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,6 +129,30 @@ func main() {
 
 func pickModel(name, section string) (*topoopt.Model, error) {
 	return topoopt.ModelSpec{Preset: name, Section: section}.Resolve()
+}
+
+// evaluateArch runs one non-TopoOpt backend through Compare and formats
+// its iteration-time breakdown and interconnect cost. Deterministic for
+// fixed flags: the backends pin their construction and search seeds to
+// Options, so repeated invocations print identical bytes.
+func evaluateArch(m *topoopt.Model, o topoopt.Options, name string, gbps float64) (string, error) {
+	a, err := topoopt.ParseArchitecture(name)
+	if err != nil {
+		return "", err
+	}
+	res, err := topoopt.Compare(m, o, a)
+	if err != nil {
+		return "", err
+	}
+	r := res[0]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s evaluation for %s on %d servers (d=%d, B=%.0f Gbps)\n",
+		r.Arch, m.Name, o.Servers, o.Degree, gbps)
+	it := r.Iteration
+	fmt.Fprintf(&b, "predicted iteration: %.4gs (MP %.4gs + compute %.4gs + AllReduce %.4gs), bandwidth tax %.2f\n",
+		it.Total(), it.MPSeconds, it.ComputeSeconds, it.AllReduceSeconds, it.BandwidthTax)
+	fmt.Fprintf(&b, "interconnect cost: $%.0f\n", r.CostUSD)
+	return b.String(), nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"topoopt"
+)
 
 func TestPickModel(t *testing.T) {
 	for _, name := range []string{"dlrm", "candle", "bert", "ncf", "resnet50", "vgg16", "VGG"} {
@@ -23,5 +28,44 @@ func TestPickModel(t *testing.T) {
 	}
 	if _, err := pickModel("bert", "9.9"); err == nil {
 		t.Error("unknown section should fail")
+	}
+}
+
+// TestEvaluateArchDeterministic pins -arch output for the registry's two
+// newest fabrics: the same flags must print identical bytes run over run.
+func TestEvaluateArchDeterministic(t *testing.T) {
+	m, err := pickModel("candle", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := topoopt.Options{Servers: 9, Degree: 4, LinkBandwidth: 100e9,
+		Rounds: 1, MCMCIters: 10, Seed: 3}
+	for _, arch := range []string{"Torus", "SiP-Ring"} {
+		first, err := evaluateArch(m, opts, arch, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if !strings.Contains(first, arch) || !strings.Contains(first, "interconnect cost") {
+			t.Errorf("%s: unexpected output %q", arch, first)
+		}
+		again, err := evaluateArch(m, opts, arch, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if first != again {
+			t.Errorf("%s output differs across runs:\n%s\n%s", arch, first, again)
+		}
+	}
+}
+
+func TestEvaluateArchUnknownListsRegistry(t *testing.T) {
+	m, err := pickModel("candle", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := topoopt.Options{Servers: 8, Degree: 2, LinkBandwidth: 100e9}
+	_, err = evaluateArch(m, opts, "warpdrive", 100)
+	if err == nil || !strings.Contains(err.Error(), "Torus") {
+		t.Errorf("err = %v, want a registry listing", err)
 	}
 }

@@ -22,6 +22,10 @@
 //	                                   "link_bandwidth": 100e9, "seed": 1,
 //	                                   "parallelism": 8}}
 //	POST   /v1/compare    same body plus optional "archs": ["TopoOpt", ...]
+//	                      — any backend in the architecture registry
+//	                      (Torus, SiP-Ring, ...); unknown names get a 400
+//	                      listing the registered menu. Results are cached
+//	                      by a fingerprint that includes the arch names.
 //	GET    /v1/cost?arch=TopoOpt&servers=128&degree=4&bandwidth_gbps=100
 //	POST   /v1/jobs       async plan; poll GET /v1/jobs/{id}, cancel with
 //	                      DELETE /v1/jobs/{id}

@@ -1,0 +1,225 @@
+// Package arch is the pluggable architecture registry: every comparison
+// fabric of §5.1 (and every fabric added since) is one self-describing
+// Backend that owns its topology builder, its §5.2 cost model and its
+// NIC/bandwidth normalization in a single file. The public topoopt
+// package, the planning service and the CLIs all dispatch through
+// Register/Lookup/All instead of switching over architecture names, so
+// adding a fabric to the whole system — Compare, /v1/compare, /v1/cost,
+// cmd/topoopt -arch, cmd/costcalc — is one file plus one Register call.
+package arch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+)
+
+// Options carries everything a backend may need to build, price or
+// evaluate its fabric. It deliberately mirrors the construction-relevant
+// subset of the public topoopt.Options (the public package converts);
+// internal callers (experiments) fill it directly.
+type Options struct {
+	// Servers is the number of training servers (n).
+	Servers int
+	// Degree is the nominal number of interfaces per server (d). Backends
+	// normalize it: a switch fabric folds d×B into one fat port, a
+	// direct-connect fabric provisions d physical interfaces.
+	Degree int
+	// LinkBW is the nominal per-interface bandwidth in bits/s (B).
+	LinkBW float64
+	// Batch overrides the model's default per-GPU batch when > 0.
+	Batch int
+	// Rounds is the alternating-optimization budget (co-optimized
+	// backends only).
+	Rounds int
+	// MCMCIters, Seed, Parallelism and SearchWorkers parameterize the
+	// strategy search exactly as in flexnet.MCMCConfig.
+	MCMCIters     int
+	Seed          int64
+	Parallelism   int
+	SearchWorkers int
+	// FabricSeed seeds randomized topology construction (Expander). Zero
+	// derives Seed+1, the historical Compare behavior; experiment sweeps
+	// that pin their own construction seed set it explicitly.
+	FabricSeed int64
+	// PrimeOnly restricts TotientPerms generators (TopoOpt backend).
+	PrimeOnly bool
+	// GPU is the accelerator model; zero value selects model.A100.
+	GPU model.GPU
+}
+
+// fabricSeed returns the topology-construction seed: FabricSeed when set,
+// else the historical Seed+1 offset that keeps construction and search
+// streams decorrelated.
+func (o Options) fabricSeed() int64 {
+	if o.FabricSeed != 0 {
+		return o.FabricSeed
+	}
+	return o.Seed + 1
+}
+
+// IfaceSpec is a backend's NIC/bandwidth normalization: what each server
+// actually provisions once the nominal (d, B) pair is mapped onto the
+// fabric.
+type IfaceSpec struct {
+	// PerServer is the number of network interfaces per server.
+	PerServer int
+	// LinkBW is the per-interface bandwidth in bits/s after normalization
+	// (e.g. Ideal Switch's d×B fat port, Fat-tree's cost-equivalent
+	// reduction).
+	LinkBW float64
+	// HostForwarding reports whether servers relay traffic for other
+	// servers (direct-connect fabrics).
+	HostForwarding bool
+	// Reconfigurable reports whether circuits change at runtime.
+	Reconfigurable bool
+}
+
+// Iteration is a backend-evaluated training-iteration breakdown (the
+// internal mirror of topoopt.IterationBreakdown).
+type Iteration struct {
+	MPSeconds        float64
+	ComputeSeconds   float64
+	AllReduceSeconds float64
+	BandwidthTax     float64
+}
+
+// Total returns the full iteration time in seconds.
+func (it Iteration) Total() float64 {
+	return it.MPSeconds + it.ComputeSeconds + it.AllReduceSeconds
+}
+
+// ErrNoStaticFabric is returned by Build for backends whose fabric cannot
+// be materialized from Options alone: co-optimized fabrics (TopoOpt)
+// depend on the workload's traffic demand, reconfigurable heuristics
+// (SiP-ML, OCS-reconfig) re-wire during the iteration. Evaluate handles
+// both through the Iterator capability.
+var ErrNoStaticFabric = errors.New("arch: fabric is model-dependent; use Evaluate")
+
+// Backend is one architecture: a named fabric with a builder, a cost
+// model and an interface normalization. Backends must be stateless and
+// safe for concurrent use; everything request-specific arrives in
+// Options.
+type Backend interface {
+	// Name is the wire/registry identity ("TopoOpt", "Fat-tree", ...).
+	Name() string
+	// Build materializes the static fabric, or ErrNoStaticFabric for
+	// model-dependent backends.
+	Build(Options) (*flexnet.Fabric, error)
+	// Cost prices the interconnect in USD (§5.2 / Appendix G).
+	Cost(Options) (float64, error)
+	// Interfaces reports the per-server NIC/bandwidth normalization.
+	Interfaces(Options) IfaceSpec
+}
+
+// Iterator is the optional capability for backends that own their full
+// iteration-time evaluation instead of the default static-fabric MCMC
+// search: TopoOpt co-optimizes topology and strategy, SiP-ML and
+// OCS-reconfig simulate a reconfigurable fabric.
+type Iterator interface {
+	Backend
+	Iteration(ctx context.Context, m *model.Model, o Options) (Iteration, error)
+}
+
+// entry pairs a backend with its display rank (paper order for the §5.1
+// set, then additions).
+type entry struct {
+	rank int
+	b    Backend
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]entry)
+)
+
+// Register adds a backend under its Name. rank orders All()/Names():
+// entries sort by (rank, name), so the §5.1 comparison set keeps the
+// paper's order and later fabrics append deterministically. Register
+// panics on a duplicate name — backends are package-level singletons
+// registered from init, and a silent overwrite would let two files fight
+// over one architecture.
+func Register(rank int, b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := b.Name()
+	if name == "" {
+		panic("arch: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("arch: duplicate backend %q", name))
+	}
+	registry[name] = entry{rank: rank, b: b}
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e.b, ok
+}
+
+// All returns every registered backend sorted by (rank, name) — a stable
+// order that cannot drift from what Lookup accepts.
+func All() []Backend {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	es := make([]entry, 0, len(registry))
+	for _, e := range registry {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].rank != es[j].rank {
+			return es[i].rank < es[j].rank
+		}
+		return es[i].b.Name() < es[j].b.Name()
+	})
+	out := make([]Backend, len(es))
+	for i, e := range es {
+		out[i] = e.b
+	}
+	return out
+}
+
+// Names returns the registered backend names in All() order.
+func Names() []string {
+	bs := All()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// Evaluate predicts one training iteration of m on backend b: backends
+// implementing Iterator run their own evaluation; every other backend is
+// a static fabric searched with flexnet's MCMC strategy search (the §5.1
+// baseline procedure).
+func Evaluate(ctx context.Context, b Backend, m *model.Model, o Options) (Iteration, error) {
+	if it, ok := b.(Iterator); ok {
+		return it.Iteration(ctx, m, o)
+	}
+	fab, err := b.Build(o)
+	if err != nil {
+		return Iteration{}, err
+	}
+	_, it, err := flexnet.SearchOnFabricContext(ctx, m, fab, o.Servers, o.Batch, flexnet.MCMCConfig{
+		Iters: o.MCMCIters, Seed: o.Seed,
+		Parallelism: o.Parallelism, Workers: o.SearchWorkers,
+	}, o.GPU)
+	if err != nil {
+		return Iteration{}, err
+	}
+	return Iteration{
+		MPSeconds:        it.MPTime,
+		ComputeSeconds:   it.ComputeTime,
+		AllReduceSeconds: it.AllReduceTime,
+		BandwidthTax:     it.BandwidthTax,
+	}, nil
+}

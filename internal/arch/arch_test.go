@@ -1,0 +1,215 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"topoopt/internal/model"
+	"topoopt/internal/topo"
+)
+
+// paperOrder is the §5.1 comparison set in the paper's display order,
+// followed by the fabrics added since.
+var paperOrder = []string{"TopoOpt", "IdealSwitch", "Fat-tree", "OversubFatTree",
+	"Expander", "SiP-ML", "OCS-reconfig", "Torus", "SiP-Ring"}
+
+// smallOpts is a fast, feasible configuration every backend accepts.
+func smallOpts() Options {
+	return Options{Servers: 8, Degree: 2, LinkBW: 100e9,
+		Rounds: 1, MCMCIters: 5, Seed: 3}
+}
+
+// backendKind classifies a backend by name for test expectations — the
+// one place a switch over architecture names is allowed to live.
+func backendKind(name string) string {
+	switch name {
+	case "TopoOpt":
+		return "cooptimized"
+	case "SiP-ML", "OCS-reconfig":
+		return "reconfigurable"
+	case "IdealSwitch", "Fat-tree", "OversubFatTree", "Expander", "Torus", "SiP-Ring":
+		return "static"
+	}
+	return "unknown"
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	names := Names()
+	if len(names) != len(paperOrder) {
+		t.Fatalf("registry = %v, want %v", names, paperOrder)
+	}
+	for i, want := range paperOrder {
+		if names[i] != want {
+			t.Errorf("Names()[%d] = %s, want %s", i, names[i], want)
+		}
+	}
+	for _, n := range names {
+		b, ok := Lookup(n)
+		if !ok || b.Name() != n {
+			t.Errorf("Lookup(%s) inconsistent", n)
+		}
+	}
+	if _, ok := Lookup("warpdrive"); ok {
+		t.Error("unknown name must not resolve")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register must panic")
+		}
+	}()
+	Register(99, topoOpt{})
+}
+
+func TestBuildMatchesKind(t *testing.T) {
+	o := smallOpts()
+	for _, b := range All() {
+		fab, err := b.Build(o)
+		switch backendKind(b.Name()) {
+		case "static":
+			if err != nil {
+				t.Errorf("%s: Build failed: %v", b.Name(), err)
+				continue
+			}
+			if fab == nil || fab.Net == nil || fab.Routes == nil {
+				t.Errorf("%s: incomplete fabric", b.Name())
+			}
+		case "cooptimized", "reconfigurable":
+			if !errors.Is(err, ErrNoStaticFabric) {
+				t.Errorf("%s: Build err = %v, want ErrNoStaticFabric", b.Name(), err)
+			}
+		default:
+			t.Errorf("unclassified backend %s", b.Name())
+		}
+	}
+}
+
+func TestCostPositiveForAllBackends(t *testing.T) {
+	o := Options{Servers: 128, Degree: 4, LinkBW: 100e9}
+	for _, b := range All() {
+		c, err := b.Cost(o)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name(), err)
+			continue
+		}
+		if c <= 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+			t.Errorf("%s: cost %v", b.Name(), c)
+		}
+	}
+}
+
+func TestInterfacesNormalization(t *testing.T) {
+	o := Options{Servers: 128, Degree: 4, LinkBW: 100e9}
+	for _, b := range All() {
+		spec := b.Interfaces(o)
+		if spec.PerServer < 1 || spec.LinkBW <= 0 {
+			t.Errorf("%s: degenerate spec %+v", b.Name(), spec)
+		}
+		// No backend may provision more aggregate bandwidth than the
+		// nominal d×B budget.
+		if got, budget := float64(spec.PerServer)*spec.LinkBW, float64(o.Degree)*o.LinkBW; got > budget+1e-6 {
+			t.Errorf("%s: %v exceeds the d×B budget %v", b.Name(), got, budget)
+		}
+	}
+	ideal, _ := Lookup("IdealSwitch")
+	if spec := ideal.Interfaces(o); spec.PerServer != 1 || spec.LinkBW != 4*100e9 {
+		t.Errorf("IdealSwitch must fold d interfaces into one d×B port, got %+v", spec)
+	}
+	ft, _ := Lookup("Fat-tree")
+	if spec := ft.Interfaces(o); spec.LinkBW >= 4*100e9 {
+		t.Errorf("Fat-tree normalization must reduce bandwidth below d×B, got %+v", spec)
+	}
+}
+
+func TestFabricSeedDefaultsToSeedPlusOne(t *testing.T) {
+	if (Options{Seed: 41}).fabricSeed() != 42 {
+		t.Error("zero FabricSeed must derive Seed+1")
+	}
+	if (Options{Seed: 41, FabricSeed: 7}).fabricSeed() != 7 {
+		t.Error("explicit FabricSeed must win")
+	}
+}
+
+func TestEvaluateAllBackendsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry evaluation in -short mode")
+	}
+	m := model.CANDLEPreset(model.Sec6)
+	o := smallOpts()
+	for _, b := range All() {
+		first, err := Evaluate(context.Background(), b, m, o)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name(), err)
+			continue
+		}
+		if first.Total() <= 0 {
+			t.Errorf("%s: non-positive iteration %+v", b.Name(), first)
+		}
+		again, err := Evaluate(context.Background(), b, m, o)
+		if err != nil {
+			t.Errorf("%s: re-evaluate: %v", b.Name(), err)
+			continue
+		}
+		if first != again {
+			t.Errorf("%s: evaluation not deterministic: %+v vs %+v", b.Name(), first, again)
+		}
+	}
+}
+
+func TestEvaluateHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := model.CANDLEPreset(model.Sec6)
+	b, _ := Lookup("Torus")
+	if _, err := Evaluate(ctx, b, m, smallOpts()); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTorusBuildUsesDimensionOrderedRoutes(t *testing.T) {
+	b, _ := Lookup("Torus")
+	o := Options{Servers: 9, Degree: 4, LinkBW: 100e9, Seed: 1}
+	fab, err := b.Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fab.Net.G.N() != 9 {
+		t.Fatalf("torus nodes = %d, want 9", fab.Net.G.N())
+	}
+	dims, err := topo.TorusDims(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0] != 3 || dims[1] != 3 {
+		t.Fatalf("dims = %v, want [3 3]", dims)
+	}
+	// Every pair must be routed, and every hop must follow a torus link.
+	for s := 0; s < 9; s++ {
+		for d := 0; d < 9; d++ {
+			if s == d {
+				continue
+			}
+			path := fab.Routes.Get(s, d)
+			if path == nil {
+				t.Fatalf("no route %d->%d", s, d)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !fab.Net.G.HasEdge(path[i], path[i+1]) {
+					t.Fatalf("route %d->%d uses missing link %d->%d",
+						s, d, path[i], path[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestIterationTotal(t *testing.T) {
+	it := Iteration{MPSeconds: 1, ComputeSeconds: 2, AllReduceSeconds: 4}
+	if it.Total() != 7 {
+		t.Errorf("Total = %v, want 7", it.Total())
+	}
+}

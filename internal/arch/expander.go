@@ -1,0 +1,32 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/topo"
+)
+
+// expander is the §5.1 Expander baseline: a Jellyfish-style random
+// d-regular direct-connect graph with host-based forwarding. The
+// cheapest fabric (§5.2) — NICs, transceivers and fibers only.
+type expander struct{}
+
+func init() { Register(4, expander{}) }
+
+func (expander) Name() string { return "Expander" }
+
+func (expander) Build(o Options) (*flexnet.Fabric, error) {
+	nw, err := topo.Expander(o.Servers, o.Degree, o.LinkBW, o.fabricSeed())
+	if err != nil {
+		return nil, err
+	}
+	return flexnet.NewSwitchFabric(nw), nil
+}
+
+func (expander) Cost(o Options) (float64, error) {
+	return cost.Expander(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (expander) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: o.Degree, LinkBW: o.LinkBW, HostForwarding: true}
+}

@@ -1,0 +1,33 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/topo"
+)
+
+// fatTree is the §5.1 similar-cost Fat-tree baseline: a full-bisection
+// fabric whose per-server bandwidth is reduced to B_ft so the whole
+// interconnect costs the same as the TopoOpt patch-panel deployment
+// (Figure 10's overlapping curves).
+type fatTree struct{}
+
+func init() { Register(2, fatTree{}) }
+
+func (fatTree) Name() string { return "Fat-tree" }
+
+func (fatTree) equivalentBW(o Options) float64 {
+	return cost.EquivalentFatTreeBandwidth(o.Servers, o.Degree, o.LinkBW)
+}
+
+func (ft fatTree) Build(o Options) (*flexnet.Fabric, error) {
+	return flexnet.NewSwitchFabric(topo.FatTree(o.Servers, ft.equivalentBW(o))), nil
+}
+
+func (ft fatTree) Cost(o Options) (float64, error) {
+	return cost.FatTree(o.Servers, ft.equivalentBW(o)), nil
+}
+
+func (ft fatTree) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: 1, LinkBW: ft.equivalentBW(o)}
+}

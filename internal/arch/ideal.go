@@ -1,0 +1,29 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/topo"
+)
+
+// idealSwitch is the §5.1 Ideal Switch baseline: one non-blocking switch
+// giving every server a d×B fat port. Priced as the full-bisection
+// fat-tree that could actually provide that bandwidth (§5.2).
+type idealSwitch struct{}
+
+func init() { Register(1, idealSwitch{}) }
+
+func (idealSwitch) Name() string { return "IdealSwitch" }
+
+func (idealSwitch) Build(o Options) (*flexnet.Fabric, error) {
+	return flexnet.NewSwitchFabric(topo.IdealSwitch(o.Servers, float64(o.Degree)*o.LinkBW)), nil
+}
+
+func (idealSwitch) Cost(o Options) (float64, error) {
+	return cost.IdealSwitch(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (idealSwitch) Interfaces(o Options) IfaceSpec {
+	// The d optical interfaces fold into one non-blocking d×B attachment.
+	return IfaceSpec{PerServer: 1, LinkBW: float64(o.Degree) * o.LinkBW}
+}

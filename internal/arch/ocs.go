@@ -1,0 +1,38 @@
+package arch
+
+import (
+	"context"
+
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+)
+
+// ocsReconfig is the OCS-reconfig baseline: millisecond-scale 3D-MEMS
+// optical circuit switching (10 ms) with host-based forwarding over the
+// instantaneous topology, and the paper's exponential parallel-link
+// discount (nil selects it). Priced as TopoOpt on OCS ports instead of
+// patch panels.
+type ocsReconfig struct{}
+
+func init() { Register(6, ocsReconfig{}) }
+
+func (ocsReconfig) Name() string { return "OCS-reconfig" }
+
+// Build returns ErrNoStaticFabric: circuits re-wire during the iteration.
+func (ocsReconfig) Build(Options) (*flexnet.Fabric, error) { return nil, ErrNoStaticFabric }
+
+func (ocsReconfig) Cost(o Options) (float64, error) {
+	return cost.TopoOptOCS(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (ocsReconfig) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: o.Degree, LinkBW: o.LinkBW,
+		HostForwarding: true, Reconfigurable: true}
+}
+
+// Iteration simulates the reconfiguration loop (deterministic and
+// sub-second; ctx is not polled mid-simulation).
+func (ocsReconfig) Iteration(_ context.Context, m *model.Model, o Options) (Iteration, error) {
+	return reconfigurableIteration(m, o, 10e-3, true, nil)
+}

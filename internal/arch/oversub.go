@@ -1,0 +1,37 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/topo"
+)
+
+// oversubFatTree is the §5.1 2:1 oversubscribed Fat-tree: d×B per server
+// into the ToR, half the aggregate bandwidth up into the core.
+type oversubFatTree struct{}
+
+func init() { Register(3, oversubFatTree{}) }
+
+func (oversubFatTree) Name() string { return "OversubFatTree" }
+
+// rackSize is the servers-per-ToR rule: 8-server racks, shrunk to 4 for
+// clusters too small to fill two racks of 8.
+func (oversubFatTree) rackSize(o Options) int {
+	if o.Servers < 16 {
+		return 4
+	}
+	return 8
+}
+
+func (ov oversubFatTree) Build(o Options) (*flexnet.Fabric, error) {
+	nw := topo.OversubFatTree(o.Servers, ov.rackSize(o), float64(o.Degree)*o.LinkBW)
+	return flexnet.NewSwitchFabric(nw), nil
+}
+
+func (oversubFatTree) Cost(o Options) (float64, error) {
+	return cost.OversubFatTree(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (oversubFatTree) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: 1, LinkBW: float64(o.Degree) * o.LinkBW}
+}

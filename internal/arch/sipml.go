@@ -1,0 +1,39 @@
+package arch
+
+import (
+	"context"
+
+	"topoopt/internal/core"
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+)
+
+// sipML is the SiP-ML baseline: microsecond-scale silicon-photonic
+// reconfiguration (25 µs), no host forwarding, and SiP-ML's unit
+// parallel-link discount (Appendix F). Priced with photonic ports at a
+// premium that reproduces Figure 10's "most expensive at every scale"
+// ordering.
+type sipML struct{}
+
+func init() { Register(5, sipML{}) }
+
+func (sipML) Name() string { return "SiP-ML" }
+
+// Build returns ErrNoStaticFabric: the fabric re-wires every measurement
+// interval, so there is no single topology to materialize.
+func (sipML) Build(Options) (*flexnet.Fabric, error) { return nil, ErrNoStaticFabric }
+
+func (sipML) Cost(o Options) (float64, error) {
+	return cost.SiPML(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (sipML) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: o.Degree, LinkBW: o.LinkBW, Reconfigurable: true}
+}
+
+// Iteration simulates the reconfiguration loop. The heuristic is
+// deterministic and sub-second, so ctx is not polled mid-simulation.
+func (sipML) Iteration(_ context.Context, m *model.Model, o Options) (Iteration, error) {
+	return reconfigurableIteration(m, o, 25e-6, false, core.UnitDiscount)
+}

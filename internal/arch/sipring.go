@@ -1,0 +1,31 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/topo"
+)
+
+// sipRing is the physical-ring SiP-ML variant: servers sit on a static
+// silicon-photonic ring and dedicate their d wavelength interfaces to the
+// d/2 nearest neighbors in each direction (topo.PhysicalRing's default
+// allocation). Unlike the fully reconfigurable SiP-ML backend it never
+// re-wires, so it evaluates like any static fabric: shortest-path routes
+// over the ring plus the MCMC strategy search.
+type sipRing struct{}
+
+func init() { Register(8, sipRing{}) }
+
+func (sipRing) Name() string { return "SiP-Ring" }
+
+func (sipRing) Build(o Options) (*flexnet.Fabric, error) {
+	return flexnet.NewSwitchFabric(topo.PhysicalRing(o.Servers, o.Degree, o.LinkBW)), nil
+}
+
+func (sipRing) Cost(o Options) (float64, error) {
+	return cost.SiPRing(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (sipRing) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: o.Degree, LinkBW: o.LinkBW, HostForwarding: true}
+}

@@ -1,0 +1,54 @@
+package arch
+
+import (
+	"context"
+
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/model"
+)
+
+// topoOpt is the paper's own fabric: a demand-driven direct-connect
+// topology from TopologyFinder, co-optimized with the parallelization
+// strategy (§4). Priced as a patch-panel deployment with the look-ahead
+// design (Appendix G).
+type topoOpt struct{}
+
+func init() { Register(0, topoOpt{}) }
+
+func (topoOpt) Name() string { return "TopoOpt" }
+
+// Build returns ErrNoStaticFabric: the TopoOpt topology is a function of
+// the workload's traffic demand, so it only exists inside Iteration's
+// co-optimization.
+func (topoOpt) Build(Options) (*flexnet.Fabric, error) { return nil, ErrNoStaticFabric }
+
+func (topoOpt) Cost(o Options) (float64, error) {
+	return cost.TopoOptPatchPanel(o.Servers, o.Degree, o.LinkBW), nil
+}
+
+func (topoOpt) Interfaces(o Options) IfaceSpec {
+	return IfaceSpec{PerServer: o.Degree, LinkBW: o.LinkBW,
+		HostForwarding: true, Reconfigurable: true}
+}
+
+// Iteration runs the §4.1 alternating optimization and reports the
+// flow-level simulated iteration of the converged (strategy, topology)
+// pair — the same numbers topoopt.Optimize returns in its Plan.
+func (topoOpt) Iteration(ctx context.Context, m *model.Model, o Options) (Iteration, error) {
+	res, err := flexnet.CoOptimizeContext(ctx, m, flexnet.CoOptConfig{
+		N: o.Servers, Degree: o.Degree, LinkBW: o.LinkBW,
+		Batch: o.Batch, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
+		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
+		Parallelism: o.Parallelism, SearchWorkers: o.SearchWorkers,
+	})
+	if err != nil {
+		return Iteration{}, err
+	}
+	return Iteration{
+		MPSeconds:        res.IterTime.MPTime,
+		ComputeSeconds:   res.IterTime.ComputeTime,
+		AllReduceSeconds: res.IterTime.AllReduceTime,
+		BandwidthTax:     res.IterTime.BandwidthTax,
+	}, nil
+}

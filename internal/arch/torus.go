@@ -1,0 +1,49 @@
+package arch
+
+import (
+	"topoopt/internal/cost"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/route"
+	"topoopt/internal/topo"
+)
+
+// torus is a 2D/3D wrap-around grid (a classic HPC direct-connect
+// fabric): servers factor into the most balanced torus the degree budget
+// affords, traffic follows deterministic dimension-ordered routing, and
+// the bill of materials is a plain direct-connect one (NICs, transceivers
+// and fibers for the interfaces the grid actually consumes).
+type torus struct{}
+
+func init() { Register(7, torus{}) }
+
+func (torus) Name() string { return "Torus" }
+
+func (torus) Build(o Options) (*flexnet.Fabric, error) {
+	dims, err := topo.TorusDims(o.Servers, o.Degree)
+	if err != nil {
+		return nil, err
+	}
+	nw := topo.Torus(dims, o.LinkBW)
+	tab := route.NewTable(nw.G.N())
+	route.Torus{Dims: dims}.FillTable(tab)
+	return flexnet.NewRoutedFabric(nw, tab), nil
+}
+
+func (torus) Cost(o Options) (float64, error) {
+	dims, err := topo.TorusDims(o.Servers, o.Degree)
+	if err != nil {
+		return 0, err
+	}
+	return cost.DirectConnect(o.Servers, topo.TorusDegree(dims), o.LinkBW), nil
+}
+
+func (torus) Interfaces(o Options) IfaceSpec {
+	// The grid may consume fewer interfaces than the nominal budget.
+	// Options the factorization rejects (Build and Cost error on them)
+	// report the nominal degree rather than a degenerate zero spec.
+	ifaces := o.Degree
+	if dims, err := topo.TorusDims(o.Servers, o.Degree); err == nil {
+		ifaces = topo.TorusDegree(dims)
+	}
+	return IfaceSpec{PerServer: ifaces, LinkBW: o.LinkBW, HostForwarding: true}
+}

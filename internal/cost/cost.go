@@ -5,7 +5,6 @@
 package cost
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -144,11 +143,19 @@ func OversubFatTree(n, d int, linkBW float64) float64 {
 	return fatTreeCost(n*d, linkBW, 0.5)
 }
 
-// Expander prices a Jellyfish-style fabric: NICs, transceivers and fibers
-// only — the cheapest architecture (§5.2).
-func Expander(n, d int, linkBW float64) float64 {
+// DirectConnect prices a static point-to-point fabric using ifaces
+// interfaces per server: NICs, transceivers and fibers only — no switch,
+// panel or OCS ports. Expander and Torus fabrics are both bills of this
+// shape; they differ only in how many interfaces the topology consumes.
+func DirectConnect(n, ifaces int, linkBW float64) float64 {
 	t := tierFor(linkBW)
-	return float64(n*d) * (t.NICPort + t.Transceiver + FiberCostPerLink)
+	return float64(n*ifaces) * (t.NICPort + t.Transceiver + FiberCostPerLink)
+}
+
+// Expander prices a Jellyfish-style fabric: the full d interfaces in a
+// direct-connect bill — the cheapest architecture (§5.2).
+func Expander(n, d int, linkBW float64) float64 {
+	return DirectConnect(n, d, linkBW)
 }
 
 // SiPML prices the SiP-ML fabric. Silicon-photonic ports are not
@@ -183,37 +190,15 @@ func EquivalentFatTreeBandwidth(n, d int, linkBW float64) float64 {
 	return lo
 }
 
-// Architecture names for reporting.
-const (
-	ArchTopoOpt  = "TopoOpt"
-	ArchOCS      = "OCS-reconfig"
-	ArchIdeal    = "IdealSwitch"
-	ArchFatTree  = "Fat-tree"
-	ArchOversub  = "OversubFatTree"
-	ArchExpander = "Expander"
-	ArchSiPML    = "SiP-ML"
-)
-
-// Of prices the named architecture (Fat-tree uses the cost-equivalent
-// bandwidth, matching Figure 10 where the two curves overlap).
-func Of(arch string, n, d int, linkBW float64) (float64, error) {
-	switch arch {
-	case ArchTopoOpt:
-		return TopoOptPatchPanel(n, d, linkBW), nil
-	case ArchOCS:
-		return TopoOptOCS(n, d, linkBW), nil
-	case ArchIdeal:
-		return IdealSwitch(n, d, linkBW), nil
-	case ArchFatTree:
-		return FatTree(n, EquivalentFatTreeBandwidth(n, d, linkBW)), nil
-	case ArchOversub:
-		return OversubFatTree(n, d, linkBW), nil
-	case ArchExpander:
-		return Expander(n, d, linkBW), nil
-	case ArchSiPML:
-		return SiPML(n, d, linkBW), nil
-	}
-	return 0, fmt.Errorf("cost: unknown architecture %q", arch)
+// SiPRing prices the SiP-Ring variant: the physical-ring substrate keeps
+// silicon-photonic ports (doubled transceivers like SiP-ML) but drops the
+// fabric-wide reconfigurable switch fan-out, so the photonic premium
+// shrinks from 6× to 3× the OCS port. The estimate lands between
+// Expander and SiP-ML at every Table 2 scale.
+func SiPRing(n, d int, linkBW float64) float64 {
+	t := tierFor(linkBW)
+	perIface := t.NICPort + 2*t.Transceiver + 3*t.OCSPort + FiberCostPerLink
+	return float64(n*d) * perIface
 }
 
 // Ratio returns a/b guarding against zero.

@@ -98,19 +98,42 @@ func TestEquivalentFatTreeBandwidth(t *testing.T) {
 	}
 }
 
-func TestOfCoversAllArchitectures(t *testing.T) {
-	for _, a := range []string{ArchTopoOpt, ArchOCS, ArchIdeal, ArchFatTree,
-		ArchOversub, ArchExpander, ArchSiPML} {
-		c, err := Of(a, 128, 4, 100e9)
-		if err != nil {
-			t.Errorf("%s: %v", a, err)
-		}
-		if c <= 0 {
-			t.Errorf("%s: non-positive cost %v", a, c)
-		}
+func TestDirectConnectShape(t *testing.T) {
+	// Expander is a full-degree direct-connect bill by definition.
+	if Expander(128, 4, 100e9) != DirectConnect(128, 4, 100e9) {
+		t.Error("Expander must equal the d-interface direct-connect bill")
 	}
-	if _, err := Of("bogus", 1, 1, 1); err == nil {
-		t.Error("unknown architecture should error")
+	// Linear in servers and interfaces.
+	if 2*DirectConnect(128, 4, 100e9) != DirectConnect(256, 4, 100e9) {
+		t.Error("direct-connect cost must be linear in n")
+	}
+	if 2*DirectConnect(128, 3, 100e9) != DirectConnect(128, 6, 100e9) {
+		t.Error("direct-connect cost must be linear in interfaces")
+	}
+	// A torus consuming fewer interfaces than d must undercut the
+	// d-regular expander.
+	if DirectConnect(128, 4, 100e9) <= DirectConnect(128, 2, 100e9) {
+		t.Error("fewer interfaces must cost less")
+	}
+}
+
+func TestSiPRingBetweenExpanderAndSiPML(t *testing.T) {
+	// The SiP-Ring estimate keeps photonic ports but drops the fabric-wide
+	// switch premium: dearer than Expander, cheaper than SiP-ML at every
+	// Table 2 scale and configuration.
+	for _, n := range []int{128, 432, 1024, 2000} {
+		for _, cfg := range []struct {
+			d  int
+			bw float64
+		}{{4, 100e9}, {8, 200e9}} {
+			ring := SiPRing(n, cfg.d, cfg.bw)
+			exp := Expander(n, cfg.d, cfg.bw)
+			sip := SiPML(n, cfg.d, cfg.bw)
+			if !(exp < ring && ring < sip) {
+				t.Errorf("n=%d d=%d: want Expander %.3g < SiP-Ring %.3g < SiP-ML %.3g",
+					n, cfg.d, exp, ring, sip)
+			}
+		}
 	}
 }
 

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"topoopt/internal/arch"
 	"topoopt/internal/collective"
 	"topoopt/internal/core"
 	"topoopt/internal/cost"
@@ -56,8 +58,7 @@ func Fig09TopoOptTopology() string {
 func Fig10CostComparison() string {
 	var b strings.Builder
 	b.WriteString(header("Figure 10", "Interconnect cost comparison (M$)"))
-	archs := []string{cost.ArchExpander, cost.ArchTopoOpt, cost.ArchFatTree,
-		cost.ArchOCS, cost.ArchOversub, cost.ArchIdeal, cost.ArchSiPML}
+	archs := Fig10ArchOrder()
 	for _, cfg := range []struct {
 		d  int
 		bw float64
@@ -72,7 +73,7 @@ func Fig10CostComparison() string {
 		for _, a := range archs {
 			vals := []string{a}
 			for _, n := range ns {
-				c, err := cost.Of(a, n, cfg.d, cfg.bw)
+				c, err := archCost(a, n, cfg.d, cfg.bw)
 				if err != nil {
 					vals = append(vals, "err")
 					continue
@@ -81,8 +82,8 @@ func Fig10CostComparison() string {
 			}
 			b.WriteString(row(vals...))
 		}
-		ideal, _ := cost.Of(cost.ArchIdeal, 432, cfg.d, cfg.bw)
-		topoopt, _ := cost.Of(cost.ArchTopoOpt, 432, cfg.d, cfg.bw)
+		ideal, _ := archCost("IdealSwitch", 432, cfg.d, cfg.bw)
+		topoopt, _ := archCost("TopoOpt", 432, cfg.d, cfg.bw)
 		fmt.Fprintf(&b, "Ideal/TopoOpt at n=432: %.1fx (paper average: 3.2x)\n", ideal/topoopt)
 	}
 	return b.String()
@@ -98,59 +99,42 @@ func dedicatedArchs(full bool) []string {
 	return archs
 }
 
-// dedicatedIteration evaluates one model on one architecture at the given
-// degree/bandwidth, returning iteration seconds.
-func dedicatedIteration(m *model.Model, arch string, n, d int, bw float64, p Params) (float64, error) {
-	batch := m.BatchPerGPU
-	gpu := model.A100
-	switch arch {
-	case "TopoOpt":
-		res, err := flexnet.CoOptimize(m, flexnet.CoOptConfig{
-			N: n, Degree: d, LinkBW: bw, Rounds: 2, MCMCIters: p.MCMCIters, Seed: p.Seed,
-		})
-		if err != nil {
-			return 0, err
-		}
-		return res.IterTime.Total(), nil
-	case "IdealSwitch":
-		fab := flexnet.NewSwitchFabric(topo.IdealSwitch(n, float64(d)*bw))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
-		return it.Total(), err
-	case "Fat-tree":
-		bft := cost.EquivalentFatTreeBandwidth(n, d, bw)
-		fab := flexnet.NewSwitchFabric(topo.FatTree(n, bft))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
-		return it.Total(), err
-	case "OversubFatTree":
-		fab := flexnet.NewSwitchFabric(topo.OversubFatTree(n, 8, float64(d)*bw))
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
-		return it.Total(), err
-	case "Expander":
-		nw, err := topo.Expander(n, d, bw, p.Seed+7)
-		if err != nil {
-			return 0, err
-		}
-		fab := flexnet.NewSwitchFabric(nw)
-		_, it, err := flexnet.SearchOnFabric(m, fab, n, batch, flexnet.MCMCConfig{Iters: p.MCMCIters, Seed: p.Seed}, gpu)
-		return it.Total(), err
-	case "SiP-ML", "OCS-reconfig":
-		st := parallel.Hybrid(m, n)
-		dem, err := traffic.FromStrategy(m, st, batch)
-		if err != nil {
-			return 0, err
-		}
-		compute := st.MaxComputeTime(m, gpu, batch)
-		cfg := flexnet.OCSRunConfig{N: n, D: d, LinkBW: bw, MeasureInterval: 0.050}
-		if arch == "SiP-ML" {
-			cfg.ReconfigLatency = 25e-6
-			cfg.Discount = core.UnitDiscount
-		} else {
-			cfg.ReconfigLatency = 10e-3
-			cfg.HostForwarding = true
-		}
-		return flexnet.SimulateOCSIteration(cfg, dem, compute)
+// Fig10ArchOrder is Figure 10's cheap-to-expensive presentation order
+// over the §5.1 comparison set — the one shared home for this ordering
+// (cmd/costcalc reuses it), so the figure and the CLI cannot drift.
+func Fig10ArchOrder() []string {
+	return []string{"Expander", "TopoOpt", "Fat-tree",
+		"OCS-reconfig", "OversubFatTree", "IdealSwitch", "SiP-ML"}
+}
+
+// archCost prices one architecture through its registered backend.
+func archCost(name string, n, d int, bw float64) (float64, error) {
+	b, ok := arch.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown architecture %q", name)
 	}
-	return 0, fmt.Errorf("unknown architecture %q", arch)
+	return b.Cost(arch.Options{Servers: n, Degree: d, LinkBW: bw})
+}
+
+// dedicatedIteration evaluates one model on one architecture at the given
+// degree/bandwidth through the backend registry, returning iteration
+// seconds. The sweep pins its historical parameterization: two
+// alternating-optimization rounds for TopoOpt and the p.Seed+7 expander
+// construction seed.
+func dedicatedIteration(m *model.Model, name string, n, d int, bw float64, p Params) (float64, error) {
+	b, ok := arch.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown architecture %q", name)
+	}
+	it, err := arch.Evaluate(context.Background(), b, m, arch.Options{
+		Servers: n, Degree: d, LinkBW: bw,
+		Rounds: 2, MCMCIters: p.MCMCIters, Seed: p.Seed,
+		FabricSeed: p.Seed + 7,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return it.Total(), nil
 }
 
 // FigDedicated reproduces Figures 11 (d=4) and 27 (d=8): training
@@ -172,7 +156,9 @@ func FigDedicated(p Params, d int, full bool) string {
 			cols = append(cols, fmt.Sprintf("B=%.0fG", bw/1e9))
 		}
 		b.WriteString(row(cols...))
-		ftAvg, toAvg := 0.0, 0.0
+		// Figure presentation: accumulate the two rows the headline
+		// Fat-tree/TopoOpt ratio summarizes.
+		avg := map[string]float64{}
 		for _, arch := range archs {
 			vals := []string{arch}
 			for _, bw := range bandwidths {
@@ -182,15 +168,11 @@ func FigDedicated(p Params, d int, full bool) string {
 					continue
 				}
 				vals = append(vals, secs(t))
-				switch arch {
-				case "Fat-tree":
-					ftAvg += t
-				case "TopoOpt":
-					toAvg += t
-				}
+				avg[arch] += t
 			}
 			b.WriteString(row(vals...))
 		}
+		ftAvg, toAvg := avg["Fat-tree"], avg["TopoOpt"]
 		if toAvg > 0 {
 			fmt.Fprintf(&b, "Fat-tree/TopoOpt iteration-time ratio (avg over B): %.2fx (paper: 2.1-3.0x)\n",
 				ftAvg/toAvg)

@@ -69,6 +69,16 @@ func NewSwitchFabric(nw *topo.Network) *Fabric {
 	return &Fabric{Net: nw, Routes: t, LinkLatency: -1}
 }
 
+// NewRoutedFabric prepares a network with a caller-supplied routing
+// table (fabrics whose routing is structural rather than shortest-path,
+// e.g. dimension-ordered routing on a torus). Pairs without installed
+// routes fall back to shortest paths so switch nodes and asymmetric
+// tables stay reachable.
+func NewRoutedFabric(nw *topo.Network, t *route.Table) *Fabric {
+	t.FillShortestPaths(nw.G)
+	return &Fabric{Net: nw, Routes: t, LinkLatency: -1}
+}
+
 // NewTopoOptFabric wraps a TopologyFinder result.
 func NewTopoOptFabric(res *core.Result) *Fabric {
 	return &Fabric{Net: res.Network, Routes: res.Routes, Rings: res.Rings, LinkLatency: -1}

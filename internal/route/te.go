@@ -15,6 +15,83 @@ import (
 // semi-oblivious WAN TE: demands split fractionally over k-shortest path
 // candidates, repeatedly shifting load away from the most-utilized link.
 
+// Torus routes a multi-dimensional wrap-around grid with dimension-
+// ordered routing (DOR): correct the coordinate one dimension at a time,
+// taking the shorter way around each ring. DOR is deadlock-free on a
+// torus and — unlike shortest-path routing with arbitrary tie-breaks —
+// fully deterministic, which the plan fingerprinting in internal/serve
+// relies on. Node indices are row-major with the last dimension fastest,
+// matching topo.Torus.
+type Torus struct {
+	Dims []int
+}
+
+// N returns the node count (the product of the dimensions).
+func (t Torus) N() int {
+	n := 1
+	for _, s := range t.Dims {
+		n *= s
+	}
+	return n
+}
+
+// Coord decomposes node v into per-dimension coordinates.
+func (t Torus) Coord(v int) []int {
+	c := make([]int, len(t.Dims))
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		c[i] = v % t.Dims[i]
+		v /= t.Dims[i]
+	}
+	return c
+}
+
+// Index recomposes coordinates into a node index.
+func (t Torus) Index(c []int) int {
+	v := 0
+	for i, s := range t.Dims {
+		v = v*s + c[i]
+	}
+	return v
+}
+
+// Route returns the dimension-ordered node path from src to dst:
+// dimensions are corrected in declaration order, each along its shorter
+// ring direction; an exact half-ring tie breaks toward +1, so routes are
+// deterministic functions of (Dims, src, dst).
+func (t Torus) Route(src, dst int) []int {
+	cur := t.Coord(src)
+	want := t.Coord(dst)
+	path := []int{src}
+	for i, s := range t.Dims {
+		delta := ((want[i]-cur[i])%s + s) % s
+		if delta == 0 {
+			continue
+		}
+		dir, steps := 1, delta
+		if s-delta < delta {
+			dir, steps = -1, s-delta
+		}
+		for k := 0; k < steps; k++ {
+			cur[i] = ((cur[i]+dir)%s + s) % s
+			path = append(path, t.Index(cur))
+		}
+	}
+	return path
+}
+
+// FillTable installs DOR routes for every ordered pair into tab.
+func (t Torus) FillTable(tab *Table) {
+	n := t.N()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			tab.Set(s, d, t.Route(s, d))
+		}
+	}
+}
+
 // Split is a fractional assignment of one (src,dst) demand across
 // candidate paths.
 type Split struct {

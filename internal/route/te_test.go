@@ -120,3 +120,191 @@ func TestBalanceImprovesImbalanceOnRealTopology(t *testing.T) {
 		t.Error("alpha must be positive")
 	}
 }
+
+func TestTorusCoordIndexRoundTrip(t *testing.T) {
+	tor := Torus{Dims: []int{3, 4, 5}}
+	if tor.N() != 60 {
+		t.Fatalf("N = %d, want 60", tor.N())
+	}
+	for v := 0; v < tor.N(); v++ {
+		c := tor.Coord(v)
+		for i, s := range tor.Dims {
+			if c[i] < 0 || c[i] >= s {
+				t.Fatalf("coord %v of %d out of range", c, v)
+			}
+		}
+		if got := tor.Index(c); got != v {
+			t.Fatalf("Index(Coord(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestTorusDimensionOrderedRoute(t *testing.T) {
+	tor := Torus{Dims: []int{4, 4}}
+	// (0,0) -> (2,3): dimension 0 first (2 hops down the first axis, via
+	// the tie-broken +1 direction), then dimension 1 takes the 1-hop -1
+	// wrap instead of 3 forward hops.
+	path := tor.Route(0, 11)
+	want := []int{0, 4, 8, 11}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// The -1 wrap must be taken when it is strictly shorter: (0,0)->(0,3)
+	// is one hop through the wrap link, not three forward hops.
+	short := tor.Route(0, 3)
+	if len(short) != 2 || short[1] != 3 {
+		t.Errorf("wrap route = %v, want [0 3]", short)
+	}
+	// Exact half-ring ties break toward +1, deterministically.
+	tie := tor.Route(0, 2)
+	if len(tie) != 3 || tie[1] != 1 {
+		t.Errorf("tie route = %v, want [0 1 2]", tie)
+	}
+	// Self-route is the single node.
+	if self := tor.Route(5, 5); len(self) != 1 || self[0] != 5 {
+		t.Errorf("self route = %v", self)
+	}
+}
+
+func TestTorusRouteHopOptimalPerDimension(t *testing.T) {
+	tor := Torus{Dims: []int{3, 5}}
+	for s := 0; s < tor.N(); s++ {
+		for d := 0; d < tor.N(); d++ {
+			path := tor.Route(s, d)
+			// DOR hop count = Σ min(Δ, size−Δ) over dimensions.
+			cs, cd := tor.Coord(s), tor.Coord(d)
+			want := 0
+			for i, size := range tor.Dims {
+				delta := ((cd[i]-cs[i])%size + size) % size
+				if size-delta < delta {
+					delta = size - delta
+				}
+				want += delta
+			}
+			if len(path)-1 != want {
+				t.Fatalf("%d->%d: %d hops, want %d (path %v)", s, d, len(path)-1, want, path)
+			}
+			if path[0] != s || path[len(path)-1] != d {
+				t.Fatalf("%d->%d: bad endpoints %v", s, d, path)
+			}
+		}
+	}
+}
+
+func TestTorusFillTableDeterministic(t *testing.T) {
+	tor := Torus{Dims: []int{2, 3, 4}}
+	a := NewTable(tor.N())
+	tor.FillTable(a)
+	b := NewTable(tor.N())
+	tor.FillTable(b)
+	if a.PairCount() != tor.N()*(tor.N()-1) || a.PairCount() != b.PairCount() {
+		t.Fatalf("pair counts %d vs %d", a.PairCount(), b.PairCount())
+	}
+	for s := 0; s < tor.N(); s++ {
+		for d := 0; d < tor.N(); d++ {
+			pa, pb := a.Get(s, d), b.Get(s, d)
+			if len(pa) != len(pb) {
+				t.Fatalf("%d->%d: %v vs %v", s, d, pa, pb)
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("%d->%d: %v vs %v", s, d, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// tieGraph builds a graph with many equal-length s->t paths: a 2-wide,
+// 3-long ladder where every layer offers two parallel choices.
+func tieGraph() (*graph.Graph, int, int) {
+	g := graph.New(8)
+	// 0 -> {1,2} -> {3,4} -> {5,6} -> 7 with full bipartite layers.
+	g.AddDuplex(0, 1, 1e9)
+	g.AddDuplex(0, 2, 1e9)
+	for _, a := range []int{1, 2} {
+		for _, b := range []int{3, 4} {
+			g.AddDuplex(a, b, 1e9)
+		}
+	}
+	for _, a := range []int{3, 4} {
+		for _, b := range []int{5, 6} {
+			g.AddDuplex(a, b, 1e9)
+		}
+	}
+	g.AddDuplex(5, 7, 1e9)
+	g.AddDuplex(6, 7, 1e9)
+	return g, 0, 7
+}
+
+func TestKShortestTieBreakDeterministic(t *testing.T) {
+	// Eight equal-length 0->7 paths: the selection and order of the k
+	// returned paths must be identical run over run — plan fingerprints
+	// and the serve cache rely on routing being a pure function.
+	g0, s, d := tieGraph()
+	base := KShortest(g0, s, d, 4)
+	if len(base) != 4 {
+		t.Fatalf("got %d paths, want 4", len(base))
+	}
+	for _, p := range base {
+		if len(p) != 5 {
+			t.Errorf("path %v is not shortest (4 hops)", p)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		g, _, _ := tieGraph() // a fresh graph: no shared state between runs
+		got := KShortest(g, s, d, 4)
+		if len(got) != len(base) {
+			t.Fatalf("run %d: %d paths vs %d", run, len(got), len(base))
+		}
+		for i := range got {
+			if len(got[i]) != len(base[i]) {
+				t.Fatalf("run %d: path %d = %v vs %v", run, i, got[i], base[i])
+			}
+			for j := range got[i] {
+				if got[i][j] != base[i][j] {
+					t.Fatalf("run %d: path %d = %v vs %v", run, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBalanceDeterministicOnTies(t *testing.T) {
+	// Two identical demands over symmetric candidates: Balance's
+	// hot-link scan and flow ordering must break ties identically run
+	// over run.
+	mk := func() *TEResult {
+		tm := make([][]int64, 4)
+		for i := range tm {
+			tm[i] = make([]int64, 4)
+		}
+		tm[0][3] = 1000
+		tm[1][3] = 1000
+		res, err := Balance(tm, map[[2]int][][]int{
+			{0, 3}: {{0, 1, 3}, {0, 2, 3}},
+			{1, 3}: {{1, 0, 3}, {1, 2, 3}},
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.MaxLinkLoad != b.MaxLinkLoad || a.Alpha != b.Alpha {
+		t.Fatalf("aggregate results differ: %+v vs %+v", a, b)
+	}
+	for pair, sa := range a.Splits {
+		sb := b.Splits[pair]
+		for i := range sa.Fractions {
+			if sa.Fractions[i] != sb.Fractions[i] {
+				t.Fatalf("%v: fractions %v vs %v", pair, sa.Fractions, sb.Fractions)
+			}
+		}
+	}
+}

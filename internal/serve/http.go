@@ -144,7 +144,9 @@ type CompareRequest struct {
 
 // CompareResponse is the POST /v1/compare response body.
 type CompareResponse struct {
-	Results []topoopt.CompareResult `json:"results"`
+	Fingerprint string                  `json:"fingerprint"`
+	Cached      bool                    `json:"cached"`
+	Results     []topoopt.CompareResult `json:"results"`
 }
 
 func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -159,27 +161,31 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	known := make(map[topoopt.Architecture]bool)
-	for _, a := range topoopt.Architectures() {
-		known[a] = true
-	}
+	// Validate every name against the backend registry up front: the 400
+	// carries the registered menu, and nothing unvalidated reaches the
+	// worker pool (where it would surface as an opaque 500).
 	archs := make([]topoopt.Architecture, 0, len(req.Archs))
 	for _, a := range req.Archs {
-		if !known[topoopt.Architecture(a)] {
-			writeError(w, badRequest("bad_arch", fmt.Errorf("unknown architecture %q", a)))
+		pa, err := topoopt.ParseArchitecture(a)
+		if err != nil {
+			writeError(w, badRequest("bad_arch", err))
 			return
 		}
-		archs = append(archs, topoopt.Architecture(a))
+		archs = append(archs, pa)
 	}
 	// Compare latencies are not observed: a multi-architecture sweep is
 	// seconds-scale and would swamp the serving-path quantiles the
 	// latency window exists to track.
-	res, err := s.Compare(r.Context(), m, req.Options, archs)
+	res, fp, cached, err := s.Compare(r.Context(), req.Model, m, req.Options, archs)
 	if err != nil {
 		writeError(w, serviceError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, CompareResponse{Results: res})
+	writeJSON(w, http.StatusOK, CompareResponse{
+		Fingerprint: fp,
+		Cached:      cached,
+		Results:     res,
+	})
 }
 
 // CostResponse is the GET /v1/cost response body.
@@ -210,7 +216,14 @@ func (s *Service) handleCost(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("bad_query", err))
 		return
 	}
-	c, err := topoopt.Cost(topoopt.Architecture(arch), servers, degree, bw)
+	// Registry validation first: an unknown name is a client error that
+	// names the registered menu, never a 500.
+	pa, err := topoopt.ParseArchitecture(arch)
+	if err != nil {
+		writeError(w, badRequest("bad_arch", err))
+		return
+	}
+	c, err := topoopt.Cost(pa, servers, degree, bw)
 	if err != nil {
 		writeError(w, badRequest("bad_arch", err))
 		return

@@ -125,13 +125,14 @@ type Service struct {
 	queue      chan func()
 	wg         sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	cache   *planCache
-	flights map[string]*flight
-	jobs    map[string]*job
-	jobID   uint64
-	jobSeq  []string // creation order, for bounded eviction
+	mu       sync.Mutex
+	closed   bool
+	cache    *planCache
+	flights  map[string]*flight
+	compares map[string]*compareFlight
+	jobs     map[string]*job
+	jobID    uint64
+	jobSeq   []string // creation order, for bounded eviction
 
 	met *metrics
 }
@@ -174,6 +175,7 @@ func New(cfg Config) *Service {
 		queue:    make(chan func(), cfg.QueueLen),
 		cache:    newPlanCache(cfg.CacheEntries),
 		flights:  make(map[string]*flight),
+		compares: make(map[string]*compareFlight),
 		jobs:     make(map[string]*job),
 		met:      newMetrics(),
 	}
@@ -427,58 +429,165 @@ func (s *Service) abandon(f *flight) {
 	s.mu.Unlock()
 }
 
-// Compare runs topoopt.CompareContext on the worker pool (bounded like
-// plans, but uncached: comparisons sweep up to seven architectures and are
-// not on the serving hot path). The per-request search-worker cap applies
-// here too: comparisons run the same parallel MCMC chains as plans and
-// must not bypass the SearchThreads budget.
-func (s *Service) Compare(ctx context.Context, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) ([]topoopt.CompareResult, error) {
-	var (
-		res []topoopt.CompareResult
-		err error
-	)
-	runErr := s.runTask(ctx, func(tctx context.Context) {
-		granted := s.chains.acquire(o.Parallelism)
-		defer s.chains.release(granted)
-		o.SearchWorkers = granted
-		res, err = topoopt.CompareContext(tctx, m, o, archs...)
-	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return res, err
+// compareKey is the canonical payload hashed into a comparison
+// fingerprint: the same normalizations as plan fingerprints plus the
+// architecture names, in request order (order is part of the result).
+type compareKey struct {
+	Kind    string                 `json:"kind"`
+	Model   topoopt.ModelSpec      `json:"model"`
+	Options topoopt.Options        `json:"options"`
+	Archs   []topoopt.Architecture `json:"archs"`
 }
 
-// runTask executes fn on the worker pool and waits for it. fn receives a
-// context cancelled when the caller stops waiting or the service closes.
-func (s *Service) runTask(ctx context.Context, fn func(context.Context)) error {
+// CompareFingerprint returns the deterministic cache key of a comparison.
+// An empty arch list canonicalizes to the full registry sweep, so the
+// implicit and explicit spellings of "compare everything" share one
+// entry. Architecture names are part of the key: two requests differing
+// only in fabric selection never alias.
+func CompareFingerprint(spec topoopt.ModelSpec, o topoopt.Options, archs []topoopt.Architecture) string {
+	if len(archs) == 0 {
+		archs = topoopt.Architectures()
+	}
+	b, err := json.Marshal(compareKey{
+		Kind:    "compare",
+		Model:   spec.Canonical(),
+		Options: o.Canonical(),
+		Archs:   archs,
+	})
+	if err != nil {
+		// Plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: compare fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// compareFlight is one in-progress comparison that any number of
+// identical requests wait on — the compare-shaped sibling of flight
+// (which is hardwired to plans and their job onStart hooks). Comparisons
+// are the most expensive request type (up to a full registry of MCMC
+// sweeps), so they get the same waiter-refcounted coalescing: N
+// identical concurrent requests cost one sweep, and the sweep is
+// cancelled when its last waiter leaves. The two flights deliberately
+// share their locking protocol — unregister-then-close(done) under
+// Service.mu, cancel-on-last-abandon — so a fix to either must be
+// mirrored in the other.
+type compareFlight struct {
+	fp      string
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	res     []topoopt.CompareResult
+	err     error
+	waiters int
+}
+
+// Compare runs topoopt.CompareContext on the worker pool (bounded like
+// plans) with fingerprint-keyed caching and in-flight coalescing:
+// comparisons are deterministic in (ModelSpec, Options, archs) — the
+// fingerprint includes each arch name — so a repeated sweep is served
+// from the shared LRU, and concurrent identical sweeps share one
+// execution. The per-request search-worker cap applies here too:
+// comparisons run the same parallel MCMC chains as plans and must not
+// bypass the SearchThreads budget. Returns the results, the request
+// fingerprint, and whether the results came from the cache.
+func (s *Service) Compare(ctx context.Context, spec topoopt.ModelSpec, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) ([]topoopt.CompareResult, string, bool, error) {
+	fp := CompareFingerprint(spec, o, archs)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil, fp, false, ErrClosed
 	}
-	s.mu.Unlock()
-	tctx, cancel := context.WithCancel(s.baseCtx)
-	defer cancel()
-	done := make(chan struct{})
-	task := func() {
-		defer close(done)
-		fn(tctx)
+	if v, ok := s.cache.get(fp); ok {
+		s.mu.Unlock()
+		s.met.cacheHit()
+		return v.([]topoopt.CompareResult), fp, true, nil
 	}
+	if f, ok := s.compares[fp]; ok {
+		f.waiters++
+		s.mu.Unlock()
+		s.met.coalesce()
+		res, err := s.waitCompare(ctx, f)
+		return res, fp, false, err
+	}
+	fctx, cancel := context.WithCancel(s.baseCtx)
+	f := &compareFlight{fp: fp, ctx: fctx, cancel: cancel,
+		done: make(chan struct{}), waiters: 1}
+	task := func() { s.runCompare(f, m, o, archs) }
 	select {
 	case s.queue <- task:
+		s.compares[fp] = f
 	default:
+		cancel()
+		s.mu.Unlock()
 		s.met.queueFullDrop()
-		return ErrQueueFull
+		return nil, fp, false, ErrQueueFull
 	}
+	s.mu.Unlock()
+	s.met.cacheMiss()
+	res, err := s.waitCompare(ctx, f)
+	return res, fp, false, err
+}
+
+// runCompare executes one comparison flight on a worker.
+func (s *Service) runCompare(f *compareFlight, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) {
+	if err := f.ctx.Err(); err != nil {
+		s.finishCompare(f, nil, err)
+		return
+	}
+	granted := s.chains.acquire(o.Parallelism)
+	defer s.chains.release(granted)
+	o.SearchWorkers = granted
+	res, err := topoopt.CompareContext(f.ctx, m, o, archs...)
+	s.finishCompare(f, res, err)
+}
+
+// finishCompare publishes a comparison's result, caching successes.
+func (s *Service) finishCompare(f *compareFlight, res []topoopt.CompareResult, err error) {
+	s.mu.Lock()
+	if s.compares[f.fp] == f {
+		delete(s.compares, f.fp)
+	}
+	if err == nil {
+		s.cache.add(f.fp, res)
+	}
+	f.res, f.err = res, err
+	close(f.done)
+	s.mu.Unlock()
+	f.cancel()
+}
+
+// waitCompare blocks until the comparison completes, the caller's ctx is
+// cancelled (dropping this waiter), or the service closes.
+func (s *Service) waitCompare(ctx context.Context, f *compareFlight) ([]topoopt.CompareResult, error) {
 	select {
-	case <-done:
-		return nil
+	case <-f.done:
+		return f.res, f.err
 	case <-ctx.Done():
-		return ctx.Err()
+		s.abandonCompare(f)
+		return nil, ctx.Err()
 	case <-s.baseCtx.Done():
-		return ErrClosed
+		return nil, ErrClosed
 	}
+}
+
+// abandonCompare drops one waiter; the last one out cancels the sweep
+// and unregisters it so a later identical request starts fresh.
+func (s *Service) abandonCompare(f *compareFlight) {
+	s.mu.Lock()
+	f.waiters--
+	if f.waiters <= 0 {
+		select {
+		case <-f.done:
+			// Already finished; nothing to cancel.
+		default:
+			if s.compares[f.fp] == f {
+				delete(s.compares, f.fp)
+			}
+			f.cancel()
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Job states.
@@ -657,7 +766,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap := s.met.snapshot()
 	s.mu.Lock()
 	snap.CacheEntries = s.cache.len()
-	snap.InFlight = len(s.flights)
+	snap.InFlight = len(s.flights) + len(s.compares)
 	snap.JobsTracked = len(s.jobs)
 	s.mu.Unlock()
 	snap.QueueDepth = len(s.queue)

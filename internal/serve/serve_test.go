@@ -598,3 +598,290 @@ func TestEndToEndRealOptimizer(t *testing.T) {
 		t.Error("missing fingerprint")
 	}
 }
+
+// TestUnknownArchStructured400 table-tests the registry validation on
+// both architecture-accepting endpoints: unknown names must produce a
+// structured 400 whose message lists the registered backends, never an
+// opaque 500.
+func TestUnknownArchStructured400(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func(method, url, body string) (int, string, string) {
+		t.Helper()
+		var (
+			resp *http.Response
+			err  error
+		)
+		if method == http.MethodPost {
+			resp, err = http.Post(url, "application/json", strings.NewReader(body))
+		} else {
+			resp, err = http.Get(url)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, env.Error.Code, env.Error.Message
+	}
+
+	compareBody := func(arch string) string {
+		return fmt.Sprintf(`{"model":{"preset":"candle","section":"6"},"options":{"servers":4,"degree":2,"link_bandwidth":1e9},"archs":[%q]}`, arch)
+	}
+	cases := []struct {
+		name     string
+		method   string
+		url      string
+		body     string
+		wantCode string
+	}{
+		{"compare bogus", http.MethodPost, ts.URL + "/v1/compare", compareBody("warpdrive"), "bad_arch"},
+		{"compare empty name", http.MethodPost, ts.URL + "/v1/compare", compareBody(""), "bad_arch"},
+		{"compare case sensitive", http.MethodPost, ts.URL + "/v1/compare", compareBody("topoopt"), "bad_arch"},
+		{"cost bogus", http.MethodGet, ts.URL + "/v1/cost?arch=warpdrive&servers=16&degree=4&bandwidth_gbps=100", "", "bad_arch"},
+		{"cost case sensitive", http.MethodGet, ts.URL + "/v1/cost?arch=fat-tree&servers=16&degree=4&bandwidth_gbps=100", "", "bad_arch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code, msg := do(tc.method, tc.url, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", status)
+			}
+			if code != tc.wantCode {
+				t.Errorf("error code = %q, want %q", code, tc.wantCode)
+			}
+			// The structured error must hand the client the registry menu.
+			for _, a := range topoopt.Architectures() {
+				if !strings.Contains(msg, string(a)) {
+					t.Errorf("message %q does not list registered arch %s", msg, a)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareNewBackendsEndToEnd drives the two registry additions
+// through POST /v1/compare and pins their output across requests: the
+// second identical request must be a cache hit with identical results.
+func TestCompareNewBackendsEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"model":{"preset":"candle","section":"6"},"options":{"servers":9,"degree":4,"link_bandwidth":100e9,"mcmc_iters":5,"rounds":1,"seed":3},"archs":["Torus","SiP-Ring"]}`
+	post := func() CompareResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var cr CompareResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+
+	first := post()
+	if len(first.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(first.Results))
+	}
+	if first.Cached {
+		t.Error("first comparison cannot be a cache hit")
+	}
+	for i, want := range []topoopt.Architecture{topoopt.ArchTorus, topoopt.ArchSiPRing} {
+		r := first.Results[i]
+		if r.Arch != want {
+			t.Errorf("result %d arch = %s, want %s", i, r.Arch, want)
+		}
+		if r.Iteration.Total() <= 0 || r.CostUSD <= 0 {
+			t.Errorf("%s: iteration %v cost %v", r.Arch, r.Iteration.Total(), r.CostUSD)
+		}
+	}
+
+	second := post()
+	if !second.Cached {
+		t.Error("identical comparison must hit the cache")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", second.Fingerprint, first.Fingerprint)
+	}
+	a, _ := json.Marshal(first.Results)
+	b, _ := json.Marshal(second.Results)
+	if !bytes.Equal(a, b) {
+		t.Errorf("cached results differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestCompareFingerprintSemantics(t *testing.T) {
+	spec := topoopt.ModelSpec{Preset: "bert", Section: "6"}
+	o := topoopt.Options{Servers: 8, Degree: 2, LinkBandwidth: 100e9, Seed: 1}
+
+	// Implicit "all architectures" and the explicit full list are one
+	// computation and must share a fingerprint.
+	if CompareFingerprint(spec, o, nil) != CompareFingerprint(spec, o, topoopt.Architectures()) {
+		t.Error("nil archs must canonicalize to the full registry sweep")
+	}
+	// Arch selection and order are part of the result, hence of the key.
+	one := CompareFingerprint(spec, o, []topoopt.Architecture{topoopt.ArchTorus})
+	other := CompareFingerprint(spec, o, []topoopt.Architecture{topoopt.ArchSiPRing})
+	if one == other {
+		t.Error("different arch selections must not alias")
+	}
+	ab := CompareFingerprint(spec, o, []topoopt.Architecture{topoopt.ArchTorus, topoopt.ArchSiPRing})
+	ba := CompareFingerprint(spec, o, []topoopt.Architecture{topoopt.ArchSiPRing, topoopt.ArchTorus})
+	if ab == ba {
+		t.Error("arch order changes the result order and must change the key")
+	}
+	// Seeds distinguish fingerprints exactly as for plans.
+	o2 := o
+	o2.Seed = 2
+	if CompareFingerprint(spec, o, nil) == CompareFingerprint(spec, o2, nil) {
+		t.Error("seed must be part of the comparison fingerprint")
+	}
+}
+
+// TestCompareCoalescing: N concurrent identical comparisons — the most
+// expensive request type — must share one execution, with late arrivals
+// joining the in-flight sweep instead of occupying workers.
+func TestCompareCoalescing(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	spec := topoopt.ModelSpec{Preset: "candle", Section: "6"}
+	m, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := topoopt.Options{Servers: 8, Degree: 2, LinkBandwidth: 100e9,
+		Rounds: 1, MCMCIters: 10, Seed: 3}
+	archs := []topoopt.Architecture{topoopt.ArchTorus, topoopt.ArchSiPRing}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	results := make([][]topoopt.CompareResult, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, _, err := s.Compare(context.Background(), spec, m, o, archs)
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	wg.Wait()
+
+	base, _ := json.Marshal(results[0])
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		got, _ := json.Marshal(results[i])
+		if !bytes.Equal(base, got) {
+			t.Errorf("client %d diverged:\n%s\n%s", i, base, got)
+		}
+	}
+	snap := s.Metrics()
+	// One miss ran the sweep; every other client either coalesced onto it
+	// or (having arrived after it finished) hit the cache.
+	if snap.Coalesced+snap.CacheHits != clients-1 {
+		t.Errorf("coalesced %d + cache hits %d, want %d shared clients",
+			snap.Coalesced, snap.CacheHits, clients-1)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight = %d after completion, want 0", snap.InFlight)
+	}
+}
+
+// TestCompareAbandonedByAllWaitersCancels: when every client waiting on
+// a comparison leaves, the sweep must be cancelled and unregistered so a
+// later identical request starts fresh. The single worker is parked on a
+// gated stub plan, so the comparison deterministically sits in the queue
+// while its only waiter abandons it.
+func TestCompareAbandonedByAllWaitersCancels(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+		select {
+		case <-release:
+			return stubPlan(t), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	defer s.Close()
+
+	// Occupy the worker: the plan task must be queued first so the FIFO
+	// worker picks it up and blocks before the comparison is enqueued.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Plan(context.Background(), testRequest(1))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().InFlight < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("plan never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	spec := topoopt.ModelSpec{Preset: "bert", Section: "6"}
+	m, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := topoopt.Options{Servers: 12, Degree: 4, LinkBandwidth: 25e9,
+		Rounds: 1, MCMCIters: 10, Seed: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, cerr := s.Compare(ctx, spec, m, o, []topoopt.Architecture{topoopt.ArchTopoOpt})
+		done <- cerr
+	}()
+	// Wait for the comparison flight to register, then abandon it.
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Metrics().InFlight < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("comparison never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case cerr := <-done:
+		if !errors.Is(cerr, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", cerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned comparison did not return")
+	}
+	// Unblock the worker; the dead comparison task must finish without
+	// running a sweep, leaving nothing registered.
+	close(release)
+	wg.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Metrics().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned comparison still registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -131,6 +131,116 @@ func PhysicalRing(n, d int, bw float64) *Network {
 	return &Network{G: g, Hosts: n, ForwardingHosts: true, Name: "SiP-Ring"}
 }
 
+// TorusDims factors n servers into the most balanced torus the degree
+// budget d affords: three near-equal factors ≥ 2 when d ≥ 6 and such a
+// decomposition exists, else two factors when d ≥ 4 and n is composite,
+// else a 1D ring (d ≥ 2). Deterministic in (n, d). Dimensions sort
+// ascending, so the same (n, d) always yields the same layout.
+func TorusDims(n, d int) ([]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: torus needs >= 2 servers, got %d", n)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("topo: torus needs degree >= 2, got %d", d)
+	}
+	if d >= 6 {
+		// Most balanced 3-factor split: largest a ≤ ∛n dividing n, then
+		// largest b ≤ √(n/a) dividing n/a.
+		for a := cbrtFloor(n); a >= 2; a-- {
+			if n%a != 0 {
+				continue
+			}
+			rest := n / a
+			for b := sqrtFloor(rest); b >= a; b-- {
+				if rest%b != 0 || rest/b < b {
+					continue
+				}
+				return []int{a, b, rest / b}, nil
+			}
+		}
+	}
+	if d >= 4 {
+		for a := sqrtFloor(n); a >= 2; a-- {
+			if n%a == 0 {
+				return []int{a, n / a}, nil
+			}
+		}
+	}
+	// Prime n or degree budget 2–3: a ring is the 1D torus.
+	return []int{n}, nil
+}
+
+func sqrtFloor(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func cbrtFloor(n int) int {
+	r := 0
+	for (r+1)*(r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// TorusDegree returns the interfaces per server a torus of the given
+// dimensions consumes: two per wrap-around dimension, one for a
+// dimension of size two (where +1 and -1 reach the same neighbor).
+func TorusDegree(dims []int) int {
+	deg := 0
+	for _, s := range dims {
+		switch {
+		case s >= 3:
+			deg += 2
+		case s == 2:
+			deg++
+		}
+	}
+	return deg
+}
+
+// Torus builds a multi-dimensional wrap-around grid (2D/3D torus; a
+// single dimension degenerates to a ring) over the product of dims
+// servers, one duplex link of bw to each ±1 neighbor per dimension.
+// Node indices are row-major with the last dimension fastest — the same
+// convention route.Torus uses for dimension-ordered routing.
+func Torus(dims []int, bw float64) *Network {
+	n := 1
+	for _, s := range dims {
+		if s < 1 {
+			panic("topo: torus dimension < 1")
+		}
+		n *= s
+	}
+	g := graph.New(n)
+	stride := make([]int, len(dims))
+	st := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		stride[i] = st
+		st *= dims[i]
+	}
+	for i, s := range dims {
+		if s < 2 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			c := (v / stride[i]) % s
+			if s == 2 && c == 1 {
+				continue // the +1 and -1 neighbors coincide; link added at c=0
+			}
+			nb := v + stride[i]
+			if c == s-1 {
+				nb = v - (s-1)*stride[i] // wrap
+			}
+			g.AddDuplex(v, nb, bw)
+		}
+	}
+	return &Network{G: g, Hosts: n, ForwardingHosts: true, Name: "Torus"}
+}
+
 // DirectConnect builds a direct-connect topology over n servers from
 // explicit duplex pairs, each with bandwidth bw. This is how TopologyFinder
 // materializes its output.

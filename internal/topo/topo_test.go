@@ -168,3 +168,103 @@ func TestDirectConnect(t *testing.T) {
 		}
 	}
 }
+
+func TestTorusDims(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want []int
+	}{
+		{16, 4, []int{4, 4}},    // square 2D
+		{12, 4, []int{3, 4}},    // rectangular 2D
+		{9, 4, []int{3, 3}},     // odd square
+		{7, 4, []int{7}},        // prime n degenerates to a ring
+		{16, 2, []int{16}},      // degree budget 2 forces a ring
+		{27, 6, []int{3, 3, 3}}, // cube 3D
+		{64, 6, []int{4, 4, 4}}, // larger cube
+		{24, 6, []int{2, 3, 4}}, // balanced 3-factor split
+		{24, 4, []int{4, 6}},    // same n, degree budget forces 2D
+		{10, 6, []int{2, 5}},    // no 3-factor split of 10; falls to 2D
+	}
+	for _, c := range cases {
+		got, err := TorusDims(c.n, c.d)
+		if err != nil {
+			t.Errorf("TorusDims(%d, %d): %v", c.n, c.d, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("TorusDims(%d, %d) = %v, want %v", c.n, c.d, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("TorusDims(%d, %d) = %v, want %v", c.n, c.d, got, c.want)
+				break
+			}
+		}
+	}
+	if _, err := TorusDims(1, 4); err == nil {
+		t.Error("n < 2 must fail")
+	}
+	if _, err := TorusDims(16, 1); err == nil {
+		t.Error("degree < 2 must fail")
+	}
+}
+
+func TestTorusDegree(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+	}{
+		{[]int{4, 4}, 4},
+		{[]int{3, 3, 3}, 6},
+		{[]int{2, 3, 4}, 5}, // the size-2 dimension has one shared neighbor
+		{[]int{16}, 2},
+		{[]int{2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := TorusDegree(c.dims); got != c.want {
+			t.Errorf("TorusDegree(%v) = %d, want %d", c.dims, got, c.want)
+		}
+	}
+}
+
+func TestTorusTopology(t *testing.T) {
+	nw := Torus([]int{3, 4}, 100e9)
+	if nw.G.N() != 12 {
+		t.Fatalf("nodes = %d, want 12", nw.G.N())
+	}
+	if !nw.G.Connected() {
+		t.Error("torus disconnected")
+	}
+	if !nw.ForwardingHosts {
+		t.Error("torus hosts must forward")
+	}
+	for v := 0; v < 12; v++ {
+		if got := nw.G.OutDegree(v); got != 4 {
+			t.Errorf("node %d degree %d, want 4", v, got)
+		}
+	}
+	// Row-major with the last dimension fastest: node 0 = (0,0) links to
+	// (0,1)=1, (0,3)=3 (wrap), (1,0)=4 and (2,0)=8 (wrap).
+	for _, nb := range []int{1, 3, 4, 8} {
+		if !nw.G.HasEdge(0, nb) {
+			t.Errorf("missing link 0->%d", nb)
+		}
+	}
+	// Size-2 dimensions must not duplicate the wrap link.
+	small := Torus([]int{2, 3}, 1e9)
+	for v := 0; v < 6; v++ {
+		for _, nb := range small.G.Neighbors(v) {
+			if small.G.Multiplicity(v, nb) != 1 {
+				t.Errorf("parallel links %d->%d in a 2-sized dimension", v, nb)
+			}
+		}
+	}
+	// A 1D torus is the n-ring.
+	ring := Torus([]int{5}, 1e9)
+	for v := 0; v < 5; v++ {
+		if ring.G.OutDegree(v) != 2 {
+			t.Errorf("ring node %d degree %d, want 2", v, ring.G.OutDegree(v))
+		}
+	}
+}

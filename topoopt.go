@@ -24,13 +24,12 @@ package topoopt
 import (
 	"context"
 	"fmt"
+	"strings"
 
-	"topoopt/internal/core"
-	"topoopt/internal/cost"
+	"topoopt/internal/arch"
 	"topoopt/internal/flexnet"
 	"topoopt/internal/model"
 	"topoopt/internal/parallel"
-	"topoopt/internal/topo"
 	"topoopt/internal/traffic"
 )
 
@@ -269,7 +268,9 @@ func planFromResult(res *flexnet.CoOptResult, n int) *Plan {
 	return p
 }
 
-// Architecture identifies a comparison fabric (§5.1).
+// Architecture identifies a comparison fabric (§5.1). Every architecture
+// is a self-describing backend in the internal/arch registry; the names
+// below are the registered identities of the built-in family.
 type Architecture string
 
 const (
@@ -280,12 +281,39 @@ const (
 	ArchExpander Architecture = "Expander"
 	ArchSiPML    Architecture = "SiP-ML"
 	ArchOCS      Architecture = "OCS-reconfig"
+	ArchTorus    Architecture = "Torus"
+	ArchSiPRing  Architecture = "SiP-Ring"
 )
 
-// Architectures lists the §5.3 comparison set in the paper's order.
+// Architectures lists every registered fabric backend in stable display
+// order: the §5.1 comparison set in the paper's order, then later
+// additions. The list is derived from the registry, so it can never
+// drift from what Compare and Cost actually accept.
 func Architectures() []Architecture {
-	return []Architecture{ArchTopoOpt, ArchIdeal, ArchFatTree, ArchOversub,
-		ArchExpander, ArchSiPML, ArchOCS}
+	names := arch.Names()
+	out := make([]Architecture, len(names))
+	for i, n := range names {
+		out[i] = Architecture(n)
+	}
+	return out
+}
+
+// unknownArchitecture is the shared "not registered" error: it lists the
+// registered names so callers (and HTTP clients) see the menu instead of
+// guessing.
+func unknownArchitecture(a Architecture) error {
+	return fmt.Errorf("topoopt: unknown architecture %q (registered: %s)",
+		a, strings.Join(arch.Names(), ", "))
+}
+
+// archOptions converts public Options to the registry's option set.
+func archOptions(o Options) arch.Options {
+	return arch.Options{
+		Servers: o.Servers, Degree: o.Degree, LinkBW: o.LinkBandwidth,
+		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
+		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
+		Parallelism: o.Parallelism, SearchWorkers: o.SearchWorkers,
+	}
 }
 
 // CompareResult is the iteration time of one architecture for one model.
@@ -314,117 +342,43 @@ func CompareContext(ctx context.Context, m *Model, o Options, archs ...Architect
 	if len(archs) == 0 {
 		archs = Architectures()
 	}
+	ao := archOptions(o)
 	var out []CompareResult
 	for _, a := range archs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		b, ok := arch.Lookup(string(a))
+		if !ok {
+			return nil, unknownArchitecture(a)
+		}
 		cr := CompareResult{Arch: a}
-		c, err := cost.Of(string(a), o.Servers, o.Degree, o.LinkBandwidth)
+		c, err := b.Cost(ao)
 		if err != nil {
 			// A zero CostUSD would be indistinguishable from "free":
 			// surface pricing failures instead of swallowing them.
 			return nil, fmt.Errorf("topoopt: pricing %s: %w", a, err)
 		}
 		cr.CostUSD = c
-		switch a {
-		case ArchTopoOpt:
-			plan, err := OptimizeContext(ctx, m, o)
-			if err != nil {
-				return nil, err
-			}
-			cr.Iteration = plan.PredictedIteration
-		case ArchIdeal, ArchFatTree, ArchOversub, ArchExpander:
-			fab, err := baselineFabric(a, o)
-			if err != nil {
-				return nil, err
-			}
-			_, it, err := flexnet.SearchOnFabricContext(ctx, m, fab, o.Servers, o.BatchPerGPU, flexnet.MCMCConfig{
-				Iters: o.MCMCIters, Seed: o.Seed,
-				Parallelism: o.Parallelism, Workers: o.SearchWorkers,
-			}, o.GPU)
-			if err != nil {
-				return nil, err
-			}
-			cr.Iteration = IterationBreakdown{
-				MPSeconds: it.MPTime, ComputeSeconds: it.ComputeTime,
-				AllReduceSeconds: it.AllReduceTime, BandwidthTax: it.BandwidthTax,
-			}
-		case ArchSiPML, ArchOCS:
-			t, err := reconfigurableIteration(m, o, a)
-			if err != nil {
-				return nil, err
-			}
-			cr.Iteration = t
-		default:
-			return nil, fmt.Errorf("topoopt: unknown architecture %q", a)
+		it, err := arch.Evaluate(ctx, b, m, ao)
+		if err != nil {
+			return nil, err
+		}
+		cr.Iteration = IterationBreakdown{
+			MPSeconds: it.MPSeconds, ComputeSeconds: it.ComputeSeconds,
+			AllReduceSeconds: it.AllReduceSeconds, BandwidthTax: it.BandwidthTax,
 		}
 		out = append(out, cr)
 	}
 	return out, nil
 }
 
-func baselineFabric(a Architecture, o Options) (*flexnet.Fabric, error) {
-	switch a {
-	case ArchIdeal:
-		return flexnet.NewSwitchFabric(topo.IdealSwitch(o.Servers, float64(o.Degree)*o.LinkBandwidth)), nil
-	case ArchFatTree:
-		bft := cost.EquivalentFatTreeBandwidth(o.Servers, o.Degree, o.LinkBandwidth)
-		return flexnet.NewSwitchFabric(topo.FatTree(o.Servers, bft)), nil
-	case ArchOversub:
-		rack := 8
-		if o.Servers < 16 {
-			rack = 4
-		}
-		return flexnet.NewSwitchFabric(topo.OversubFatTree(o.Servers, rack, float64(o.Degree)*o.LinkBandwidth)), nil
-	case ArchExpander:
-		nw, err := topo.Expander(o.Servers, o.Degree, o.LinkBandwidth, o.Seed+1)
-		if err != nil {
-			return nil, err
-		}
-		return flexnet.NewSwitchFabric(nw), nil
-	}
-	return nil, fmt.Errorf("topoopt: %q is not a static baseline", a)
-}
-
-func reconfigurableIteration(m *Model, o Options, a Architecture) (IterationBreakdown, error) {
-	batch := o.BatchPerGPU
-	if batch <= 0 {
-		batch = m.BatchPerGPU
-	}
-	gpu := o.GPU
-	if gpu.PeakFLOPS == 0 {
-		gpu = A100
-	}
-	st := parallel.Hybrid(m, o.Servers)
-	dem, err := traffic.FromStrategy(m, st, batch)
-	if err != nil {
-		return IterationBreakdown{}, err
-	}
-	compute := st.MaxComputeTime(m, gpu, batch)
-	cfg := flexnet.OCSRunConfig{
-		N: o.Servers, D: o.Degree, LinkBW: o.LinkBandwidth,
-		MeasureInterval: 0.050,
-	}
-	switch a {
-	case ArchSiPML:
-		cfg.ReconfigLatency = 25e-6
-		cfg.HostForwarding = false
-		cfg.Discount = core.UnitDiscount
-	case ArchOCS:
-		cfg.ReconfigLatency = 10e-3
-		cfg.HostForwarding = true
-	}
-	total, err := flexnet.SimulateOCSIteration(cfg, dem, compute)
-	if err != nil {
-		return IterationBreakdown{}, err
-	}
-	return IterationBreakdown{ComputeSeconds: compute,
-		AllReduceSeconds: total - compute, BandwidthTax: 1}, nil
-}
-
 // Cost returns the §5.2 interconnect cost in USD of an architecture at
-// the given scale.
+// the given scale, dispatching to the architecture's registered backend.
 func Cost(a Architecture, servers, degree int, linkBandwidth float64) (float64, error) {
-	return cost.Of(string(a), servers, degree, linkBandwidth)
+	b, ok := arch.Lookup(string(a))
+	if !ok {
+		return 0, unknownArchitecture(a)
+	}
+	return b.Cost(arch.Options{Servers: servers, Degree: degree, LinkBW: linkBandwidth})
 }

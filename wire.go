@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"topoopt/internal/arch"
 	"topoopt/internal/model"
 )
 
@@ -54,6 +55,18 @@ func (sp ModelSpec) Canonical() ModelSpec {
 		sp.VGGDepth = 0
 	}
 	return sp
+}
+
+// ParseArchitecture validates a wire architecture name against the
+// backend registry. Unlike a plain cast, a failure names the registered
+// backends, so services can hand clients the menu in a structured 400
+// instead of a late 500. Names are exact (registry identities are part of
+// the wire format and of comparison fingerprints).
+func ParseArchitecture(name string) (Architecture, error) {
+	if _, ok := arch.Lookup(name); !ok {
+		return "", unknownArchitecture(Architecture(name))
+	}
+	return Architecture(name), nil
 }
 
 // ParseSection converts a wire section name ("5.3", "5.6", "6"; "" means
