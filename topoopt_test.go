@@ -1,6 +1,9 @@
 package topoopt
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -142,8 +145,18 @@ func TestPresetsExposed(t *testing.T) {
 			t.Errorf("%s: empty model", m.Name)
 		}
 	}
-	if len(Architectures()) != 7 {
-		t.Error("architecture list should have 7 entries")
+	// Registry-derived list: the §5.1 seven in the paper's order, then
+	// later backends in registration-rank order.
+	want := []Architecture{ArchTopoOpt, ArchIdeal, ArchFatTree, ArchOversub,
+		ArchExpander, ArchSiPML, ArchOCS, ArchTorus, ArchSiPRing}
+	got := Architectures()
+	if len(got) != len(want) {
+		t.Fatalf("architecture list = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Architectures()[%d] = %s, want %s", i, got[i], want[i])
+		}
 	}
 }
 
@@ -164,8 +177,8 @@ func TestCompareAllArchitectures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 7 {
-		t.Fatalf("results = %d, want 7", len(res))
+	if len(res) != len(Architectures()) {
+		t.Fatalf("results = %d, want %d", len(res), len(Architectures()))
 	}
 	for _, r := range res {
 		if r.Iteration.Total() <= 0 {
@@ -190,5 +203,92 @@ func TestCompareDefaultsToAllArchitectures(t *testing.T) {
 func TestCompareValidatesOptions(t *testing.T) {
 	if _, err := Compare(CANDLE(Sec6), Options{}); err == nil {
 		t.Error("zero options should fail validation")
+	}
+}
+
+func TestCompareNewArchitecturesDeterministic(t *testing.T) {
+	// The two registry additions must produce byte-identical results
+	// across runs: fingerprint-keyed caching and the serve layer depend
+	// on Compare being a pure function of (model, options, archs).
+	m := CANDLE(Sec6)
+	opts := Options{Servers: 9, Degree: 4, LinkBandwidth: 100e9,
+		Rounds: 1, MCMCIters: 10, Seed: 3}
+	run := func() []byte {
+		t.Helper()
+		res, err := Compare(m, opts, ArchTorus, ArchSiPRing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("results = %d, want 2", len(res))
+		}
+		for _, r := range res {
+			if r.Iteration.Total() <= 0 || r.CostUSD <= 0 {
+				t.Fatalf("%s: iteration %v cost %v", r.Arch, r.Iteration.Total(), r.CostUSD)
+			}
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); !bytes.Equal(first, again) {
+			t.Fatalf("run %d differs:\n%s\n%s", i, first, again)
+		}
+	}
+}
+
+func TestUnknownArchErrorListsRegistry(t *testing.T) {
+	_, err := Compare(CANDLE(Sec6), smallOpts(), Architecture("warpdrive"))
+	if err == nil {
+		t.Fatal("unknown architecture must fail")
+	}
+	for _, a := range Architectures() {
+		if !strings.Contains(err.Error(), string(a)) {
+			t.Errorf("error %q does not list %s", err, a)
+		}
+	}
+	if _, err := Cost(Architecture("warpdrive"), 16, 4, 100e9); err == nil ||
+		!strings.Contains(err.Error(), string(ArchTorus)) {
+		t.Errorf("Cost error %v must list the registry", err)
+	}
+}
+
+func TestParseArchitecture(t *testing.T) {
+	for _, a := range Architectures() {
+		got, err := ParseArchitecture(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseArchitecture(%s) = %v, %v", a, got, err)
+		}
+	}
+	for _, bad := range []string{"", "topoopt", "fat-tree", "warpdrive"} {
+		if _, err := ParseArchitecture(bad); err == nil {
+			t.Errorf("ParseArchitecture(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCostNewArchitectures(t *testing.T) {
+	// Torus consumes at most d interfaces, so it can never exceed the
+	// d-regular Expander bill; SiP-Ring sits between Expander and SiP-ML.
+	n, d, b := 128, 4, 100e9
+	torus, err := Cost(ArchTorus, n, d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, _ := Cost(ArchExpander, n, d, b)
+	if torus > exp {
+		t.Errorf("Torus %v must not exceed Expander %v", torus, exp)
+	}
+	ring, err := Cost(ArchSiPRing, n, d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sip, _ := Cost(ArchSiPML, n, d, b)
+	if !(exp < ring && ring < sip) {
+		t.Errorf("want Expander %v < SiP-Ring %v < SiP-ML %v", exp, ring, sip)
 	}
 }
