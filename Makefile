@@ -24,8 +24,8 @@ SHELL := /bin/bash
 # `build` compiles ./... which includes examples/; TestExamplesBuild in
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
-	serve-benchcheck flexnet-bench flexnet-benchcheck bench-smoke cover \
-	lint ci
+	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
+	fleet-benchcheck bench-smoke cover lint ci
 
 tier1: fmt vet build test
 
@@ -75,19 +75,33 @@ flexnet-benchcheck:
 	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -check BENCH_flexnet.json $(BENCHDIFF_FLAGS)
 
+# The fleet suite records the cluster-scale simulator: two full scenario
+# lifetimes (steady-state with per-shard co-optimization, failure-storm
+# with warm-started replans), the raw no-training event engine over 500
+# jobs, and the evaluation-cache hit path every long trace lives on.
+fleet-bench:
+	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -out BENCH_cluster.json
+
+fleet-benchcheck:
+	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -check BENCH_cluster.json $(BENCHDIFF_FLAGS)
+
 # Short-benchtime pass over every recorded suite. Warn-only: CI runners
 # are noisy and 0.2s samples are for catching order-of-magnitude
 # regressions, not 1.3x ones.
 bench-smoke:
-	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck
+	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck fleet-benchcheck
 
 # Per-package coverage floors for the packages where a silent coverage
 # slide is most dangerous: the architecture registry (every backend must
-# stay exercised or a broken fabric ships silently) and the cost model
-# (unpriced components corrupt every Figure 10 reproduction). Floors sit
-# below current coverage with headroom for refactors; raise them as the
-# packages grow.
-COVER_FLOORS := internal/arch:80 internal/cost:90
+# stay exercised or a broken fabric ships silently), the cost model
+# (unpriced components corrupt every Figure 10 reproduction), and the
+# cluster/fleet simulators (an untested scheduling or failure path breaks
+# reproducibility silently — results stay plausible but wrong). Floors
+# sit below current coverage with headroom for refactors; raise them as
+# the packages grow.
+COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80
 
 cover:
 	@set -e; for spec in $(COVER_FLOORS); do \

@@ -1,0 +1,197 @@
+// Command fleetsim runs the trace-driven multi-job cluster simulator
+// (internal/fleet) from the command line: pick a scenario preset, tweak
+// any knob, and get the full FleetResult — per-job JCT/queueing/slowdown
+// records, the cluster-utilization series and aggregate statistics — as
+// canonical JSON. The result is a pure function of the spec, so piping
+// the same invocation twice yields byte-identical output.
+//
+// Usage:
+//
+//	fleetsim -scenario steady
+//	fleetsim -scenario failure-storm -seed 7 -summary
+//	fleetsim -scenario diurnal-burst -policy fifo -o run.json
+//	fleetsim -spec myspec.json
+//	fleetsim -list-scenarios
+//
+// Scenario presets:
+//
+//	steady         Poisson §2.2 job mix on a TopoOpt-fabric cluster —
+//	               the baseline shared-cluster what-if.
+//	diurnal-burst  day/night arrival swing driving EASY backfill on a
+//	               cost-equivalent Fat-tree.
+//	failure-storm  seeded link/port faults forcing degraded replans
+//	               (warm-started searches) and restarts behind look-ahead
+//	               patch-panel provisioning.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"topoopt"
+)
+
+// simConfig is the parsed command line.
+type simConfig struct {
+	Scenario      string
+	SpecFile      string
+	ListScenarios bool
+	Summary       bool
+	Out           string
+
+	// Overrides (zero = keep the preset's value).
+	Seed     int64
+	Servers  int
+	Degree   int
+	GBps     float64
+	Arch     string
+	Policy   string
+	Prov     string
+	Jobs     int
+	Parallel int
+}
+
+// parseFlags parses args (excluding the program name) with a fresh
+// FlagSet so tests can exercise the exact flag surface main uses.
+func parseFlags(args []string) (simConfig, error) {
+	var cfg simConfig
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	fs.StringVar(&cfg.Scenario, "scenario", "steady", "scenario preset (see -list-scenarios)")
+	fs.StringVar(&cfg.SpecFile, "spec", "", "run a FleetSpec JSON file instead of a preset")
+	fs.BoolVar(&cfg.ListScenarios, "list-scenarios", false, "list scenario presets and exit")
+	fs.BoolVar(&cfg.Summary, "summary", false, "print a human-readable summary to stderr")
+	fs.StringVar(&cfg.Out, "o", "", "write result JSON to a file (default stdout)")
+	fs.Int64Var(&cfg.Seed, "seed", 0, "override the preset seed")
+	fs.IntVar(&cfg.Servers, "servers", 0, "override the cluster size")
+	fs.IntVar(&cfg.Degree, "degree", 0, "override interfaces per server")
+	fs.Float64Var(&cfg.GBps, "bandwidth-gbps", 0, "override per-interface bandwidth")
+	fs.StringVar(&cfg.Arch, "arch", "", "override the fabric backend")
+	fs.StringVar(&cfg.Policy, "policy", "", "override the placement policy (fifo, strided, backfill)")
+	fs.StringVar(&cfg.Prov, "provisioning", "", "override provisioning (patch, lookahead, ocs)")
+	fs.IntVar(&cfg.Jobs, "jobs", 0, "override the synthetic job count")
+	fs.IntVar(&cfg.Parallel, "parallel", 0, "MCMC chains per embedded strategy search")
+	if err := fs.Parse(args); err != nil {
+		return simConfig{}, err
+	}
+	return cfg, nil
+}
+
+// buildSpec resolves the preset or spec file and applies overrides.
+func buildSpec(cfg simConfig) (topoopt.FleetSpec, error) {
+	var spec topoopt.FleetSpec
+	if cfg.SpecFile != "" {
+		b, err := os.ReadFile(cfg.SpecFile)
+		if err != nil {
+			return spec, err
+		}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return spec, fmt.Errorf("fleetsim: parsing %s: %w", cfg.SpecFile, err)
+		}
+	} else {
+		var err error
+		spec, err = topoopt.FleetScenario(cfg.Scenario)
+		if err != nil {
+			return spec, err
+		}
+	}
+	if cfg.Seed != 0 {
+		spec.Seed = cfg.Seed
+	}
+	if cfg.Servers > 0 {
+		spec.Servers = cfg.Servers
+	}
+	if cfg.Degree > 0 {
+		spec.Degree = cfg.Degree
+	}
+	if cfg.GBps > 0 {
+		spec.LinkBandwidth = cfg.GBps * 1e9
+	}
+	if cfg.Arch != "" {
+		spec.Arch = cfg.Arch
+	}
+	if cfg.Policy != "" {
+		spec.Policy = cfg.Policy
+	}
+	if cfg.Prov != "" {
+		spec.Provisioning = cfg.Prov
+	}
+	if cfg.Jobs > 0 {
+		spec.Trace.Jobs = cfg.Jobs
+	}
+	if cfg.Parallel > 0 {
+		spec.Parallelism = cfg.Parallel
+	}
+	// A -servers override below the preset's worker cap would fail
+	// validation; shrink the cap with the cluster.
+	if spec.Trace.MaxWorkers > spec.Servers {
+		spec.Trace.MaxWorkers = spec.Servers
+	}
+	return spec, spec.Validate()
+}
+
+// run executes the simulation and writes the result. Split from main for
+// tests.
+func run(ctx context.Context, cfg simConfig, stdout, stderr io.Writer) error {
+	if cfg.ListScenarios {
+		for _, s := range topoopt.FleetScenarios() {
+			fmt.Fprintln(stdout, s)
+		}
+		return nil
+	}
+	spec, err := buildSpec(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := topoopt.RunFleet(ctx, spec)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if cfg.Out != "" {
+		if err := os.WriteFile(cfg.Out, b, 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := stdout.Write(b); err != nil {
+			return err
+		}
+	}
+	if cfg.Summary {
+		s := res.Summary
+		fmt.Fprintf(stderr,
+			"fleetsim: %d jobs on %s/%s/%s  makespan %.0fs  mean JCT %.1fs (p50 %.1f, p95 %.1f)  "+
+				"mean queue %.1fs  slowdown %.2fx  util %.1f%%  failures %d (replans %d, restarts %d)  "+
+				"searches %d (%d warm)\n",
+			s.Jobs, res.Arch, res.Policy, res.Provisioning, s.MakespanS,
+			s.MeanJCTS, s.P50JCTS, s.P95JCTS, s.MeanQueueDelayS, s.MeanSlowdown,
+			100*s.MeanUtilization, s.Failures, s.Replans, s.Restarts,
+			s.Searches, s.WarmStarts)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"topoopt"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-scenario", "failure-storm", "-seed", "7", "-servers", "16",
+		"-policy", "backfill", "-jobs", "5", "-summary", "-o", "x.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scenario != "failure-storm" || cfg.Seed != 7 || cfg.Servers != 16 ||
+		cfg.Policy != "backfill" || cfg.Jobs != 5 || !cfg.Summary || cfg.Out != "x.json" {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestBuildSpecOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-scenario", "steady", "-seed", "99", "-servers", "16",
+		"-arch", "Expander", "-policy", "strided", "-provisioning", "patch",
+		"-jobs", "3", "-bandwidth-gbps", "40", "-degree", "2", "-parallel", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := buildSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 99 || spec.Servers != 16 || spec.Arch != "Expander" ||
+		spec.Policy != "strided" || spec.Provisioning != "patch" ||
+		spec.Trace.Jobs != 3 || spec.LinkBandwidth != 40e9 || spec.Degree != 2 ||
+		spec.Parallelism != 4 {
+		t.Errorf("overrides not applied: %+v", spec)
+	}
+	// Overridden specs still validate.
+	bad := cfg
+	bad.Policy = "lifo"
+	if _, err := buildSpec(bad); err == nil {
+		t.Error("invalid override accepted")
+	}
+	if _, err := buildSpec(simConfig{Scenario: "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestBuildSpecFromFile(t *testing.T) {
+	spec := topoopt.FleetSpec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9, Arch: "Fat-tree",
+		Trace: topoopt.FleetTraceSpec{Inline: []topoopt.FleetJobSpec{
+			{AtS: 0, Workers: 4, FixedDurationS: 10},
+		}},
+	}
+	b, _ := json.Marshal(spec)
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := buildSpec(simConfig{SpecFile: path, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Servers != 8 || got.Seed != 5 {
+		t.Errorf("spec file + override = %+v", got)
+	}
+	if _, err := buildSpec(simConfig{SpecFile: filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// TestRunDeterministicOutput: the CLI's end-to-end output is
+// byte-identical across runs of the same spec, and -summary reports the
+// run on stderr.
+func TestRunDeterministicOutput(t *testing.T) {
+	spec := topoopt.FleetSpec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9, Arch: "Fat-tree",
+		Trace: topoopt.FleetTraceSpec{Inline: []topoopt.FleetJobSpec{
+			{AtS: 0, Workers: 4, FixedDurationS: 50},
+			{AtS: 1, Workers: 8, FixedDurationS: 20},
+		}},
+	}
+	b, _ := json.Marshal(spec)
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := simConfig{SpecFile: path, Summary: true}
+	var out1, out2, errBuf bytes.Buffer
+	if err := run(context.Background(), cfg, &out1, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), cfg, &out2, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("two identical runs wrote different JSON")
+	}
+	var res topoopt.FleetResult
+	if err := json.Unmarshal(out1.Bytes(), &res); err != nil {
+		t.Fatalf("output is not a FleetResult: %v", err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Errorf("result has %d jobs, want 2", len(res.Jobs))
+	}
+	if !strings.Contains(errBuf.String(), "2 jobs") {
+		t.Errorf("summary missing: %q", errBuf.String())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	spec := topoopt.FleetSpec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9, Arch: "Fat-tree",
+		Trace: topoopt.FleetTraceSpec{Inline: []topoopt.FleetJobSpec{
+			{AtS: 0, Workers: 2, FixedDurationS: 5},
+		}},
+	}
+	b, _ := json.Marshal(spec)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	outPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(specPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run(context.Background(), simConfig{SpecFile: specPath, Out: outPath}, &stdout, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Error("-o should suppress stdout")
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res topoopt.FleetResult
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatalf("file is not a FleetResult: %v", err)
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), simConfig{ListScenarios: true}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steady", "diurnal-burst", "failure-storm"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scenario list missing %q: %q", want, out.String())
+		}
+	}
+}

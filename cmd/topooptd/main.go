@@ -27,6 +27,12 @@
 //	                      listing the registered menu. Results are cached
 //	                      by a fingerprint that includes the arch names.
 //	GET    /v1/cost?arch=TopoOpt&servers=128&degree=4&bandwidth_gbps=100
+//	POST   /v1/fleet      async fleet simulation (internal/fleet): a whole
+//	                      cluster lifetime — trace-driven arrivals,
+//	                      placement policy, provisioning latency, failure
+//	                      injection — cached by canonical-spec
+//	                      fingerprint; result arrives in the job's
+//	                      "fleet" field
 //	POST   /v1/jobs       async plan; poll GET /v1/jobs/{id}, cancel with
 //	                      DELETE /v1/jobs/{id}
 //	GET    /v1/metrics    request counts, cache hit rate, queue depth,

@@ -293,6 +293,69 @@ func TestSimulateArrivalsQueueing(t *testing.T) {
 	}
 }
 
+// TestSimulateArrivalsSimultaneousArrivals pins the At tie-break rule:
+// equal-At jobs are served in input order (stable by index), which under
+// look-ahead provisioning decides who gets the single pre-wired plane.
+func TestSimulateArrivalsSimultaneousArrivals(t *testing.T) {
+	p := NewProvisioner()
+	// Three simultaneous arrivals on a cluster that fits only one at a
+	// time: the queueing + lookahead interaction serializes them.
+	arrivals := []Arrival{
+		{At: 0, Servers: 8, Duration: 200},
+		{At: 0, Servers: 8, Duration: 200},
+		{At: 0, Servers: 8, Duration: 200},
+	}
+	la, err := SimulateArrivals(8, arrivals, PatchPanelLookAhead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0 (first by index): lookahead plane not yet wired at t=0, pays
+	// flip only (the plane was never consumed), starts at flip.
+	if la.StartDelay[0] != p.FlipLatency {
+		t.Errorf("job 0 delay %g, want %g", la.StartDelay[0], p.FlipLatency)
+	}
+	// Job 1 waits for job 0's servers (released at start0+200). Job 0's
+	// start kicked off wiring the next plane at start0, done at
+	// start0+flip+patch < start0+200, so job 1 pays only the flip again.
+	want1 := (p.FlipLatency + 200 + p.FlipLatency) - 0
+	if la.StartDelay[1] != want1 {
+		t.Errorf("job 1 delay %g, want %g", la.StartDelay[1], want1)
+	}
+	// Same one step later for job 2.
+	want2 := want1 + 200 + p.FlipLatency
+	if la.StartDelay[2] != want2 {
+		t.Errorf("job 2 delay %g, want %g", la.StartDelay[2], want2)
+	}
+	// The tie-break is by index: a permuted input with distinguishable
+	// durations must keep result slots aligned with sorted-stable order.
+	mixed := []Arrival{
+		{At: 0, Servers: 8, Duration: 50},
+		{At: 0, Servers: 8, Duration: 500},
+	}
+	res, err := SimulateArrivals(8, mixed, OCS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index 0 starts first (delay 10 ms); index 1 waits out the 50 s job,
+	// not the 500 s one — proving index order, not duration order.
+	if res.StartDelay[0] != 0.010 {
+		t.Errorf("first-by-index delay %g, want 0.010", res.StartDelay[0])
+	}
+	if res.StartDelay[1] < 50 || res.StartDelay[1] > 51 {
+		t.Errorf("second-by-index delay %g, want ~50 s (waiting on the 50 s job)", res.StartDelay[1])
+	}
+	// And the whole vector is reproducible.
+	res2, err := SimulateArrivals(8, mixed, OCS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.StartDelay {
+		if res.StartDelay[i] != res2.StartDelay[i] {
+			t.Fatalf("tie-broken schedule not reproducible at job %d", i)
+		}
+	}
+}
+
 func TestSimulateArrivalsErrors(t *testing.T) {
 	if _, err := SimulateArrivals(4, []Arrival{{Servers: 8}}, OCS, nil); err == nil {
 		t.Error("oversized job should fail")

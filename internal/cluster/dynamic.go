@@ -46,6 +46,14 @@ const (
 // n-server cluster under the given provisioning mode. Jobs are served
 // FIFO; a job waits until enough servers are free, then pays the
 // topology-activation latency before training.
+//
+// Tie-break rule: jobs with equal At are served in input-slice order
+// (the sort below is stable, so index order survives the sort). This
+// matters under look-ahead provisioning, where the single pre-wired
+// plane goes to whichever tied job is admitted first — a nondeterministic
+// order would make simultaneous arrivals produce different delay vectors
+// run to run. The fleet simulator (internal/fleet) relies on the same
+// rule when it replays this engine as its no-training degenerate case.
 func SimulateArrivals(n int, arrivals []Arrival, mode ProvisioningMode, prov *Provisioner) (*DynamicResult, error) {
 	if prov == nil {
 		prov = NewProvisioner()
@@ -56,6 +64,7 @@ func SimulateArrivals(n int, arrivals []Arrival, mode ProvisioningMode, prov *Pr
 		}
 	}
 	jobs := append([]Arrival(nil), arrivals...)
+	// SliceStable, never Slice: equal-At jobs must keep index order.
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].At < jobs[j].At })
 
 	type running struct {

@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkFleetSteady is the flagship scenario: a full cluster lifetime
+// with per-shard TopoOpt co-optimization (amortized by the evaluation
+// cache across jobs of the same family and size).
+func BenchmarkFleetSteady(b *testing.B) {
+	benchScenario(b, ScenarioSteady)
+}
+
+// BenchmarkFleetFailureStorm stresses the failure path: seeded faults,
+// degraded replans with warm-started searches, restarts.
+func BenchmarkFleetFailureStorm(b *testing.B) {
+	benchScenario(b, ScenarioFailureStorm)
+}
+
+func benchScenario(b *testing.B, name string) {
+	sp, err := Scenario(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetEventEngine measures the raw discrete-event engine with
+// no training evaluation at all (fixed-duration jobs): queueing,
+// provisioning serialization and utilization accounting for 500 jobs.
+func BenchmarkFleetEventEngine(b *testing.B) {
+	inline := make([]JobSpec, 500)
+	for i := range inline {
+		inline[i] = JobSpec{
+			AtS:            float64(i) * 10,
+			Workers:        2 + i%14,
+			FixedDurationS: 50 + float64(i%7)*100,
+		}
+	}
+	sp := Spec{
+		Servers: 64, Degree: 1, LinkBandwidth: 1e9,
+		Arch: "Fat-tree", Policy: PolicyBackfill, Provisioning: ProvLookahead,
+		Trace: TraceSpec{Inline: inline},
+	}
+	if _, err := Run(context.Background(), sp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetEvalCacheHit pins the warm path a long trace lives on:
+// jobs of an already-evaluated (family, size) pair cost a cache lookup,
+// not a search.
+func BenchmarkFleetEvalCacheHit(b *testing.B) {
+	sp, err := Scenario(ScenarioSteady)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := newEvaluator(sp.Canonical())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	fam, _ := ParseFamily("Recommendation")
+	if _, err := ev.evaluate(ctx, fam, 8, sp.Degree, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.evaluate(ctx, fam, 8, sp.Degree, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ev.searches != 1 {
+		b.Fatalf("cache missed: %d searches", ev.searches)
+	}
+}

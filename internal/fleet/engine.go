@@ -1,0 +1,508 @@
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"topoopt/internal/cluster"
+	"topoopt/internal/parallel"
+)
+
+// The engine is a deterministic discrete-event simulator. Three rules
+// keep it byte-reproducible from the spec alone:
+//
+//  1. Events order by (time, push sequence): simultaneous events resolve
+//     by the order they were scheduled, never by heap internals.
+//  2. Every random stream (trace, failure schedule, victim selection)
+//     derives from Spec.Seed via fixed stream IDs.
+//  3. No state lives in a map that is ever iterated — running jobs sit in
+//     an id-indexed slice, the evaluation cache is read by key only.
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evFinish
+	evFailure
+)
+
+type event struct {
+	t    float64
+	seq  int64
+	kind evKind
+	job  int // arrival index (evArrival, evFinish)
+	gen  int // finish-generation guard: stale finishes are ignored
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// queuedEntry is one waiting job (fresh arrival or restart).
+type queuedEntry struct {
+	arr      arrival
+	restarts int
+	replans  int
+}
+
+// runningJob is one placed job. Progress is tracked as (itersDone at
+// rateSince, current iterS), so replans can re-rate the remaining work.
+type runningJob struct {
+	arr       arrival
+	servers   []int
+	start     float64 // training start (allocation + activation)
+	iterS     float64 // current (possibly degraded) iteration time
+	baseIterS float64 // undegraded iteration time — the slowdown baseline
+	degree    int
+	strategy  *parallel.Strategy
+	itersDone int
+	rateSince float64
+	finish    float64
+	gen       int
+	restarts  int
+	replans   int
+}
+
+type engine struct {
+	spec  Spec
+	ev    *evaluator
+	pol   Policy
+	mode  cluster.ProvisioningMode
+	prov  *cluster.Provisioner
+	sched *cluster.Scheduler
+	arrs  []arrival
+
+	events eventHeap
+	seq    int64
+	queue  []*queuedEntry
+	// running is indexed by job id (nil = not running): victim scans walk
+	// it in id order, so failure targeting is deterministic.
+	running []*runningJob
+	// gens is the per-job finish-event generation, indexed by id and
+	// monotonic across the job's whole lifetime (every placement and
+	// replan bumps it). A restarted job's re-placement must NOT reuse an
+	// old generation: the aborted attempt's finish event is still in the
+	// heap, and a matching generation would complete the job at the stale
+	// time with most of its service skipped.
+	gens []int
+
+	// panelFreeAt serializes topology activation: one robot (patch
+	// panels) or one controller (OCS) wires one job at a time, exactly
+	// like cluster.SimulateArrivals' serial engine.
+	panelFreeAt      float64
+	lookaheadReadyAt float64
+
+	victimRng *rand.Rand
+	failures  int
+
+	util    []UtilPoint
+	results []JobResult
+	done    int
+
+	evalErr error
+}
+
+// ocsSwitchS is the OCS circuit-switch latency (~10 ms, as in
+// cluster.SimulateArrivals).
+const ocsSwitchS = 0.010
+
+// maxFailureEvents bounds the pre-generated failure schedule — a backstop
+// against a runaway rate × horizon product, far above any real scenario.
+const maxFailureEvents = 100000
+
+func provisioningMode(name string) cluster.ProvisioningMode {
+	switch name {
+	case ProvPatch:
+		return cluster.PatchPanelCold
+	case ProvLookahead:
+		return cluster.PatchPanelLookAhead
+	default:
+		return cluster.OCS
+	}
+}
+
+// Run executes the fleet simulation described by spec. The result is a
+// pure function of the canonicalized spec: two calls with the same spec
+// return byte-identical JSON. ctx is polled between events and threaded
+// into every strategy search, so a cancelled context aborts the run
+// promptly without leaving a simulator mid-flight.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(spec)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := ParsePolicy(spec.Policy, spec.RackSize)
+	if err != nil {
+		return nil, err
+	}
+	arrs := buildArrivals(spec)
+	en := &engine{
+		spec:      spec,
+		ev:        ev,
+		pol:       pol,
+		mode:      provisioningMode(spec.Provisioning),
+		prov:      cluster.NewProvisioner(),
+		sched:     cluster.NewScheduler(spec.Servers),
+		arrs:      arrs,
+		running:   make([]*runningJob, len(arrs)),
+		gens:      make([]int, len(arrs)),
+		results:   make([]JobResult, len(arrs)),
+		util:      []UtilPoint{{TS: 0, Busy: 0}},
+		victimRng: rand.New(rand.NewSource(subSeed(spec.Seed, 3))),
+	}
+	for i, a := range arrs {
+		en.push(event{t: a.at, kind: evArrival, job: i})
+	}
+	en.scheduleFailures()
+
+	for en.events.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e := heap.Pop(&en.events).(event)
+		switch e.kind {
+		case evArrival:
+			a := en.arrs[e.job]
+			en.queue = append(en.queue, &queuedEntry{arr: a})
+		case evFinish:
+			rj := en.running[e.job]
+			if rj == nil || rj.gen != e.gen {
+				continue // superseded by a replan or restart
+			}
+			en.complete(e.t, e.job)
+		case evFailure:
+			en.failure(ctx, e.t)
+		}
+		if en.evalErr != nil {
+			return nil, en.evalErr
+		}
+		en.schedule(ctx, e.t)
+		if en.evalErr != nil {
+			return nil, en.evalErr
+		}
+	}
+	if en.done != len(arrs) {
+		return nil, fmt.Errorf("fleet: %d/%d jobs completed (scheduler stalled)", en.done, len(arrs))
+	}
+
+	res := &Result{
+		Arch:         spec.Arch,
+		Policy:       pol.Name(),
+		Provisioning: spec.Provisioning,
+		Seed:         spec.Seed,
+		Jobs:         en.results,
+		Utilization:  en.util,
+	}
+	res.Summary.Failures = en.failures
+	res.Summary.Searches = ev.searches
+	res.Summary.WarmStarts = ev.warmStarts
+	summarize(res, spec.Servers)
+	return res, nil
+}
+
+func (en *engine) push(e event) {
+	e.seq = en.seq
+	en.seq++
+	heap.Push(&en.events, e)
+}
+
+// scheduleFailures pre-generates the Poisson fault schedule on its own
+// seed stream, bounded by the horizon (default: last arrival, so a
+// restart storm cannot stretch the run forever).
+func (en *engine) scheduleFailures() {
+	f := en.spec.Failures
+	if f == nil || f.RatePerHour <= 0 {
+		return
+	}
+	horizon := f.HorizonS
+	if horizon <= 0 {
+		horizon = lastArrival(en.arrs)
+	}
+	rng := rand.New(rand.NewSource(subSeed(en.spec.Seed, 2)))
+	t := 0.0
+	for i := 0; i < maxFailureEvents; i++ {
+		t += rng.ExpFloat64() * 3600 / f.RatePerHour
+		if t > horizon {
+			return
+		}
+		en.push(event{t: t, kind: evFailure})
+	}
+}
+
+// schedule runs placement passes until the policy declines. Est and
+// Shadow are handed to the policy as closures over live engine state, so
+// backfill decisions see exactly the deterministic running set.
+func (en *engine) schedule(ctx context.Context, now float64) {
+	for {
+		pc := &PolicyContext{
+			Now:    now,
+			Sched:  en.sched,
+			Queue:  en.queueView(),
+			Est:    func(i int) float64 { return en.estimate(ctx, i) },
+			Shadow: en.shadow,
+			Start:  func() float64 { return en.startPreview(now) },
+		}
+		qi, servers, ok := en.pol.Pick(pc)
+		if en.evalErr != nil || !ok {
+			return
+		}
+		en.place(ctx, now, qi, servers)
+		if en.evalErr != nil {
+			return
+		}
+	}
+}
+
+func (en *engine) queueView() []QueuedJob {
+	out := make([]QueuedJob, len(en.queue))
+	for i, q := range en.queue {
+		out[i] = QueuedJob{ID: q.arr.id, Workers: q.arr.workers}
+	}
+	return out
+}
+
+// estimate is the policy-facing service-time estimate of queue entry i.
+// Training jobs evaluate (and cache) their undegraded iteration time —
+// the same evaluation a later placement reuses, so backfill estimates are
+// exact, not heuristic.
+func (en *engine) estimate(ctx context.Context, i int) float64 {
+	q := en.queue[i]
+	if q.arr.fixed > 0 {
+		return q.arr.fixed
+	}
+	out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree, nil)
+	if err != nil {
+		en.evalErr = err
+		return inf
+	}
+	return float64(q.arr.iters) * out.iterS
+}
+
+const inf = 1e30
+
+// shadow computes the earliest time `need` servers could be free given
+// the running jobs' known finish times, and the extra free servers beyond
+// the need at that moment — the reservation EASY backfill protects.
+func (en *engine) shadow(need int) (float64, int) {
+	free := en.sched.Free()
+	if free >= need {
+		return 0, free - need
+	}
+	type rel struct {
+		t float64
+		w int
+	}
+	var rels []rel
+	for _, rj := range en.running {
+		if rj != nil {
+			rels = append(rels, rel{t: rj.finish, w: rj.arr.workers})
+		}
+	}
+	// Slice order is id order (deterministic); stable sort by finish time
+	// keeps equal-finish releases in id order.
+	sort.SliceStable(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
+	for _, r := range rels {
+		free += r.w
+		if free >= need {
+			return r.t, free - need
+		}
+	}
+	return inf, 0 // unreachable: need ≤ Servers is validated
+}
+
+// startPreview returns the training-start time the next admission at
+// `now` would observe: wiring begins once the serial provisioning
+// resource frees up, then pays the mode's activation latency (with the
+// look-ahead plane state as of now). Pure — the policy layer uses it to
+// predict backfill completions; place() commits it and updates the
+// plane state.
+func (en *engine) startPreview(now float64) float64 {
+	begin := now
+	if en.panelFreeAt > begin {
+		begin = en.panelFreeAt
+	}
+	var act float64
+	switch en.mode {
+	case cluster.PatchPanelCold:
+		act = en.prov.PatchLatency
+	case cluster.PatchPanelLookAhead:
+		act = en.prov.FlipLatency
+		if en.lookaheadReadyAt > begin {
+			act = (en.lookaheadReadyAt - begin) + en.prov.FlipLatency
+		}
+	default:
+		act = ocsSwitchS
+	}
+	return begin + act
+}
+
+// replanLatency is the reconfiguration pause a degraded replan pays: OCS
+// deployments re-switch circuits, patch-panel deployments re-wire the
+// active plane (the look-ahead plane is committed to the next admission).
+func (en *engine) replanLatency() float64 {
+	if en.mode == cluster.OCS {
+		return ocsSwitchS
+	}
+	return en.prov.PatchLatency
+}
+
+// place admits queue entry qi on the given (already reserved) servers:
+// serialize through the provisioning resource, evaluate the shard, and
+// schedule the finish.
+func (en *engine) place(ctx context.Context, now float64, qi int, servers []int) {
+	q := en.queue[qi]
+	en.queue = append(en.queue[:qi], en.queue[qi+1:]...)
+	en.utilSample(now)
+
+	start := en.startPreview(now)
+	if en.mode == cluster.PatchPanelLookAhead {
+		// Commit: start wiring the plane for the next admission (exactly
+		// cluster.SimulateArrivals' update — the plane is ready a patch
+		// latency after this job's activation completes).
+		en.lookaheadReadyAt = start + en.prov.PatchLatency
+	}
+	en.panelFreeAt = start
+
+	service := q.arr.fixed
+	var iterS, baseIterS float64
+	var strat *parallel.Strategy
+	if q.arr.iters > 0 {
+		out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree, nil)
+		if err != nil {
+			en.evalErr = err
+			return
+		}
+		iterS, baseIterS, strat = out.iterS, out.iterS, out.strategy
+		service = float64(q.arr.iters) * iterS
+	}
+	en.gens[q.arr.id]++
+	rj := &runningJob{
+		arr: q.arr, servers: servers, start: start,
+		iterS: iterS, baseIterS: baseIterS, degree: en.spec.Degree,
+		strategy: strat, rateSince: start, finish: start + service,
+		restarts: q.restarts, replans: q.replans,
+		gen: en.gens[q.arr.id],
+	}
+	en.running[q.arr.id] = rj
+	en.push(event{t: rj.finish, kind: evFinish, job: q.arr.id, gen: rj.gen})
+}
+
+// complete records a finished job and frees its shard.
+func (en *engine) complete(t float64, id int) {
+	rj := en.running[id]
+	en.running[id] = nil
+	en.sched.Release(rj.servers)
+	jr := JobResult{
+		ID: id, Workers: rj.arr.workers,
+		ArrivalS: rj.arr.at, StartS: rj.start, FinishS: t,
+		QueueDelayS: rj.start - rj.arr.at, JCTS: t - rj.arr.at,
+		Iters: rj.arr.iters, IterS: rj.iterS,
+		Servers: rj.servers, Restarts: rj.restarts, Replans: rj.replans,
+	}
+	if rj.arr.iters > 0 {
+		jr.Family = rj.arr.family.String()
+		jr.Slowdown = jr.JCTS / (float64(rj.arr.iters) * rj.baseIterS)
+	} else {
+		jr.Slowdown = jr.JCTS / rj.arr.fixed
+	}
+	en.results[id] = jr
+	en.done++
+	en.utilSample(t)
+}
+
+// failure handles one fault at time t: pick a training victim
+// deterministically, then replan on the degraded shard or restart.
+func (en *engine) failure(ctx context.Context, t float64) {
+	en.failures++
+	var victims []int
+	for id, rj := range en.running {
+		if rj != nil && rj.arr.iters > 0 && rj.start <= t {
+			victims = append(victims, id)
+		}
+	}
+	if len(victims) == 0 {
+		return // fault hit idle capacity
+	}
+	id := victims[en.victimRng.Intn(len(victims))]
+	rj := en.running[id]
+
+	if en.spec.Failures.Mode == FailReplan {
+		out, err := en.ev.degrade(ctx, rj.arr.family, rj.arr.workers, rj.degree, rj.strategy)
+		if err == nil {
+			en.replan(t, rj, out)
+			return
+		}
+		if ctx.Err() != nil {
+			en.evalErr = ctx.Err()
+			return
+		}
+		// errShardTooDegraded, or a degraded fabric that cannot be built
+		// or evaluated (e.g. a 1-interface expander would disconnect):
+		// fall through to a restart, the physical recovery path.
+	}
+	en.restart(t, id)
+}
+
+// replan re-rates a job's remaining work on its degraded shard: progress
+// up to t is kept, the replan latency is paid, and the remaining
+// iterations run at the degraded rate.
+func (en *engine) replan(t float64, rj *runningJob, out evalOut) {
+	completed := rj.itersDone
+	if t > rj.rateSince && rj.iterS > 0 {
+		completed += int((t - rj.rateSince) / rj.iterS)
+	}
+	if completed > rj.arr.iters {
+		completed = rj.arr.iters
+	}
+	resume := t + en.replanLatency()
+	rj.degree--
+	rj.iterS = out.iterS
+	rj.strategy = out.strategy
+	rj.itersDone = completed
+	rj.rateSince = resume
+	rj.replans++
+	en.gens[rj.arr.id]++
+	rj.gen = en.gens[rj.arr.id]
+	rj.finish = resume + float64(rj.arr.iters-completed)*out.iterS
+	en.push(event{t: rj.finish, kind: evFinish, job: rj.arr.id, gen: rj.gen})
+}
+
+// restart aborts a job: progress is lost, the shard is released (its
+// fabric is re-provisioned from scratch on the next admission, so the
+// degree resets), and the job re-queues at the tail.
+func (en *engine) restart(t float64, id int) {
+	rj := en.running[id]
+	en.running[id] = nil
+	en.sched.Release(rj.servers)
+	en.utilSample(t)
+	en.queue = append(en.queue, &queuedEntry{
+		arr: rj.arr, restarts: rj.restarts + 1, replans: rj.replans,
+	})
+}
+
+// utilSample records the busy-server count at time t (coalescing samples
+// at the same instant).
+func (en *engine) utilSample(t float64) {
+	busy := en.spec.Servers - en.sched.Free()
+	if n := len(en.util); n > 0 && en.util[n-1].TS == t {
+		en.util[n-1].Busy = busy
+		return
+	}
+	en.util = append(en.util, UtilPoint{TS: t, Busy: busy})
+}

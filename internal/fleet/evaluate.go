@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"topoopt/internal/arch"
+	"topoopt/internal/flexnet"
+	"topoopt/internal/parallel"
+	"topoopt/internal/trace"
+)
+
+// evalKey identifies one shard evaluation: the job family (hence model),
+// the shard size and the per-server interface count (degraded shards
+// evaluate at lower degrees). Placement is deliberately absent — a shard
+// fabric is built over local IDs 0..k-1, so which physical servers host
+// it cannot change its iteration time (the optical-isolation property of
+// Appendix C's sharded partitions).
+type evalKey struct {
+	family trace.Family
+	k      int
+	degree int
+}
+
+// evalOut is one cached evaluation: the simulated iteration time and, for
+// static fabrics, the strategy the search converged to (the warm-start
+// seed for degraded replans of the same job).
+type evalOut struct {
+	iterS    float64
+	strategy *parallel.Strategy
+}
+
+// evaluator runs and memoizes per-shard evaluations. Jobs of the same
+// family and size share one search; a job family that has been planned
+// before warm-starts its degraded replans from the prior strategy. The
+// cache is keyed by struct and only ever read by key — no map iteration
+// can leak ordering into results.
+type evaluator struct {
+	spec    Spec
+	backend arch.Backend
+	cache   map[evalKey]evalOut
+
+	searches   int // cache misses: full searches run
+	warmStarts int // searches seeded with a prior plan's strategy
+}
+
+func newEvaluator(sp Spec) (*evaluator, error) {
+	b, ok := arch.Lookup(sp.Arch)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown architecture %q", sp.Arch)
+	}
+	return &evaluator{spec: sp, backend: b, cache: make(map[evalKey]evalOut)}, nil
+}
+
+// evaluate returns the iteration time of a k-worker shard of the given
+// family at the given degree, searching (and caching) on a miss. warm,
+// when non-nil, seeds the strategy search — the degraded-replan path
+// passes the job's current strategy so the search resumes from a
+// known-good point instead of from scratch.
+func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree int, warm *parallel.Strategy) (evalOut, error) {
+	key := evalKey{family: fam, k: k, degree: degree}
+	if out, ok := e.cache[key]; ok {
+		return out, nil
+	}
+	e.searches++
+	m := modelFor(fam)
+	ao := arch.Options{
+		Servers: k, Degree: degree, LinkBW: e.spec.LinkBandwidth,
+		Rounds: e.spec.Rounds, MCMCIters: e.spec.MCMCIters,
+		Seed: e.spec.Seed, Parallelism: e.spec.Parallelism,
+		SearchWorkers: e.spec.SearchWorkers, GPU: e.spec.GPU,
+	}
+	var out evalOut
+	if it, ok := e.backend.(arch.Iterator); ok {
+		// Co-optimized / reconfigurable backends own their evaluation;
+		// they re-derive topology per call, so there is no static fabric
+		// to warm-start on.
+		res, err := it.Iteration(ctx, m, ao)
+		if err != nil {
+			return evalOut{}, err
+		}
+		out = evalOut{iterS: res.Total()}
+	} else {
+		fab, err := e.backend.Build(ao)
+		if err != nil {
+			return evalOut{}, err
+		}
+		mc := flexnet.MCMCConfig{
+			Iters: e.spec.MCMCIters, Seed: e.spec.Seed,
+			Parallelism: e.spec.Parallelism, Workers: e.spec.SearchWorkers,
+		}
+		if warm != nil {
+			mc.Warm = []parallel.Strategy{*warm}
+			e.warmStarts++
+		}
+		st, res, err := flexnet.SearchOnFabricContext(ctx, m, fab, k, 0, mc, e.spec.GPU)
+		if err != nil {
+			return evalOut{}, err
+		}
+		out = evalOut{iterS: res.Total(), strategy: &st}
+	}
+	if out.iterS <= 0 {
+		return evalOut{}, fmt.Errorf("fleet: %s evaluation of %s×%d returned non-positive iteration time",
+			e.spec.Arch, fam, k)
+	}
+	e.cache[key] = out
+	return out, nil
+}
+
+// errShardTooDegraded reports a shard that cannot lose another interface;
+// the engine falls back to a restart.
+var errShardTooDegraded = errors.New("fleet: shard has no interface left to degrade")
+
+// degrade evaluates a shard one interface down, warm-started from the
+// job's current strategy. Backends that cannot build the degraded fabric
+// (e.g. a 1-regular expander that would disconnect) surface an error,
+// which the engine also treats as a forced restart.
+func (e *evaluator) degrade(ctx context.Context, fam trace.Family, k, degree int, warm *parallel.Strategy) (evalOut, error) {
+	if degree <= 1 {
+		return evalOut{}, errShardTooDegraded
+	}
+	return e.evaluate(ctx, fam, k, degree-1, warm)
+}

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"topoopt/internal/cluster"
+)
+
+// Policy names accepted on the wire.
+const (
+	PolicyFIFO     = "fifo"
+	PolicyStrided  = "strided"
+	PolicyBackfill = "backfill"
+)
+
+// PolicyNames lists the registered placement policies in wire order.
+func PolicyNames() []string { return []string{PolicyFIFO, PolicyStrided, PolicyBackfill} }
+
+// QueuedJob is the policy-visible view of a waiting job.
+type QueuedJob struct {
+	// ID is the job's trace index (stable across restarts).
+	ID int
+	// Workers is the shard size requested.
+	Workers int
+}
+
+// PolicyContext is everything a policy may consult when deciding what to
+// place next. All of it is deterministic state, so any policy built from
+// it keeps the engine's reproducibility guarantee.
+type PolicyContext struct {
+	// Now is the current simulation time.
+	Now float64
+	// Sched tracks free servers; the policy allocates through it.
+	Sched *cluster.Scheduler
+	// Queue is the waiting queue in admission order (index 0 = head).
+	Queue []QueuedJob
+	// Est returns the deterministic service-time estimate of queue entry
+	// i (training iterations × evaluated iteration time, or the fixed
+	// duration). Backfill uses it; FIFO policies never call it, so plain
+	// runs never pay for speculative evaluations.
+	Est func(i int) float64
+	// Shadow returns, for a server demand, the earliest time the demand
+	// could be met given the currently-running jobs' known finish times,
+	// and how many servers would remain free beyond it at that moment.
+	Shadow func(need int) (when float64, extra int)
+	// Start returns the training-start time the next admission would
+	// observe — Now plus the serialized provisioning wait and activation
+	// latency. Backfill completion predictions must build on it, not on
+	// Now: under patch-panel provisioning activation is minutes, and a
+	// prediction that omits it overruns the head's reservation.
+	Start func() float64
+}
+
+// Policy decides which queued job starts next and on which servers.
+// Implementations must be deterministic functions of the PolicyContext.
+type Policy interface {
+	Name() string
+	// Pick returns the queue index to admit and its allocated servers
+	// (already reserved in pc.Sched), or ok=false when nothing can start
+	// now. The engine calls Pick repeatedly until it declines.
+	Pick(pc *PolicyContext) (i int, servers []int, ok bool)
+}
+
+// ParsePolicy resolves a wire policy name. rackSize parameterizes the
+// strided policy (≤ 0 selects the default stride of 8).
+func ParsePolicy(name string, rackSize int) (Policy, error) {
+	if rackSize <= 0 {
+		rackSize = 8
+	}
+	switch name {
+	case "", PolicyFIFO:
+		return fifoPolicy{}, nil
+	case PolicyStrided:
+		return stridedPolicy{stride: rackSize}, nil
+	case PolicyBackfill:
+		return backfillPolicy{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown policy %q (registered: %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// fifoPolicy is strict FIFO with packed (lowest-index first-fit)
+// placement and head-of-line blocking: nothing bypasses a queued head.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return PolicyFIFO }
+
+func (fifoPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
+	if len(pc.Queue) == 0 || pc.Sched.Free() < pc.Queue[0].Workers {
+		return 0, nil, false
+	}
+	servers, err := pc.Sched.Allocate(pc.Queue[0].Workers)
+	if err != nil {
+		return 0, nil, false
+	}
+	return 0, servers, true
+}
+
+// stridedPolicy is FIFO admission with rack-strided placement: shard
+// members land stride apart, the non-rack-aligned placement typical of
+// shared production clusters. Admission order is identical to fifo — only
+// the server IDs differ.
+type stridedPolicy struct{ stride int }
+
+func (stridedPolicy) Name() string { return PolicyStrided }
+
+func (p stridedPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
+	if len(pc.Queue) == 0 || pc.Sched.Free() < pc.Queue[0].Workers {
+		return 0, nil, false
+	}
+	servers, err := pc.Sched.AllocateStrided(pc.Queue[0].Workers, p.stride)
+	if err != nil {
+		return 0, nil, false
+	}
+	return 0, servers, true
+}
+
+// backfillPolicy is EASY backfill with packed placement: the head of the
+// queue gets a reservation at its shadow time, and a later job may jump
+// ahead only if it fits now AND either finishes before the shadow time or
+// uses only servers the head will not need then. Ties go to the lowest
+// queue index.
+type backfillPolicy struct{}
+
+func (backfillPolicy) Name() string { return PolicyBackfill }
+
+func (backfillPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
+	if len(pc.Queue) == 0 {
+		return 0, nil, false
+	}
+	free := pc.Sched.Free()
+	if free >= pc.Queue[0].Workers {
+		servers, err := pc.Sched.Allocate(pc.Queue[0].Workers)
+		if err != nil {
+			return 0, nil, false
+		}
+		return 0, servers, true
+	}
+	when, extra := pc.Shadow(pc.Queue[0].Workers)
+	// A backfill candidate holds servers from admission until its
+	// provisioning (serialized, minutes under patch panels) AND service
+	// complete — predict from the true start, not from Now.
+	start := pc.Start()
+	for i := 1; i < len(pc.Queue); i++ {
+		j := pc.Queue[i]
+		if j.Workers > free {
+			continue
+		}
+		if start+pc.Est(i) <= when || j.Workers <= extra {
+			servers, err := pc.Sched.Allocate(j.Workers)
+			if err != nil {
+				return 0, nil, false
+			}
+			return i, servers, true
+		}
+	}
+	return 0, nil, false
+}

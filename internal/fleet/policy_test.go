@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// basePolicySpec is a small training workload with enough contention that
+// placement decisions matter.
+func basePolicySpec(policy string) Spec {
+	return Spec{
+		Servers: 32, Degree: 2, LinkBandwidth: 100e9,
+		Arch: "Fat-tree", Policy: policy, Provisioning: ProvOCS,
+		RackSize: 8, Seed: 11, MCMCIters: 10,
+		Trace: TraceSpec{
+			Jobs: 10, MeanInterarrivalS: 120,
+			WorkerDivisor: 32, MinWorkers: 4, MaxWorkers: 16,
+			ItersPerHour: 1200,
+		},
+	}
+}
+
+// TestPoliciesDeterministicSchedules: every policy produces an identical
+// schedule from an identical seed.
+func TestPoliciesDeterministicSchedules(t *testing.T) {
+	for _, pol := range PolicyNames() {
+		sp := basePolicySpec(pol)
+		a := runJSON(t, sp)
+		b := runJSON(t, sp)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: identical seeds produced different schedules", pol)
+		}
+	}
+}
+
+// TestStridedVsPackedDifferOnlyInPlacement: strided admission order and
+// timing are identical to fifo — shard fabrics are placement-independent
+// — but the allocated server IDs spread across racks.
+func TestStridedVsPackedDifferOnlyInPlacement(t *testing.T) {
+	packed := mustRun(t, basePolicySpec(PolicyFIFO))
+	strided := mustRun(t, basePolicySpec(PolicyStrided))
+	if len(packed.Jobs) != len(strided.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(packed.Jobs), len(strided.Jobs))
+	}
+	differs := false
+	for i := range packed.Jobs {
+		p, s := packed.Jobs[i], strided.Jobs[i]
+		if p.ArrivalS != s.ArrivalS || p.StartS != s.StartS || p.FinishS != s.FinishS ||
+			p.JCTS != s.JCTS || p.QueueDelayS != s.QueueDelayS || p.IterS != s.IterS {
+			t.Errorf("job %d timing differs between packed and strided: %+v vs %+v", i, p, s)
+		}
+		if !equalInts(p.Servers, s.Servers) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("strided placement never differed from packed")
+	}
+	// Strided shards span more racks than packed ones.
+	if rackSpan(strided.Jobs[0].Servers, 8) <= 1 && len(strided.Jobs[0].Servers) > 1 {
+		t.Errorf("strided shard %v does not cross racks", strided.Jobs[0].Servers)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rackSpan(servers []int, rackSize int) int {
+	racks := map[int]bool{}
+	for _, s := range servers {
+		racks[s/rackSize] = true
+	}
+	return len(racks)
+}
+
+// TestBackfillJumpsShortJob: with the head blocked, a short job that fits
+// in the leftover servers and finishes before the head's shadow time
+// starts immediately under backfill and waits under FIFO.
+func TestBackfillJumpsShortJob(t *testing.T) {
+	inline := []JobSpec{
+		{AtS: 0, Workers: 4, FixedDurationS: 100}, // occupies half the cluster
+		{AtS: 1, Workers: 8, FixedDurationS: 100}, // head: blocked until job 0 ends
+		{AtS: 2, Workers: 4, FixedDurationS: 10},  // short: fits in the free half
+	}
+	mk := func(policy string) Spec {
+		return Spec{
+			Servers: 8, Degree: 1, LinkBandwidth: 1e9,
+			Arch: "Fat-tree", Policy: policy, Provisioning: ProvOCS,
+			Trace: TraceSpec{Inline: append([]JobSpec(nil), inline...)},
+		}
+	}
+	fifo := mustRun(t, mk(PolicyFIFO))
+	bf := mustRun(t, mk(PolicyBackfill))
+	// FIFO: job 2 cannot bypass the blocked head; it waits for job 1.
+	if fifo.Jobs[2].StartS < 100 {
+		t.Errorf("fifo job 2 started at %g, should wait behind the head", fifo.Jobs[2].StartS)
+	}
+	// Backfill: job 2 (10 s < shadow at t=100) jumps ahead at its arrival.
+	if bf.Jobs[2].StartS > 3 {
+		t.Errorf("backfill job 2 started at %g, want ~2 (backfilled)", bf.Jobs[2].StartS)
+	}
+	// The head must not be delayed by the backfill.
+	if bf.Jobs[1].StartS > fifo.Jobs[1].StartS {
+		t.Errorf("backfill delayed the head: %g > %g", bf.Jobs[1].StartS, fifo.Jobs[1].StartS)
+	}
+}
+
+// TestBackfillRespectsReservation: a job that would run past the head's
+// shadow time AND needs more than the spare servers does not backfill.
+func TestBackfillRespectsReservation(t *testing.T) {
+	inline := []JobSpec{
+		{AtS: 0, Workers: 4, FixedDurationS: 100},
+		{AtS: 1, Workers: 8, FixedDurationS: 100},  // head: needs the whole cluster
+		{AtS: 2, Workers: 4, FixedDurationS: 1000}, // long: would delay the head
+	}
+	sp := Spec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9,
+		Arch: "Fat-tree", Policy: PolicyBackfill, Provisioning: ProvOCS,
+		Trace: TraceSpec{Inline: inline},
+	}
+	res := mustRun(t, sp)
+	// Job 2 must not start before the head.
+	if res.Jobs[2].StartS < res.Jobs[1].StartS {
+		t.Errorf("long job backfilled past the reservation: job2 at %g, head at %g",
+			res.Jobs[2].StartS, res.Jobs[1].StartS)
+	}
+}
+
+// TestBackfillAccountsForActivationLatency: under patch-panel
+// provisioning, a candidate whose service alone would fit before the
+// head's shadow time but whose provisioning pushes it past must NOT
+// backfill — the admission prediction builds on the true start
+// (serialized provisioning + activation), not on Now.
+func TestBackfillAccountsForActivationLatency(t *testing.T) {
+	mk := func(job2Duration float64) Spec {
+		return Spec{
+			Servers: 8, Degree: 1, LinkBandwidth: 1e9,
+			Arch: "Fat-tree", Policy: PolicyBackfill, Provisioning: ProvPatch,
+			Trace: TraceSpec{Inline: []JobSpec{
+				{AtS: 0, Workers: 4, FixedDurationS: 1000}, // holds half until ~1120
+				{AtS: 1, Workers: 8, FixedDurationS: 100},  // head: shadow ≈ 1120
+				{AtS: 2, Workers: 4, FixedDurationS: job2Duration},
+			}},
+		}
+	}
+	// Service 1000 s: Now+Est = 1002 < shadow 1120, but the true start is
+	// ~240 (panel serialization + 120 s activation), so the real finish
+	// ~1240 would overrun the head's reservation. Must not backfill.
+	res := mustRun(t, mk(1000))
+	if res.Jobs[2].StartS < res.Jobs[1].StartS {
+		t.Errorf("activation-blind backfill: job 2 started %g before head %g",
+			res.Jobs[2].StartS, res.Jobs[1].StartS)
+	}
+	// Service 500 s: true finish ~740 ≤ shadow, legitimate backfill.
+	res = mustRun(t, mk(500))
+	if res.Jobs[2].StartS > res.Jobs[1].StartS {
+		t.Errorf("legitimate backfill rejected: job 2 at %g, head at %g",
+			res.Jobs[2].StartS, res.Jobs[1].StartS)
+	}
+	// Either way the head must never be delayed past its FIFO start.
+	fifo := mk(1000)
+	fifo.Policy = PolicyFIFO
+	headFIFO := mustRun(t, fifo).Jobs[1].StartS
+	if got := mustRun(t, mk(1000)).Jobs[1].StartS; got > headFIFO {
+		t.Errorf("backfill delayed the head: %g > %g", got, headFIFO)
+	}
+}
+
+func TestParsePolicyMenu(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name, 8)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if p, err := ParsePolicy("", 0); err != nil || p.Name() != PolicyFIFO {
+		t.Errorf("empty policy should default to fifo, got %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("lifo", 8); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestInlineTraceTiesStableByIndex mirrors the cluster tie-break rule in
+// the fleet engine: equal-At inline jobs are admitted in slice order.
+func TestInlineTraceTiesStableByIndex(t *testing.T) {
+	inline := []JobSpec{
+		{AtS: 0, Workers: 8, FixedDurationS: 50},
+		{AtS: 0, Workers: 8, FixedDurationS: 500},
+	}
+	sp := Spec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9,
+		Arch: "Fat-tree", Policy: PolicyFIFO, Provisioning: ProvOCS,
+		Trace: TraceSpec{Inline: inline},
+	}
+	res := mustRun(t, sp)
+	if res.Jobs[0].StartS > res.Jobs[1].StartS {
+		t.Errorf("index 0 should start first on an At tie: %g vs %g",
+			res.Jobs[0].StartS, res.Jobs[1].StartS)
+	}
+	// Index 1 waits out the 50 s job — proof the tie broke by index.
+	if res.Jobs[1].QueueDelayS < 50 {
+		t.Errorf("index 1 delay %g, want >= 50 (queued behind index 0)", res.Jobs[1].QueueDelayS)
+	}
+}
+
+// TestDiurnalPatternBursts: the diurnal arrival process actually
+// modulates inter-arrival gaps (peak-hour arrivals pack closer than the
+// steady process with the same mean).
+func TestDiurnalPatternBursts(t *testing.T) {
+	steady := Spec{
+		Servers: 16, Degree: 1, LinkBandwidth: 1e9, Arch: "Fat-tree", Seed: 5,
+		Trace: TraceSpec{Jobs: 50, MeanInterarrivalS: 600, WorkerDivisor: 64, MaxWorkers: 4},
+	}.Canonical()
+	diurnal := steady
+	diurnal.Trace.Pattern = "diurnal"
+	diurnal.Trace.DiurnalPeriodS = 86400
+	as := buildArrivals(steady)
+	ad := buildArrivals(diurnal)
+	if len(as) != 50 || len(ad) != 50 {
+		t.Fatalf("arrival counts: %d, %d", len(as), len(ad))
+	}
+	if as[len(as)-1].at == ad[len(ad)-1].at {
+		t.Error("diurnal modulation had no effect on the arrival process")
+	}
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"topoopt/internal/stats"
+)
+
+// JobResult is one job's lifetime. Times are absolute simulation seconds.
+type JobResult struct {
+	ID      int    `json:"id"`
+	Family  string `json:"family,omitempty"`
+	Workers int    `json:"workers"`
+	// ArrivalS / StartS / FinishS: arrival, start of the (final,
+	// completing) training attempt — after queueing and topology
+	// activation — and completion.
+	ArrivalS float64 `json:"arrival_s"`
+	StartS   float64 `json:"start_s"`
+	FinishS  float64 `json:"finish_s"`
+	// QueueDelayS is StartS − ArrivalS: everything the job waited through
+	// (server queueing, provisioning, failed attempts).
+	QueueDelayS float64 `json:"queue_delay_s"`
+	// JCTS is FinishS − ArrivalS.
+	JCTS float64 `json:"jct_s"`
+	// Slowdown is JCTS over the job's unperturbed solo service time
+	// (iterations × undegraded iteration time, or the fixed duration).
+	Slowdown float64 `json:"slowdown"`
+	// Iters and IterS report the training-iteration budget and the
+	// iteration time of the final attempt's (possibly degraded) fabric;
+	// zero for fixed-duration jobs.
+	Iters int     `json:"iters,omitempty"`
+	IterS float64 `json:"iter_s,omitempty"`
+	// Servers is the shard of the completing attempt.
+	Servers []int `json:"servers"`
+	// Restarts / Replans count failure impacts on this job.
+	Restarts int `json:"restarts,omitempty"`
+	Replans  int `json:"replans,omitempty"`
+}
+
+// UtilPoint is one step of the cluster-utilization series: Busy servers
+// from time TS until the next point.
+type UtilPoint struct {
+	TS   float64 `json:"t_s"`
+	Busy int     `json:"busy"`
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Jobs            int     `json:"jobs"`
+	MakespanS       float64 `json:"makespan_s"`
+	MeanJCTS        float64 `json:"mean_jct_s"`
+	P50JCTS         float64 `json:"p50_jct_s"`
+	P95JCTS         float64 `json:"p95_jct_s"`
+	MeanQueueDelayS float64 `json:"mean_queue_delay_s"`
+	MeanSlowdown    float64 `json:"mean_slowdown"`
+	// MeanUtilization is the time-weighted busy-server fraction over
+	// [first arrival, makespan].
+	MeanUtilization float64 `json:"mean_utilization"`
+	Failures        int     `json:"failures,omitempty"`
+	Restarts        int     `json:"restarts,omitempty"`
+	Replans         int     `json:"replans,omitempty"`
+	// Searches counts strategy searches actually run (evaluation-cache
+	// misses); WarmStarts how many were seeded from a prior plan.
+	Searches   int `json:"searches"`
+	WarmStarts int `json:"warm_starts,omitempty"`
+}
+
+// Result is a full fleet run. It contains only slices and scalars — no
+// maps — so its JSON encoding is canonical: two runs of the same
+// (Seed, TraceSpec, Policy, Arch) marshal to identical bytes.
+type Result struct {
+	Arch         string      `json:"arch"`
+	Policy       string      `json:"policy"`
+	Provisioning string      `json:"provisioning"`
+	Seed         int64       `json:"seed"`
+	Jobs         []JobResult `json:"jobs"`
+	Utilization  []UtilPoint `json:"utilization"`
+	Summary      Summary     `json:"summary"`
+}
+
+// summarize fills the aggregate block from the per-job records and the
+// utilization series.
+func summarize(res *Result, servers int) {
+	s := &res.Summary
+	s.Jobs = len(res.Jobs)
+	if len(res.Jobs) == 0 {
+		return
+	}
+	jcts := make([]float64, len(res.Jobs))
+	for i, j := range res.Jobs {
+		jcts[i] = j.JCTS
+		s.MeanQueueDelayS += j.QueueDelayS
+		s.MeanSlowdown += j.Slowdown
+		s.Restarts += j.Restarts
+		s.Replans += j.Replans
+		if j.FinishS > s.MakespanS {
+			s.MakespanS = j.FinishS
+		}
+	}
+	s.MeanJCTS = stats.Mean(jcts)
+	s.P50JCTS = stats.Percentile(jcts, 50)
+	s.P95JCTS = stats.Percentile(jcts, 95)
+	s.MeanQueueDelayS /= float64(len(res.Jobs))
+	s.MeanSlowdown /= float64(len(res.Jobs))
+
+	// Time-weighted utilization over [first arrival, makespan]: each
+	// series point holds until the next, and the pre-arrival lead-in
+	// (busy is necessarily 0 there, so it contributes no area) is
+	// excluded from the span so an idle warm-up cannot dilute the metric.
+	firstArrival := res.Jobs[0].ArrivalS
+	for _, j := range res.Jobs[1:] {
+		if j.ArrivalS < firstArrival {
+			firstArrival = j.ArrivalS
+		}
+	}
+	u := res.Utilization
+	var area float64
+	for i := 0; i+1 < len(u); i++ {
+		area += float64(u[i].Busy) * (u[i+1].TS - u[i].TS)
+	}
+	if span := s.MakespanS - firstArrival; span > 0 {
+		s.MeanUtilization = area / span / float64(servers)
+	}
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario names.
+const (
+	ScenarioSteady       = "steady"
+	ScenarioDiurnal      = "diurnal-burst"
+	ScenarioFailureStorm = "failure-storm"
+)
+
+// Scenarios lists the built-in scenario presets in display order.
+func Scenarios() []string {
+	return []string{ScenarioSteady, ScenarioDiurnal, ScenarioFailureStorm}
+}
+
+// Scenario returns a ready-to-run Spec for a named preset. Presets are
+// starting points — cmd/fleetsim lets every knob be overridden — and each
+// one exercises a different engine surface: steady-state runs the
+// co-optimized TopoOpt fabric under a Poisson mix, diurnal-burst drives
+// EASY backfill through a day/night arrival swing on a Fat-tree, and
+// failure-storm hammers warm-started degraded replans on a SiP-Ring
+// (whose offset rings degrade an interface at a time and disconnect at
+// degree 1, exercising the replan→restart fallback) behind look-ahead
+// provisioning.
+func Scenario(name string) (Spec, error) {
+	switch name {
+	case ScenarioSteady:
+		return Spec{
+			Servers: 64, Degree: 3, LinkBandwidth: 100e9,
+			Arch: "TopoOpt", Policy: PolicyFIFO, Provisioning: ProvOCS,
+			Seed: 1,
+			Trace: TraceSpec{
+				Jobs: 24, MeanInterarrivalS: 600,
+				WorkerDivisor: 16, MaxWorkers: 32,
+				ItersPerHour: 1200,
+			},
+		}, nil
+	case ScenarioDiurnal:
+		return Spec{
+			Servers: 48, Degree: 4, LinkBandwidth: 100e9,
+			Arch: "Fat-tree", Policy: PolicyBackfill, Provisioning: ProvOCS,
+			Seed: 2,
+			Trace: TraceSpec{
+				Jobs: 32, MeanInterarrivalS: 300,
+				Pattern: "diurnal", DiurnalPeriodS: 21600,
+				WorkerDivisor: 16, MaxWorkers: 24,
+				ItersPerHour: 1200,
+			},
+		}, nil
+	case ScenarioFailureStorm:
+		return Spec{
+			Servers: 32, Degree: 4, LinkBandwidth: 100e9,
+			Arch: "SiP-Ring", Policy: PolicyFIFO, Provisioning: ProvLookahead,
+			Seed: 3,
+			Trace: TraceSpec{
+				Jobs: 12, MeanInterarrivalS: 300,
+				WorkerDivisor: 32, MinWorkers: 4, MaxWorkers: 12,
+				ItersPerHour: 1200,
+			},
+			Failures: &FailureSpec{RatePerHour: 30, Mode: FailReplan},
+		}, nil
+	}
+	return Spec{}, fmt.Errorf("fleet: unknown scenario %q (presets: %s)",
+		name, strings.Join(Scenarios(), ", "))
+}

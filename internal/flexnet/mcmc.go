@@ -68,6 +68,24 @@ type MCMCConfig struct {
 	// produces byte-identical results. Services use it to keep
 	// per-request search threads within a global budget.
 	Workers int
+	// Warm lists extra starting candidates evaluated alongside the
+	// canonical hybrid and pure-DP starts: every chain begins from the
+	// best of all starts, and the global argmin can be a warm candidate
+	// itself. Callers replanning a related configuration (the fleet
+	// simulator re-searching a job's strategy on a degraded fabric) seed
+	// it with the previous plan so the search starts at a known-good
+	// point instead of from scratch. Candidates that do not fit the
+	// (model, n) pair are ignored; an empty slice reproduces the original
+	// search proposal-for-proposal.
+	Warm []parallel.Strategy
+}
+
+// warmFits reports whether a warm-start candidate is structurally valid
+// for the (model, n) pair being searched: candidates from a different
+// shard size or model shape are silently skipped rather than crashing the
+// evaluator on out-of-range hosts.
+func warmFits(w parallel.Strategy, m *model.Model, n int) bool {
+	return w.N == n && w.Validate(m) == nil
 }
 
 // mcmcChain is one independently-seeded Metropolis chain. Chains advance
@@ -195,6 +213,23 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 	if dpCost < bestCost {
 		best, bestCost = dp.Clone(), dpCost
 	}
+	// Warm-start candidates compete with the canonical starts on strictly
+	// better cost, so with no (or unhelpful) candidates the search below is
+	// proposal-for-proposal identical to the cold search.
+	for _, w := range cfg.Warm {
+		if !warmFits(w, m, n) {
+			continue
+		}
+		key := w.Fingerprint()
+		c, ok := store.get(key)
+		if !ok {
+			c = eval(w)
+			store.put(key, c)
+		}
+		if c < bestCost {
+			best, bestCost = w.Clone(), c
+		}
+	}
 
 	shardable := m.ShardableLayers()
 	if len(shardable) == 0 {
@@ -212,10 +247,10 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 		if i < extra {
 			c.iters++
 		}
-		c.cur, c.curCost = hybrid.Clone(), hybridCost
-		if dpCost < c.curCost {
-			c.cur, c.curCost = dp.Clone(), dpCost
-		}
+		// Every chain starts from the best known point — hybrid, pure DP
+		// or a warm-start candidate (without warm candidates this is
+		// exactly the historical hybrid-vs-DP selection).
+		c.cur, c.curCost = best.Clone(), bestCost
 		c.best, c.bestCost = c.cur.Clone(), c.curCost
 		c.t0 = cfg.Temp * c.curCost
 		chains[i] = c

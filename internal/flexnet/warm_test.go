@@ -1,0 +1,84 @@
+package flexnet
+
+import (
+	"testing"
+
+	"topoopt/internal/model"
+	"topoopt/internal/parallel"
+	"topoopt/internal/topo"
+	"topoopt/internal/traffic"
+)
+
+func warmEval(fab *Fabric, m *model.Model, n, batch int) Evaluator {
+	return func(s parallel.Strategy) float64 {
+		d, err := traffic.FromStrategy(m, s, batch)
+		if err != nil {
+			return inf
+		}
+		return EstimateIteration(fab, d, s.MaxComputeTime(m, model.A100, batch))
+	}
+}
+
+// TestMCMCWarmStartAdoptsPriorPlan: seeding the search with a known-good
+// strategy can never produce a worse result than the strategy itself —
+// every chain starts from the best known point, so a tiny follow-up
+// budget retains (or improves) a full search's quality. This is the seam
+// the fleet simulator uses to replan degraded shards cheaply.
+func TestMCMCWarmStartAdoptsPriorPlan(t *testing.T) {
+	n, batch := 8, 16
+	m := model.DLRMPreset(model.Sec56)
+	fab := NewSwitchFabric(topo.FatTree(n, 25e9))
+	eval := warmEval(fab, m, n, batch)
+
+	cold, coldCost := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: 150, Seed: 9})
+	// A near-zero budget search warm-started from the converged strategy
+	// must match or beat it.
+	_, warmCost := MCMCSearch(m, n, batch, eval, MCMCConfig{
+		Iters: 1, Seed: 1234, Warm: []parallel.Strategy{cold},
+	})
+	if warmCost > coldCost {
+		t.Errorf("warm-started cost %g worse than its own seed %g", warmCost, coldCost)
+	}
+	// And without the warm seed, one iteration from scratch is generally
+	// no better than the canonical starts — the warm result must not
+	// depend on luck to hold the line.
+	_, scratch := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: 1, Seed: 1234})
+	if warmCost > scratch {
+		t.Errorf("warm-started cost %g worse than cold 1-iter search %g", warmCost, scratch)
+	}
+}
+
+// TestMCMCWarmStartEmptyIdentical: an empty Warm slice reproduces the
+// cold search proposal-for-proposal.
+func TestMCMCWarmStartEmptyIdentical(t *testing.T) {
+	n, batch := 8, 16
+	m := model.DLRMPreset(model.Sec56)
+	fab := NewSwitchFabric(topo.FatTree(n, 25e9))
+	eval := warmEval(fab, m, n, batch)
+
+	s1, c1 := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: 80, Seed: 3})
+	s2, c2 := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: 80, Seed: 3, Warm: []parallel.Strategy{}})
+	if c1 != c2 || s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("empty warm slice changed the search result")
+	}
+}
+
+// TestMCMCWarmStartSkipsMisfits: candidates from another shard size (or
+// another model shape) are ignored, not evaluated — a warm cache can be
+// shared across job families without pre-filtering.
+func TestMCMCWarmStartSkipsMisfits(t *testing.T) {
+	n, batch := 8, 16
+	m := model.DLRMPreset(model.Sec56)
+	fab := NewSwitchFabric(topo.FatTree(n, 25e9))
+	eval := warmEval(fab, m, n, batch)
+
+	wrongN := parallel.Hybrid(m, 16)                               // 16-server strategy on an 8-server search
+	wrongShape := parallel.Hybrid(model.VGGPreset(model.Sec56), n) // different layer count
+	s1, c1 := MCMCSearch(m, n, batch, eval, MCMCConfig{Iters: 80, Seed: 3})
+	s2, c2 := MCMCSearch(m, n, batch, eval, MCMCConfig{
+		Iters: 80, Seed: 3, Warm: []parallel.Strategy{wrongN, wrongShape},
+	})
+	if c1 != c2 || s1.Fingerprint() != s2.Fingerprint() {
+		t.Error("misfit warm candidates perturbed the search")
+	}
+}

@@ -89,8 +89,9 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest)
 //	POST   /v1/plan       — synchronous optimization (cached, coalesced)
 //	POST   /v1/compare    — architecture comparison
 //	GET    /v1/cost       — §5.2 cost model lookup
+//	POST   /v1/fleet      — submit an async fleet simulation
 //	POST   /v1/jobs       — submit an async planning job
-//	GET    /v1/jobs/{id}  — poll a job
+//	GET    /v1/jobs/{id}  — poll a job (plan or fleet)
 //	DELETE /v1/jobs/{id}  — cancel a job
 //	GET    /v1/metrics    — counters, gauges, latency quantiles
 //	GET    /healthz       — liveness
@@ -99,6 +100,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("GET /v1/cost", s.handleCost)
+	mux.HandleFunc("POST /v1/fleet", s.handleSubmitFleet)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -231,6 +233,33 @@ func (s *Service) handleCost(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CostResponse{
 		Arch: arch, Servers: servers, Degree: degree, LinkBandwidth: bw, CostUSD: c,
 	})
+}
+
+// handleSubmitFleet accepts a fleet simulation and returns the async job
+// tracking it (202). Fleet runs are seconds-to-minutes scale, so the
+// endpoint is async-only: poll GET /v1/jobs/{id} for the FleetResult,
+// DELETE to cancel. A repeated submission of the same canonical spec
+// reuses the fingerprinted cache entry and returns a job that is already
+// done with the identical result.
+func (s *Service) handleSubmitFleet(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("fleet")
+	var req FleetRequest
+	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	// Validate up front: the 400 names the registered menu (archs,
+	// policies, provisioning modes) instead of surfacing a late 500.
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, badRequest("bad_spec", err))
+		return
+	}
+	j, err := s.SubmitFleet(req.Spec)
+	if err != nil {
+		writeError(w, serviceError(err))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
 }
 
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {

@@ -92,16 +92,20 @@ func (r PlanRequest) Fingerprint() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// flight is one in-progress optimization that any number of identical
-// requests wait on. waiters counts them; when the last one abandons the
-// request, the flight's context is cancelled and the optimization aborts
-// at its next MCMC-iteration check.
+// flight is one in-progress computation — an optimization or a fleet
+// simulation — that any number of identical requests wait on. waiters
+// counts them; when the last one abandons the request, the flight's
+// context is cancelled and the computation aborts at its next
+// cancellation check (between MCMC iterations, between fleet events).
+// The result is held as `any`: the submitting path knows its concrete
+// type and casts on the way out, so one coalescing/caching machinery
+// serves every request shape.
 type flight struct {
 	fp      string
 	ctx     context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
-	plan    *topoopt.Plan
+	res     any
 	err     error
 	waiters int
 	// started flips when a worker dequeues the task; onStart callbacks
@@ -109,6 +113,9 @@ type flight struct {
 	started bool
 	onStart []func()
 }
+
+// flightRun computes a flight's result under the flight's context.
+type flightRun func(ctx context.Context) (any, error)
 
 // Service is the planning service. Create with New, serve HTTP with
 // Handler, stop with Close.
@@ -274,12 +281,12 @@ func resolved(m *topoopt.Model) func() (*topoopt.Model, error) {
 // optimization actually begins executing (async jobs use it to move from
 // "queued" to "running").
 func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func()) (*topoopt.Plan, string, bool, error) {
-	cached, f, err := s.joinOrCreate(fp, nil, o, onStart)
+	cached, f, err := s.joinOrCreate(fp, nil, onStart)
 	if err != nil {
 		return nil, fp, false, err
 	}
 	if cached != nil {
-		return cached, fp, true, nil
+		return cached.(*topoopt.Plan), fp, true, nil
 	}
 	if f == nil {
 		// Miss: materialize the model without holding the lock, then race
@@ -289,24 +296,36 @@ func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolv
 		if rerr != nil {
 			return nil, fp, false, rerr
 		}
-		cached, f, err = s.joinOrCreate(fp, m, o, onStart)
+		cached, f, err = s.joinOrCreate(fp, s.planRun(m, o), onStart)
 		if err != nil {
 			return nil, fp, false, err
 		}
 		if cached != nil {
-			return cached, fp, true, nil
+			return cached.(*topoopt.Plan), fp, true, nil
 		}
 	}
-	p, err := s.waitFlight(ctx, f)
+	res, err := s.waitFlight(ctx, f)
+	p, _ := res.(*topoopt.Plan)
 	return p, fp, false, err
+}
+
+// planRun adapts the optimizer to the generic flight runner.
+func (s *Service) planRun(m *topoopt.Model, o topoopt.Options) flightRun {
+	return func(ctx context.Context) (any, error) {
+		p, err := s.optimize(ctx, m, o)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 }
 
 // waitFlight blocks until the flight completes, the caller's ctx is
 // cancelled (dropping this waiter), or the service closes.
-func (s *Service) waitFlight(ctx context.Context, f *flight) (*topoopt.Plan, error) {
+func (s *Service) waitFlight(ctx context.Context, f *flight) (any, error) {
 	select {
 	case <-f.done:
-		return f.plan, f.err
+		return f.res, f.err
 	case <-ctx.Done():
 		s.abandon(f)
 		return nil, ctx.Err()
@@ -316,10 +335,10 @@ func (s *Service) waitFlight(ctx context.Context, f *flight) (*topoopt.Plan, err
 }
 
 // joinOrCreate is the locked cache-lookup → flight-join → flight-create
-// sequence. With m == nil it only looks up and joins, returning
-// (nil, nil, nil) on a miss so the caller can resolve the model lock-free
-// and call again with m set.
-func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, onStart func()) (*topoopt.Plan, *flight, error) {
+// sequence. With run == nil it only looks up and joins, returning
+// (nil, nil, nil) on a miss so the caller can resolve the request's
+// inputs lock-free and call again with run set.
+func (s *Service) joinOrCreate(fp string, run flightRun, onStart func()) (any, *flight, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -328,7 +347,7 @@ func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, o
 	if v, ok := s.cache.get(fp); ok {
 		s.mu.Unlock()
 		s.met.cacheHit()
-		return v.(*topoopt.Plan), nil, nil
+		return v, nil, nil
 	}
 	if f, ok := s.flights[fp]; ok {
 		f.waiters++
@@ -347,7 +366,7 @@ func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, o
 		s.met.coalesce()
 		return nil, f, nil
 	}
-	if m == nil {
+	if run == nil {
 		s.mu.Unlock()
 		return nil, nil, nil
 	}
@@ -356,7 +375,7 @@ func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, o
 	if onStart != nil {
 		f.onStart = append(f.onStart, onStart)
 	}
-	task := func() { s.runFlight(f, m, o) }
+	task := func() { s.runFlight(f, run) }
 	select {
 	case s.queue <- task:
 		s.flights[fp] = f
@@ -372,10 +391,10 @@ func (s *Service) joinOrCreate(fp string, m *topoopt.Model, o topoopt.Options, o
 }
 
 // runFlight executes one flight on a worker: mark started, fire the
-// start callbacks, then optimize — unless every waiter already left
+// start callbacks, then compute — unless every waiter already left
 // while the task sat in the queue, in which case the dead task finishes
-// immediately instead of running a doomed optimization.
-func (s *Service) runFlight(f *flight, m *topoopt.Model, o topoopt.Options) {
+// immediately instead of running a doomed computation.
+func (s *Service) runFlight(f *flight, run flightRun) {
 	s.mu.Lock()
 	f.started = true
 	cbs := f.onStart
@@ -388,20 +407,20 @@ func (s *Service) runFlight(f *flight, m *topoopt.Model, o topoopt.Options) {
 		s.finish(f, nil, err)
 		return
 	}
-	p, err := s.optimize(f.ctx, m, o)
-	s.finish(f, p, err)
+	res, err := run(f.ctx)
+	s.finish(f, res, err)
 }
 
 // finish publishes a flight's result, caching successes.
-func (s *Service) finish(f *flight, plan *topoopt.Plan, err error) {
+func (s *Service) finish(f *flight, res any, err error) {
 	s.mu.Lock()
 	if s.flights[f.fp] == f {
 		delete(s.flights, f.fp)
 	}
 	if err == nil {
-		s.cache.add(f.fp, plan)
+		s.cache.add(f.fp, res)
 	}
-	f.plan, f.err = plan, err
+	f.res, f.err = res, err
 	close(f.done)
 	s.mu.Unlock()
 	if err == nil {
@@ -599,15 +618,18 @@ const (
 	JobCancelled = "cancelled"
 )
 
-// Job is the externally visible state of an async planning job.
+// Job is the externally visible state of an async job. Exactly one of
+// Plan (planning jobs) and Fleet (fleet-simulation jobs) is set once the
+// job is done.
 type Job struct {
-	ID          string        `json:"id"`
-	Status      string        `json:"status"`
-	Fingerprint string        `json:"fingerprint,omitempty"`
-	Plan        *topoopt.Plan `json:"plan,omitempty"`
-	Error       string        `json:"error,omitempty"`
-	CreatedAt   time.Time     `json:"created_at"`
-	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	ID          string               `json:"id"`
+	Status      string               `json:"status"`
+	Fingerprint string               `json:"fingerprint,omitempty"`
+	Plan        *topoopt.Plan        `json:"plan,omitempty"`
+	Fleet       *topoopt.FleetResult `json:"fleet,omitempty"`
+	Error       string               `json:"error,omitempty"`
+	CreatedAt   time.Time            `json:"created_at"`
+	FinishedAt  *time.Time           `json:"finished_at,omitempty"`
 }
 
 type job struct {
@@ -629,12 +651,65 @@ func (s *Service) SubmitJob(req PlanRequest) (Job, error) {
 }
 
 // submitJob is SubmitJob after validation; m is the already-resolved
-// model (the HTTP layer resolves it during request decoding). The
+// model (the HTTP layer resolves it during request decoding).
+func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
+	return s.submitAsync(req.Fingerprint(), s.planRun(m, req.Options))
+}
+
+// FleetRequest is the wire request of POST /v1/fleet.
+type FleetRequest struct {
+	Spec topoopt.FleetSpec `json:"spec"`
+}
+
+// FleetFingerprint returns the deterministic cache key of a fleet
+// simulation: SHA-256 over the canonical JSON of the spec under a "fleet"
+// kind tag, so fleet entries can never alias plan or compare entries in
+// the shared LRU. Fleet results are pure functions of the canonical spec
+// (Seed, TraceSpec, Policy, Arch, ...), which is what makes caching whole
+// cluster runs sound.
+func FleetFingerprint(spec topoopt.FleetSpec) string {
+	b, err := json.Marshal(struct {
+		Kind string            `json:"kind"`
+		Spec topoopt.FleetSpec `json:"spec"`
+	}{Kind: "fleet", Spec: spec.Canonical()})
+	if err != nil {
+		// Plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: fleet fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SubmitFleet validates spec and registers an async fleet-simulation job.
+// Fleet runs flow through the same flight machinery as plans — one
+// fingerprint-keyed cache entry per canonical spec, concurrent identical
+// submissions coalesce onto a single run, DELETE /v1/jobs/{id} cancels —
+// and their embedded strategy searches draw workers from the service's
+// SearchThreads budget, so a fleet run cannot starve interactive plans.
+func (s *Service) SubmitFleet(spec topoopt.FleetSpec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	sp := spec.Canonical()
+	run := func(ctx context.Context) (any, error) {
+		granted := s.chains.acquire(sp.Parallelism)
+		defer s.chains.release(granted)
+		sp := sp
+		sp.SearchWorkers = granted
+		res, err := topoopt.RunFleet(ctx, sp)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return s.submitAsync(FleetFingerprint(spec), run)
+}
+
+// submitAsync registers an async job around a flight. The
 // cache/flight/queue admission runs synchronously so backpressure
 // surfaces as an error here (a 503 at the HTTP layer), never as an
 // accepted job that asynchronously "fails" with a full queue.
-func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
-	fp := req.Fingerprint()
+func (s *Service) submitAsync(fp string, run flightRun) (Job, error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	if s.closed {
@@ -658,13 +733,19 @@ func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
 	onStart := func() {
 		s.setJob(id, func(j *Job) { j.Status = JobRunning })
 	}
-	finish := func(plan *topoopt.Plan, err error) {
+	finish := func(res any, err error) {
 		now := time.Now().UTC()
 		s.setJob(id, func(j *Job) {
 			j.FinishedAt = &now
 			switch {
 			case err == nil:
-				j.Status, j.Plan = JobDone, plan
+				j.Status = JobDone
+				switch v := res.(type) {
+				case *topoopt.Plan:
+					j.Plan = v
+				case *topoopt.FleetResult:
+					j.Fleet = v
+				}
 			case errors.Is(err, context.Canceled):
 				j.Status, j.Error = JobCancelled, err.Error()
 			default:
@@ -673,7 +754,7 @@ func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
 		})
 	}
 
-	cached, f, err := s.joinOrCreate(fp, m, req.Options, onStart)
+	cached, f, err := s.joinOrCreate(fp, run, onStart)
 	if err != nil {
 		cancel()
 		s.mu.Lock()
@@ -687,8 +768,8 @@ func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
 	} else {
 		go func() {
 			defer cancel()
-			plan, werr := s.waitFlight(jctx, f)
-			finish(plan, werr)
+			res, werr := s.waitFlight(jctx, f)
+			finish(res, werr)
 		}()
 	}
 	snap, _ := s.GetJob(id)

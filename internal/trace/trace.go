@@ -54,8 +54,11 @@ type Job struct {
 }
 
 // famParams are log-normal parameters per family, tuned so worker counts
-// span 32–700 and durations reproduce Figure 2b's heavy tail.
-var famParams = map[Family]struct {
+// span 32–700 and durations reproduce Figure 2b's heavy tail. A fixed
+// array indexed by Family (not a map): samplers index it directly, and no
+// code path can ever iterate it in nondeterministic map order — fleet
+// simulations replay traces byte-for-byte from a seed alone.
+var famParams = [...]struct {
 	wMu, wSigma float64 // log workers
 	dMu, dSigma float64 // log duration hours
 }{
@@ -65,25 +68,35 @@ var famParams = map[Family]struct {
 	ImageRecognition: {math.Log(64), 0.6, math.Log(12), 1.2},
 }
 
+// Sample draws one job of family f from rng — the single-draw core of
+// Generate, exported so arrival-driven simulators (internal/fleet) can
+// interleave draws across families on one deterministic stream. The rng
+// consumption is part of the contract (exactly two NormFloat64 draws, in
+// worker-then-duration order) and is pinned by a golden test: changing it
+// silently reshuffles every downstream fleet trace.
+func Sample(f Family, rng *rand.Rand) Job {
+	p := famParams[f]
+	w := int(math.Exp(rng.NormFloat64()*p.wSigma + p.wMu))
+	if w < 8 {
+		w = 8
+	}
+	if w > 700 {
+		w = 700
+	}
+	d := math.Exp(rng.NormFloat64()*p.dSigma + p.dMu)
+	if d < 0.01 {
+		d = 0.01
+	}
+	return Job{Family: f, Workers: w, DurationHours: d}
+}
+
 // Generate produces count jobs of the given family, deterministic per
 // seed.
 func Generate(f Family, count int, seed int64) []Job {
 	rng := rand.New(rand.NewSource(seed))
-	p := famParams[f]
 	jobs := make([]Job, count)
 	for i := range jobs {
-		w := int(math.Exp(rng.NormFloat64()*p.wSigma + p.wMu))
-		if w < 8 {
-			w = 8
-		}
-		if w > 700 {
-			w = 700
-		}
-		d := math.Exp(rng.NormFloat64()*p.dSigma + p.dMu)
-		if d < 0.01 {
-			d = 0.01
-		}
-		jobs[i] = Job{Family: f, Workers: w, DurationHours: d}
+		jobs[i] = Sample(f, rng)
 	}
 	return jobs
 }

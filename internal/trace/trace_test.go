@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math/rand"
 	"testing"
 
 	"topoopt/internal/stats"
@@ -34,6 +35,63 @@ func TestDurationsHeavyTail(t *testing.T) {
 	}
 	if p90 := stats.Percentile(all, 90); p90 < 48 {
 		t.Errorf("p90 duration %g h, want heavy tail approaching 96 h", p90)
+	}
+}
+
+// TestGenerateGolden pins the generator's exact output: fleet runs are
+// reproduced byte-for-byte from a seed, so the rng consumption order of
+// Sample (two NormFloat64 draws, worker then duration) and the famParams
+// constants are part of the public contract. If this test fails, every
+// recorded fleet trace in the wild silently reshuffles — change the
+// goldens only with a deliberate format break.
+func TestGenerateGolden(t *testing.T) {
+	golden := map[Family][]Job{
+		ObjectTracking: {
+			{ObjectTracking, 104, 9.181799755274538},
+			{ObjectTracking, 37, 31.432992512737542},
+			{ObjectTracking, 51, 30.157875821921568},
+		},
+		Recommendation: {
+			{Recommendation, 379, 27.892592019049072},
+			{Recommendation, 90, 106.79080725599272},
+			{Recommendation, 140, 102.07370781874987},
+		},
+		NLP: {
+			{NLP, 332, 35.30520115324681},
+			{NLP, 64, 151.17179438352414},
+			{NLP, 106, 143.9513662670663},
+		},
+		ImageRecognition: {
+			{ImageRecognition, 162, 13.946296009524536},
+			{ImageRecognition, 47, 53.39540362799638},
+			{ImageRecognition, 69, 51.03685390937493},
+		},
+	}
+	for _, f := range Families() {
+		got := Generate(f, 3, 42)
+		for i, want := range golden[f] {
+			if got[i] != want {
+				t.Errorf("%s job %d = %+v, want %+v", f, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestSampleInterleavedGolden pins Sample's behavior on a shared stream:
+// arrival-driven simulators interleave families on one rng, so a draw
+// must consume exactly the same stream positions regardless of family.
+func TestSampleInterleavedGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	want := []Job{
+		{ObjectTracking, 42, 21.82041997754359},
+		{Recommendation, 244, 11.557737046564256},
+		{NLP, 70, 69.50651136676254},
+		{ImageRecognition, 310, 48.605540118614144},
+	}
+	for i, w := range want {
+		if got := Sample(Family(i), rng); got != w {
+			t.Errorf("interleaved draw %d = %+v, want %+v", i, got, w)
+		}
 	}
 }
 

@@ -6,14 +6,53 @@
 package topoopt
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
 	"topoopt/internal/arch"
+	"topoopt/internal/fleet"
 	"topoopt/internal/model"
 )
+
+// Fleet wire format: the trace-driven multi-job cluster simulator
+// (internal/fleet) is surfaced under the same canonical-JSON contract as
+// Plan — a canonicalized FleetSpec marshals byte-stably, so the planning
+// service fingerprints and caches whole cluster runs, and FleetResult
+// contains no maps, so two identical runs serialize identically.
+type (
+	// FleetSpec configures a fleet simulation (cluster, fabric backend,
+	// placement policy, provisioning mode, trace, failures).
+	FleetSpec = fleet.Spec
+	// FleetTraceSpec describes job arrivals (synthetic §2.2 sampling or
+	// an inline job list).
+	FleetTraceSpec = fleet.TraceSpec
+	// FleetJobSpec is one explicit job of an inline trace.
+	FleetJobSpec = fleet.JobSpec
+	// FleetFailureSpec injects seeded link/port failures.
+	FleetFailureSpec = fleet.FailureSpec
+	// FleetResult is a full run: per-job JCT/queueing/slowdown records,
+	// the utilization series and aggregate statistics.
+	FleetResult = fleet.Result
+	// FleetJobResult is one job's lifetime within a FleetResult.
+	FleetJobResult = fleet.JobResult
+)
+
+// RunFleet executes a fleet simulation. The result is deterministic in
+// the canonicalized spec alone; ctx cancels between events and inside
+// every embedded strategy search.
+func RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
+	return fleet.Run(ctx, spec)
+}
+
+// FleetScenarios lists the built-in fleet scenario presets.
+func FleetScenarios() []string { return fleet.Scenarios() }
+
+// FleetScenario returns the named preset spec (steady, diurnal-burst,
+// failure-storm).
+func FleetScenario(name string) (FleetSpec, error) { return fleet.Scenario(name) }
 
 // ModelSpec identifies a workload on the wire: a preset name from List 1
 // (Appendix D), the paper section whose configuration to use, and optional

@@ -63,6 +63,72 @@ func TestPlanJSONRoundTripByteStable(t *testing.T) {
 	}
 }
 
+// TestFleetSpecJSONRoundTripByteStable: the fleet wire format obeys the
+// same canonical-encoding contract as Plan — Marshal → Unmarshal →
+// Marshal is byte-stable, which is what lets the planning service
+// fingerprint and cache whole cluster runs.
+func TestFleetSpecJSONRoundTripByteStable(t *testing.T) {
+	spec := FleetSpec{
+		Servers: 32, Degree: 4, LinkBandwidth: 100e9,
+		Arch: "SiP-Ring", Policy: "backfill", Provisioning: "lookahead",
+		Seed: 7, MCMCIters: 20,
+		Trace: FleetTraceSpec{
+			Jobs: 8, MeanInterarrivalS: 300, Pattern: "diurnal",
+			WorkerDivisor: 16, MaxWorkers: 16,
+		},
+		Failures: &FleetFailureSpec{RatePerHour: 5, Mode: "replan"},
+	}.Canonical()
+	b1, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FleetSpec
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("FleetSpec not byte-stable:\n%s\n%s", b1, b2)
+	}
+	// The SearchWorkers execution hint must never reach the wire.
+	if strings.Contains(string(b1), "SearchWorkers") || strings.Contains(string(b1), "search_workers") {
+		t.Error("SearchWorkers leaked into the wire format")
+	}
+}
+
+// TestRunFleetPublicAPI: the root-package surface (RunFleet, scenarios)
+// drives internal/fleet end to end and respects cancellation.
+func TestRunFleetPublicAPI(t *testing.T) {
+	if len(FleetScenarios()) != 3 {
+		t.Fatalf("scenarios = %v", FleetScenarios())
+	}
+	if _, err := FleetScenario("no-such"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	spec := FleetSpec{
+		Servers: 8, Degree: 1, LinkBandwidth: 1e9, Arch: "Fat-tree",
+		Trace: FleetTraceSpec{Inline: []FleetJobSpec{
+			{AtS: 0, Workers: 4, FixedDurationS: 10},
+			{AtS: 5, Workers: 8, FixedDurationS: 10},
+		}},
+	}
+	res, err := RunFleet(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 || res.Summary.Jobs != 2 {
+		t.Fatalf("result = %+v", res.Summary)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFleet(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunFleet returned %v", err)
+	}
+}
+
 func TestModelSpecCanonical(t *testing.T) {
 	a := ModelSpec{Preset: "BERT"}.Canonical()
 	b := ModelSpec{Preset: "bert", Section: "5.3"}.Canonical()
