@@ -25,7 +25,7 @@ SHELL := /bin/bash
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
 	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
-	fleet-benchcheck bench-smoke cover lint ci
+	fleet-benchcheck bench-smoke chaos cover lint ci
 
 tier1: fmt vet build test
 
@@ -93,6 +93,17 @@ fleet-benchcheck:
 bench-smoke:
 	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck fleet-benchcheck
 
+# Chaos suite: the crash/restart/drain/overload tests for the durable
+# serving layer (internal/serve chaos + robustness files, driven through
+# the seeded fault-injection middleware) and the WAL crash-consistency
+# tests, all under the race detector. Deterministic — faults come from
+# seeded rngs, not wall-clock randomness — so a failure here reproduces
+# locally with the same command.
+chaos:
+	$(GO) test -race -timeout 300s \
+		-run 'Chaos|Crash|Restart|Drain|Overload|Fault|Shed|QueueFull|Deadline|Torn|Kill|WarmBoot|Backoff|Retr|Broken|Closed' \
+		./internal/serve ./internal/wal ./internal/clientretry -v
+
 # Per-package coverage floors for the packages where a silent coverage
 # slide is most dangerous: the architecture registry (every backend must
 # stay exercised or a broken fabric ships silently), the cost model
@@ -101,7 +112,7 @@ bench-smoke:
 # reproducibility silently — results stay plausible but wrong). Floors
 # sit below current coverage with headroom for refactors; raise them as
 # the packages grow.
-COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80
+COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80 internal/wal:85
 
 cover:
 	@set -e; for spec in $(COVER_FLOORS); do \
@@ -130,4 +141,4 @@ lint:
 	fi
 
 # The exact job list of .github/workflows/ci.yml, runnable locally.
-ci: tier1 race cover lint bench-smoke
+ci: tier1 race chaos cover lint bench-smoke

@@ -1,17 +1,24 @@
 // Command planload is a load generator for topooptd: it fires concurrent
 // POST /v1/plan requests, optionally spreading them over several seeds to
-// control the cache hit ratio, and reports client-side latency quantiles
+// control the cache hit ratio, and reports client-side latency quantiles,
+// an error taxonomy (connect / timeout / 4xx / 5xx / retry-exhausted)
 // plus the server's own /v1/metrics counters afterwards.
 //
 // Usage:
 //
 //	planload -addr http://localhost:7070 -n 200 -c 16 \
 //	         -model bert -section 6 -servers 12 -degree 4 \
-//	         -bandwidth 25 -mcmc 30 -rounds 1 -seeds 4
+//	         -bandwidth 25 -mcmc 30 -rounds 1 -seeds 4 \
+//	         -retries 3 -backoff 100ms
 //
 // With -seeds 1 every request is identical: the first one pays for the
 // optimization and the rest coalesce onto it or hit the cache, which is
 // the serving hot path the BenchmarkServe* suite records.
+//
+// Plan requests are idempotent (fingerprint-keyed and cached server
+// side), so -retries re-sends failed requests with capped exponential
+// backoff, honoring the server's Retry-After backpressure hints
+// (internal/clientretry).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"topoopt"
+	"topoopt/internal/clientretry"
 	"topoopt/internal/serve"
 	"topoopt/internal/stats"
 )
@@ -44,10 +52,15 @@ func main() {
 		rounds    = flag.Int("rounds", 1, "alternating-optimization rounds")
 		parallel  = flag.Int("parallel", 0, "parallel MCMC chains per request (0 = server default of 1)")
 		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
+		retries   = flag.Int("retries", 0, "retries per failed request (plan requests are idempotent)")
+		backoff   = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
 	)
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *seeds <= 0 {
 		fatal(fmt.Errorf("-n, -c and -seeds must be positive"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries must be non-negative"))
 	}
 
 	bodies, err := requestBodies(loadSpec{
@@ -65,8 +78,11 @@ func main() {
 		latencies []float64
 		statuses  = map[int]int{}
 		cached    int
-		failures  []string
+		tally     = newTally()
 	)
+	retrier := clientretry.New(clientretry.Policy{
+		MaxRetries: *retries, Base: *backoff, Seed: 1,
+	})
 	work := make(chan int)
 	var wg sync.WaitGroup
 	client := &http.Client{Timeout: 5 * time.Minute}
@@ -76,19 +92,29 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(*addr+"/v1/plan", "application/json",
-					bytes.NewReader(bodies[i%len(bodies)]))
+				resp, out, err := retrier.Do(client, true, func() (*http.Request, error) {
+					req, err := http.NewRequest(http.MethodPost, *addr+"/v1/plan", bytes.NewReader(body))
+					if err != nil {
+						return nil, err
+					}
+					req.Header.Set("Content-Type", "application/json")
+					return req, nil
+				})
 				lat := time.Since(t0).Seconds()
 				mu.Lock()
-				if err != nil {
-					failures = append(failures, err.Error())
-					mu.Unlock()
+				tally.add(out, err)
+				if resp != nil {
+					statuses[resp.StatusCode]++
+				}
+				if out == clientretry.OK {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+				if resp == nil {
 					continue
 				}
-				statuses[resp.StatusCode]++
-				latencies = append(latencies, lat)
-				mu.Unlock()
 				var pr serve.PlanResponse
 				if resp.StatusCode == http.StatusOK &&
 					json.NewDecoder(resp.Body).Decode(&pr) == nil && pr.Cached {
@@ -113,9 +139,7 @@ func main() {
 	for code, count := range statuses {
 		fmt.Printf("  HTTP %d: %d\n", code, count)
 	}
-	if len(failures) > 0 {
-		fmt.Printf("  transport errors: %d (first: %s)\n", len(failures), failures[0])
-	}
+	fmt.Print(tally.report("  "))
 	if len(latencies) > 0 {
 		fmt.Printf("  latency: %s\n", stats.Summary(latencies))
 		fmt.Printf("  cache-hit responses: %d\n", cached)
@@ -130,12 +154,58 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		fatal(fmt.Errorf("decoding server metrics: %w", err))
 	}
-	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d\n",
-		m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity)
+	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d shed=%d warmed=%d\n",
+		m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity,
+		m.Shed, m.WarmedEntries)
 	if m.Latency.Count > 0 {
 		fmt.Printf("server latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
 			m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
 	}
+}
+
+// tally accumulates the failure taxonomy over a load run. Not
+// goroutine-safe; callers hold the run's mutex.
+type tally struct {
+	counts map[clientretry.Outcome]int
+	firsts map[clientretry.Outcome]string
+}
+
+func newTally() *tally {
+	return &tally{
+		counts: map[clientretry.Outcome]int{},
+		firsts: map[clientretry.Outcome]string{},
+	}
+}
+
+func (t *tally) add(out clientretry.Outcome, err error) {
+	t.counts[out]++
+	if err != nil {
+		if _, ok := t.firsts[out]; !ok {
+			t.firsts[out] = err.Error()
+		}
+	}
+}
+
+// report renders the non-OK taxonomy lines, one per outcome in a fixed
+// order, each prefixed with prefix. Empty when every request succeeded.
+func (t *tally) report(prefix string) string {
+	order := []clientretry.Outcome{
+		clientretry.Connect, clientretry.Timeout,
+		clientretry.Status4xx, clientretry.Status5xx, clientretry.Exhausted,
+	}
+	var b bytes.Buffer
+	for _, o := range order {
+		n := t.counts[o]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%serrors[%s]: %d", prefix, o, n)
+		if first := t.firsts[o]; first != "" {
+			fmt.Fprintf(&b, " (first: %s)", first)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // loadSpec describes the request population one load run fires.

@@ -2,8 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 
+	"topoopt/internal/clientretry"
 	"topoopt/internal/serve"
 )
 
@@ -58,5 +61,39 @@ func TestRequestBodiesDistinctSeedsDistinctFingerprints(t *testing.T) {
 	}
 	if a.Fingerprint() == b.Fingerprint() {
 		t.Error("distinct seeds should produce distinct fingerprints (cache-miss traffic)")
+	}
+}
+
+func TestTallyReportTaxonomy(t *testing.T) {
+	ty := newTally()
+	ty.add(clientretry.OK, nil)
+	ty.add(clientretry.OK, nil)
+	ty.add(clientretry.Connect, errors.New("dial tcp: connection refused"))
+	ty.add(clientretry.Connect, errors.New("a later connect error"))
+	ty.add(clientretry.Exhausted, nil)
+
+	got := ty.report("  ")
+	if !strings.Contains(got, "errors[connect]: 2") {
+		t.Errorf("report missing connect count:\n%s", got)
+	}
+	if !strings.Contains(got, "connection refused") {
+		t.Errorf("report should carry the first error per class:\n%s", got)
+	}
+	if strings.Contains(got, "a later connect error") {
+		t.Errorf("report should keep only the first error per class:\n%s", got)
+	}
+	if !strings.Contains(got, "errors[retry-exhausted]: 1") {
+		t.Errorf("report missing exhausted count:\n%s", got)
+	}
+	if strings.Contains(got, "errors[ok]") || strings.Contains(got, "errors[timeout]") {
+		t.Errorf("report should omit zero/OK classes:\n%s", got)
+	}
+}
+
+func TestTallyReportEmptyWhenAllOK(t *testing.T) {
+	ty := newTally()
+	ty.add(clientretry.OK, nil)
+	if got := ty.report("  "); got != "" {
+		t.Errorf("all-OK run should report nothing, got %q", got)
 	}
 }

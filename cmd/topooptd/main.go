@@ -6,7 +6,8 @@
 // Usage:
 //
 //	topooptd [-addr :7070] [-workers N] [-queue 64] [-cache 256]
-//	         [-search-threads N]
+//	         [-search-threads N] [-store DIR] [-drain-timeout 30s]
+//	         [-default-deadline 0]
 //
 // -search-threads caps the total goroutines spent on parallel MCMC chains
 // across all concurrent optimizations (requests opt into chains with
@@ -14,6 +15,26 @@
 // lone request gets the whole budget and a busy pool degrades each
 // request toward sequential chains. Plans are deterministic per
 // (seed, parallelism) regardless of the thread budget.
+//
+// -store names a directory for the durable plan store (internal/wal):
+// completed plans, compares and fleet results are appended to a
+// write-ahead log and replayed into the cache on restart, so a restarted
+// daemon serves previously computed fingerprints as byte-identical cache
+// hits without re-searching; queued-but-unfinished async jobs are
+// journaled and re-enqueued. Empty (the default) keeps the cache purely
+// in-memory.
+//
+// On SIGTERM/SIGINT the daemon drains instead of dropping work: new
+// requests get a structured 503 ("draining") with Retry-After, in-flight
+// requests and running async jobs are given up to -drain-timeout to
+// finish (their results are persisted), and whatever remains is
+// cancelled through the search context before exit.
+//
+// Requests may carry an X-Deadline-Ms header; -default-deadline applies
+// one to requests that don't. When the queue is deep enough that a
+// request's deadline would expire before a worker could reach it, the
+// daemon sheds it immediately with a 429 and a Retry-After hint instead
+// of queueing doomed work.
 //
 // Endpoints (see internal/serve and DESIGN.md, "Planning service"):
 //
@@ -57,12 +78,15 @@ import (
 
 // daemonConfig is the parsed command line.
 type daemonConfig struct {
-	Addr          string
-	Workers       int
-	Queue         int
-	Cache         int
-	SearchThreads int
-	Verbose       bool
+	Addr            string
+	Workers         int
+	Queue           int
+	Cache           int
+	SearchThreads   int
+	Store           string
+	DrainTimeout    time.Duration
+	DefaultDeadline time.Duration
+	Verbose         bool
 }
 
 // parseFlags parses args (excluding the program name) into a
@@ -77,21 +101,42 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.IntVar(&cfg.Cache, "cache", 256, "plan cache entries (LRU)")
 	fs.IntVar(&cfg.SearchThreads, "search-threads", 0,
 		"total goroutines for parallel MCMC chains across requests (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.Store, "store", "",
+		"durable plan store directory (empty = in-memory cache only)")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 30*time.Second,
+		"how long SIGTERM lets in-flight work finish before cancelling it")
+	fs.DurationVar(&cfg.DefaultDeadline, "default-deadline", 0,
+		"deadline applied to requests without an X-Deadline-Ms header (0 = none)")
 	fs.BoolVar(&cfg.Verbose, "v", false, "log each request")
 	if err := fs.Parse(args); err != nil {
 		return daemonConfig{}, err
 	}
+	if cfg.DrainTimeout <= 0 {
+		return daemonConfig{}, fmt.Errorf("-drain-timeout must be positive, got %s", cfg.DrainTimeout)
+	}
 	return cfg, nil
 }
 
-// newService builds the planning service for a daemonConfig.
-func newService(cfg daemonConfig) *serve.Service {
+// newService builds the planning service for a daemonConfig, opening
+// the durable store (and replaying its WAL into the cache) when one is
+// configured.
+func newService(cfg daemonConfig) (*serve.Service, error) {
+	var store *serve.Store
+	if cfg.Store != "" {
+		var err error
+		store, err = serve.OpenStore(cfg.Store)
+		if err != nil {
+			return nil, fmt.Errorf("opening plan store: %w", err)
+		}
+	}
 	return serve.New(serve.Config{
-		Workers:       cfg.Workers,
-		QueueLen:      cfg.Queue,
-		CacheEntries:  cfg.Cache,
-		SearchThreads: cfg.SearchThreads,
-	})
+		Workers:         cfg.Workers,
+		QueueLen:        cfg.Queue,
+		CacheEntries:    cfg.Cache,
+		SearchThreads:   cfg.SearchThreads,
+		Store:           store,
+		DefaultDeadline: cfg.DefaultDeadline,
+	}), nil
 }
 
 // handler wires the service's HTTP API with optional request logging.
@@ -112,7 +157,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := newService(cfg)
+	svc, err := newService(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topooptd:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{Addr: cfg.Addr, Handler: handler(svc, cfg.Verbose)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -121,11 +170,23 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		log.Println("topooptd: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("topooptd: draining (refusing new work, up to %s for in-flight)", cfg.DrainTimeout)
+		// Admission off first: requests arriving during the drain get a
+		// structured 503 + Retry-After instead of queueing work we are
+		// about to cancel.
+		svc.BeginDrain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 		defer cancel()
-		srv.Shutdown(shutdownCtx)
-		svc.Close()
+		// Let the HTTP layer finish writing in-flight responses, then let
+		// running searches and async jobs finish within the same budget;
+		// Drain cancels whatever is left when drainCtx expires, persists
+		// completed results, and compacts the store.
+		srv.Shutdown(drainCtx)
+		if derr := svc.Drain(drainCtx); derr != nil {
+			log.Printf("topooptd: drain timeout: cancelled remaining work (%v)", derr)
+		} else {
+			log.Println("topooptd: drained cleanly")
+		}
 	}()
 
 	log.Printf("topooptd: listening on %s", cfg.Addr)

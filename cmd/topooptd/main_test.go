@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"topoopt"
 	"topoopt/internal/serve"
@@ -20,18 +21,23 @@ func TestParseFlagsDefaults(t *testing.T) {
 		cfg.Cache != 256 || cfg.SearchThreads != 0 || cfg.Verbose {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
+	if cfg.Store != "" || cfg.DrainTimeout != 30*time.Second || cfg.DefaultDeadline != 0 {
+		t.Errorf("unexpected durability defaults: %+v", cfg)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-addr", ":9999", "-workers", "3", "-queue", "7",
 		"-cache", "11", "-search-threads", "5", "-v",
+		"-store", "/tmp/plans", "-drain-timeout", "2s", "-default-deadline", "750ms",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := daemonConfig{Addr: ":9999", Workers: 3, Queue: 7, Cache: 11,
-		SearchThreads: 5, Verbose: true}
+		SearchThreads: 5, Verbose: true, Store: "/tmp/plans",
+		DrainTimeout: 2 * time.Second, DefaultDeadline: 750 * time.Millisecond}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)
 	}
@@ -43,6 +49,12 @@ func TestParseFlagsRejectsUnknown(t *testing.T) {
 	}
 }
 
+func TestParseFlagsRejectsNonPositiveDrainTimeout(t *testing.T) {
+	if _, err := parseFlags([]string{"-drain-timeout", "0s"}); err == nil {
+		t.Error("zero drain timeout should fail")
+	}
+}
+
 // TestDaemonServesPlan spins the real daemon wiring (flags → service →
 // handler) and drives one parallel plan request through it.
 func TestDaemonServesPlan(t *testing.T) {
@@ -50,7 +62,10 @@ func TestDaemonServesPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := newService(cfg)
+	svc, err := newService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	ts := httptest.NewServer(handler(svc, cfg.Verbose))
 	defer ts.Close()

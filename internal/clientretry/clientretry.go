@@ -1,0 +1,206 @@
+// Package clientretry implements the client half of the serving layer's
+// overload contract: capped exponential backoff with deterministic
+// seeded jitter, honoring the server's Retry-After hint, and retrying
+// only requests the caller declares idempotent.
+//
+// topooptd's planning endpoints are idempotent by construction — every
+// request is keyed by a canonical fingerprint, so re-sending the same
+// body either hits the cache or coalesces onto the in-flight search —
+// which is what makes retrying POSTs safe here. The package still
+// requires the caller to say so explicitly, because the retrier cannot
+// know which endpoints carry that guarantee.
+//
+// Every failure is classified into a small taxonomy (connect, timeout,
+// 4xx, 5xx, retry-exhausted) so load tools can report what actually
+// went wrong instead of lumping failures into one counter.
+package clientretry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Outcome classifies the final result of a Do call.
+type Outcome int
+
+const (
+	// OK is a 2xx/3xx response.
+	OK Outcome = iota
+	// Connect is a transport-level failure before any response arrived
+	// (refused, reset, DNS) that was not retried to success.
+	Connect
+	// Timeout is a deadline or timeout failure (client timeout, request
+	// context deadline, or a net error reporting Timeout).
+	Timeout
+	// Status4xx is a non-retryable client error response.
+	Status4xx
+	// Status5xx is a server error response that was not retried (the
+	// request was not idempotent or retries are disabled).
+	Status5xx
+	// Exhausted means retryable failures persisted through every allowed
+	// retry.
+	Exhausted
+)
+
+// String returns the taxonomy label used in reports.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Connect:
+		return "connect"
+	case Timeout:
+		return "timeout"
+	case Status4xx:
+		return "4xx"
+	case Status5xx:
+		return "5xx"
+	case Exhausted:
+		return "retry-exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// Policy configures a Retrier.
+type Policy struct {
+	// MaxRetries is the number of retry attempts after the first try.
+	// Zero disables retries.
+	MaxRetries int
+	// Base is the backoff before the first retry; each further retry
+	// doubles it, capped at Cap.
+	Base time.Duration
+	// Cap bounds a single backoff (including one inflated by
+	// Retry-After). Zero means 30s.
+	Cap time.Duration
+	// Seed seeds the jitter stream; the same seed replays the same
+	// backoff sequence, which keeps chaos runs reproducible.
+	Seed int64
+	// Sleep is called to wait between attempts; nil means time.Sleep.
+	// Tests inject a recorder here.
+	Sleep func(time.Duration)
+}
+
+// Retrier issues HTTP requests under a Policy. Safe for concurrent use;
+// the jitter stream is shared, so concurrent callers draw from one
+// deterministic sequence.
+type Retrier struct {
+	policy Policy
+	sleep  func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Retrier from p, applying defaults.
+func New(p Policy) *Retrier {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 30 * time.Second
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Retrier{policy: p, sleep: sleep, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Do issues the request returned by build, retrying retryable failures
+// (transport errors, 429s and 5xx responses) when idempotent is true.
+// build is called once per attempt so request bodies are fresh. The
+// final response (possibly nil) is returned along with the outcome
+// classification; the caller owns closing a non-nil response body.
+func (rt *Retrier) Do(c *http.Client, idempotent bool, build func() (*http.Request, error)) (*http.Response, Outcome, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, Connect, err
+		}
+		resp, err := c.Do(req)
+		out, retryable := classify(resp, err)
+		if out == OK {
+			return resp, OK, nil
+		}
+		if !retryable || !idempotent || attempt >= rt.policy.MaxRetries {
+			if retryable && idempotent && rt.policy.MaxRetries > 0 {
+				out = Exhausted
+			}
+			return resp, out, err
+		}
+		var ra time.Duration
+		if resp != nil {
+			ra = retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		rt.sleep(rt.backoff(attempt, ra))
+	}
+}
+
+// backoff computes the wait before retry number attempt (0-based):
+// jittered capped exponential growth from Base, floored by the server's
+// Retry-After hint when one was sent.
+func (rt *Retrier) backoff(attempt int, serverHint time.Duration) time.Duration {
+	d := rt.policy.Base << uint(attempt)
+	if d <= 0 || d > rt.policy.Cap { // <= 0 catches shift overflow
+		d = rt.policy.Cap
+	}
+	// Jitter uniformly over [d/2, d) so synchronized clients decorrelate.
+	rt.mu.Lock()
+	j := d/2 + time.Duration(rt.rng.Int63n(int64(d/2)+1))
+	rt.mu.Unlock()
+	if serverHint > j {
+		j = serverHint
+	}
+	if j > rt.policy.Cap {
+		j = rt.policy.Cap
+	}
+	return j
+}
+
+// classify maps one attempt's result onto the taxonomy and reports
+// whether it is safe to retry (given an idempotent request).
+func classify(resp *http.Response, err error) (Outcome, bool) {
+	if err != nil {
+		var ne net.Error
+		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+			return Timeout, true
+		}
+		return Connect, true
+	}
+	switch {
+	case resp.StatusCode >= 500:
+		return Status5xx, true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Overload shedding: retryable, classified with client errors.
+		return Status4xx, true
+	case resp.StatusCode >= 400:
+		return Status4xx, false
+	default:
+		return OK, false
+	}
+}
+
+// retryAfter parses a delay-seconds Retry-After header; absent or
+// unparseable headers yield zero (HTTP-date form is not used by
+// topooptd and is ignored).
+func retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,214 @@
+package clientretry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func noSleep(*testing.T) (func(time.Duration), *[]time.Duration) {
+	var slept []time.Duration
+	return func(d time.Duration) { slept = append(slept, d) }, &slept
+}
+
+func getReq(t *testing.T, url string) func() (*http.Request, error) {
+	t.Helper()
+	return func() (*http.Request, error) { return http.NewRequest(http.MethodGet, url, nil) }
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{MaxRetries: 3, Base: 100 * time.Millisecond, Cap: 2 * time.Second, Seed: 7}
+	a, b := New(p), New(p)
+	for attempt := 0; attempt < 6; attempt++ {
+		da := a.backoff(attempt, 0)
+		db := b.backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+		want := p.Base << uint(attempt)
+		if want > p.Cap {
+			want = p.Cap
+		}
+		if da < want/2 || da > want {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, da, want/2, want)
+		}
+	}
+	if d := New(p).backoff(200, 0); d > p.Cap {
+		t.Errorf("overflowing attempt: backoff %v exceeds cap %v", d, p.Cap)
+	}
+}
+
+func TestBackoffHonorsRetryAfterUpToCap(t *testing.T) {
+	rt := New(Policy{Base: 10 * time.Millisecond, Cap: 3 * time.Second, Seed: 1})
+	if d := rt.backoff(0, 2*time.Second); d != 2*time.Second {
+		t.Errorf("server hint 2s under cap: got %v", d)
+	}
+	if d := rt.backoff(0, time.Minute); d != 3*time.Second {
+		t.Errorf("server hint over cap should clamp to cap: got %v", d)
+	}
+}
+
+func TestDoRetries5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	sleep, slept := noSleep(t)
+	rt := New(Policy{MaxRetries: 3, Base: time.Millisecond, Cap: 5 * time.Second, Seed: 1, Sleep: sleep})
+	resp, out, err := rt.Do(ts.Client(), true, getReq(t, ts.URL))
+	if err != nil || out != OK {
+		t.Fatalf("got outcome %v, err %v", out, err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	for i, d := range *slept {
+		if d < time.Second {
+			t.Errorf("sleep %d = %v; Retry-After: 1 should floor the backoff at 1s", i, d)
+		}
+	}
+}
+
+func TestDoNonIdempotentNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 5, Base: time.Millisecond, Sleep: sleep})
+	resp, out, _ := rt.Do(ts.Client(), false, getReq(t, ts.URL))
+	resp.Body.Close()
+	if out != Status5xx {
+		t.Errorf("outcome %v, want %v", out, Status5xx)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("non-idempotent request was sent %d times", got)
+	}
+}
+
+func TestDo4xxNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 5, Base: time.Millisecond, Sleep: sleep})
+	resp, out, _ := rt.Do(ts.Client(), true, getReq(t, ts.URL))
+	resp.Body.Close()
+	if out != Status4xx {
+		t.Errorf("outcome %v, want %v", out, Status4xx)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("400 was retried: %d calls", got)
+	}
+}
+
+func TestDo429IsRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 2, Base: time.Millisecond, Sleep: sleep})
+	resp, out, err := rt.Do(ts.Client(), true, getReq(t, ts.URL))
+	if err != nil || out != OK {
+		t.Fatalf("got outcome %v, err %v", out, err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Errorf("shed request not retried: %d calls", got)
+	}
+}
+
+func TestDoExhaustedAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 3, Base: time.Millisecond, Sleep: sleep})
+	resp, out, _ := rt.Do(ts.Client(), true, getReq(t, ts.URL))
+	resp.Body.Close()
+	if out != Exhausted {
+		t.Errorf("outcome %v, want %v", out, Exhausted)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("%d calls, want 1 + 3 retries", got)
+	}
+}
+
+func TestDoConnectErrorClassified(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listening anymore
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 0, Base: time.Millisecond, Sleep: sleep})
+	_, out, err := rt.Do(&http.Client{}, true, getReq(t, url))
+	if err == nil {
+		t.Fatal("expected a connection error")
+	}
+	if out != Connect {
+		t.Errorf("outcome %v, want %v", out, Connect)
+	}
+}
+
+func TestDoTimeoutClassified(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 0, Base: time.Millisecond, Sleep: sleep})
+	_, out, err := rt.Do(&http.Client{Timeout: 20 * time.Millisecond}, true, getReq(t, ts.URL))
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if out != Timeout {
+		t.Errorf("outcome %v, want %v", out, Timeout)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OK: "ok", Connect: "connect", Timeout: "timeout",
+		Status4xx: "4xx", Status5xx: "5xx", Exhausted: "retry-exhausted",
+		Outcome(99): "unknown",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}

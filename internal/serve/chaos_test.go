@@ -1,0 +1,437 @@
+package serve
+
+// Chaos harness: crash, restart, drain and overload tests for the
+// durable serving layer. These run in the ordinary test suite and,
+// together with the fault-injection middleware, under `make chaos`
+// (the same tests with -race and the chaos build tag is deliberately
+// not needed — determinism comes from seeds, not tags).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"topoopt"
+	"topoopt/internal/wal"
+)
+
+// rawPlanResponse decodes a plan response keeping the plan payload as
+// raw bytes, so byte-identity assertions compare what actually went
+// over the wire.
+type rawPlanResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	Cached      bool            `json:"cached"`
+	Plan        json.RawMessage `json:"plan"`
+}
+
+// postJSON posts v to url and returns the (closed) response plus its
+// full body, so callers can inspect status, headers and payload freely.
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// postPlan fires one plan request with optional headers, returning the
+// (closed) response, its raw body, and the decoded plan payload when
+// the request succeeded.
+func postPlan(t *testing.T, url string, req PlanRequest, hdr map[string]string) (*http.Response, []byte, rawPlanResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr rawPlanResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			t.Fatalf("decoding plan response: %v", err)
+		}
+	}
+	return resp, raw, pr
+}
+
+// decodeAPIError parses the structured error envelope from a response
+// body.
+func decodeAPIError(t *testing.T, raw []byte) apiError {
+	t.Helper()
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("decoding error envelope from %q: %v", raw, err)
+	}
+	return env.Error
+}
+
+// TestRestartWarmByteIdenticalAfterKill9 is the pinned restart-warm
+// proof from the issue's acceptance criteria: run real optimizations
+// against a stored service, crash it without any shutdown path (no
+// compaction, plus a torn half-record at the log tail, exactly what a
+// kill -9 mid-append leaves), restart on the same directory, and
+// require every previously completed fingerprint to come back as a
+// cache hit with a byte-identical plan payload and zero re-searches.
+func TestRestartWarmByteIdenticalAfterKill9(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 2, Store: store})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	const seeds = 3
+	before := make(map[string]json.RawMessage, seeds)
+	for seed := int64(1); seed <= seeds; seed++ {
+		resp, _, pr := postPlan(t, ts1.URL, testRequest(seed), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+		if pr.Cached {
+			t.Fatalf("seed %d: first request should not be cached", seed)
+		}
+		before[pr.Fingerprint] = pr.Plan
+	}
+	ts1.Close()
+	// kill -9: no Close, no Drain, no compaction — the service object is
+	// simply abandoned — and the log gets the torn tail of an append that
+	// was cut mid-write.
+	logPath := filepath.Join(dir, wal.LogName)
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopening store after crash: %v", err)
+	}
+	if store2.Len() != seeds {
+		t.Fatalf("store replayed %d entries, want %d", store2.Len(), seeds)
+	}
+	var researches atomic.Int64
+	s2 := New(Config{Workers: 2, Store: store2,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			researches.Add(1)
+			return nil, fmt.Errorf("re-search after restart-warm boot")
+		}})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	for seed := int64(1); seed <= seeds; seed++ {
+		resp, _, pr := postPlan(t, ts2.URL, testRequest(seed), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d after restart: status %d", seed, resp.StatusCode)
+		}
+		if !pr.Cached {
+			t.Errorf("seed %d after restart: not served from cache", seed)
+		}
+		want, ok := before[pr.Fingerprint]
+		if !ok {
+			t.Fatalf("seed %d after restart: unknown fingerprint %s", seed, pr.Fingerprint)
+		}
+		if !bytes.Equal(pr.Plan, want) {
+			t.Errorf("seed %d: restart-warm plan differs from pre-crash plan\npre:  %s\npost: %s",
+				seed, want, pr.Plan)
+		}
+	}
+	if got := researches.Load(); got != 0 {
+		t.Errorf("restart ran %d optimizations, want 0 (every hit must come from the WAL)", got)
+	}
+	if m := s2.Metrics(); m.WarmedEntries != seeds {
+		t.Errorf("warmed_entries = %d, want %d", m.WarmedEntries, seeds)
+	}
+}
+
+// TestCrashReenqueuesJournaledJob: an async job that was admitted but
+// never finished survives a kill -9 as a journal entry and is re-run on
+// the next boot.
+func TestCrashReenqueuesJournaledJob(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{}) // never closed: the "process" dies mid-run
+	s1 := New(Config{Workers: 1, Store: store,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			<-block
+			return nil, ctx.Err()
+		}})
+	req := testRequest(9)
+	if _, err := s1.SubmitJob(req); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon s1 with the job mid-flight (its worker goroutine
+	// stays parked on block for the test process lifetime).
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stubPlan(t)
+	var runs atomic.Int64
+	s2 := New(Config{Workers: 1, Store: store2,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			runs.Add(1)
+			return plan, nil
+		}})
+	defer s2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for store2.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-enqueued job never persisted its result")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("restart ran the journaled job %d times, want 1", got)
+	}
+	// The recovered result serves the original fingerprint as a hit.
+	p, _, cached, err := s2.Plan(context.Background(), req)
+	if err != nil || !cached {
+		t.Fatalf("recovered fingerprint: cached=%v err=%v", cached, err)
+	}
+	if p == nil {
+		t.Fatal("recovered fingerprint returned no plan")
+	}
+}
+
+// TestDrainFinishesInFlightAndRejectsNew exercises the drain state
+// machine: admission stops immediately (structured rejection), work
+// already in flight completes and its result is persisted, and Drain
+// returns nil when everything finished inside the deadline.
+func TestDrainFinishesInFlightAndRejectsNew(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stubPlan(t)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := New(Config{Workers: 2, Store: store,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			started <- struct{}{}
+			<-release
+			return plan, nil
+		}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var (
+		wg      sync.WaitGroup
+		gotPlan *topoopt.Plan
+		gotErr  error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gotPlan, _, _, gotErr = s.Plan(context.Background(), testRequest(1))
+	}()
+	<-started
+
+	s.BeginDrain()
+	if _, _, _, err := s.Plan(context.Background(), testRequest(2)); err != ErrDraining {
+		t.Fatalf("admission during drain: err = %v, want ErrDraining", err)
+	}
+	resp, raw, _ := postPlan(t, ts.URL, testRequest(3), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining HTTP status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("draining 503 must carry Retry-After")
+	}
+	if e := decodeAPIError(t, raw); e.Code != "draining" {
+		t.Errorf("draining error code = %q", e.Code)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain with finished work returned %v", err)
+	}
+	wg.Wait()
+	if gotErr != nil || gotPlan == nil {
+		t.Fatalf("in-flight request during drain: plan=%v err=%v", gotPlan, gotErr)
+	}
+
+	// The drained result must be durable: a fresh boot serves it warm.
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.Len() != 1 {
+		t.Errorf("store after drain has %d entries, want 1", store2.Len())
+	}
+	store2.wal.Close()
+}
+
+// TestDrainDeadlineCancelsStragglers: a search that outlives the drain
+// budget is cancelled through its flight context rather than abandoned.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	started := make(chan struct{}, 1)
+	s := New(Config{Workers: 1,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			started <- struct{}{}
+			<-ctx.Done() // refuses to finish until cancelled
+			return nil, ctx.Err()
+		}})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Plan(context.Background(), testRequest(1))
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain past deadline returned %v, want context.DeadlineExceeded", err)
+	}
+	wg.Wait() // the straggler's waiter must come back too
+}
+
+// TestOverloadNeverCorruptsStore hammers a tiny (1 worker, queue of 2)
+// stored service through the fault-injection middleware — injected
+// latency, injected 500s, connection resets, queue-full 503s, shed 429s
+// and deadline 504s all mixed together — then verifies the WAL replays
+// cleanly and every surviving record decodes to a usable result.
+func TestOverloadNeverCorruptsStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stubPlan(t)
+	s := New(Config{Workers: 1, QueueLen: 2, Store: store,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			time.Sleep(time.Millisecond)
+			return plan, nil
+		}})
+	fi := NewFaultInjector(FaultConfig{
+		Seed:        42,
+		LatencyProb: 0.2, Latency: time.Millisecond,
+		ErrorProb: 0.2,
+		ResetProb: 0.1,
+	})
+	ts := httptest.NewServer(fi.Wrap(s.Handler()))
+
+	const clients, perClient = 8, 10
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				seed := int64(c*perClient+i)%7 + 1 // overlap: hits, coalesces and misses
+				body, _ := json.Marshal(testRequest(seed))
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				if i%3 == 0 {
+					req.Header.Set("X-Deadline-Ms", "50")
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					continue // injected reset
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	ts.Close()
+	s.Close() // clean close: compacts whatever survived
+
+	lats, errs, resets := fi.Counts()
+	if errs == 0 || resets == 0 {
+		t.Fatalf("fault injector idle (lat=%d errs=%d resets=%d); the test exercised nothing",
+			lats, errs, resets)
+	}
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("store corrupt after overload: %v", err)
+	}
+	recs := store2.wal.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records survived the overload run")
+	}
+	for _, r := range recs {
+		if r.Op != wal.OpPut {
+			continue
+		}
+		if _, err := decodeResult(r.Kind, r.Payload); err != nil {
+			t.Errorf("record %s/%s does not decode: %v", r.Kind, r.Fp, err)
+		}
+	}
+	store2.wal.Close()
+}
+
+// TestFaultInjectorDeterministicPerSeed pins the chaos harness's
+// reproducibility: the same seed produces the same fault sequence.
+func TestFaultInjectorDeterministicPerSeed(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, LatencyProb: 0.3, ErrorProb: 0.3, ResetProb: 0.3}
+	a, b := NewFaultInjector(cfg), NewFaultInjector(cfg)
+	for i := 0; i < 200; i++ {
+		la, fa, ra := a.roll()
+		lb, fb, rb := b.roll()
+		if la != lb || fa != fb || ra != rb {
+			t.Fatalf("roll %d diverged between identical seeds", i)
+		}
+	}
+	_, errs, _ := a.Counts()
+	if errs == 0 {
+		t.Error("200 rolls at p=0.3 injected no errors; rng wiring broken")
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultConfig configures the fault-injection middleware used by the
+// chaos tests (and available behind a daemon flag for manual game
+// days). Each probability is evaluated independently per request from a
+// deterministic seeded stream, so a chaos run replays identically.
+type FaultConfig struct {
+	Seed int64 // rng seed; same seed → same fault sequence
+
+	LatencyProb float64       // probability of injecting extra latency
+	Latency     time.Duration // latency to inject when triggered
+
+	ErrorProb float64 // probability of a synthetic 500 before the handler runs
+
+	ResetProb float64 // probability of aborting the connection mid-request
+}
+
+// FaultInjector wraps an http.Handler with seeded fault injection:
+// added latency, structured 500s, and connection resets. It is the
+// serving half of the chaos harness — clients built on clientretry must
+// converge to correct results under any fault sequence it produces.
+type FaultInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	latencies int
+	errors    int
+	resets    int
+}
+
+// NewFaultInjector builds an injector from cfg. A zero-probability
+// config passes every request through untouched.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// roll draws the per-request fault decisions under one lock acquisition
+// so concurrent requests see a deterministic (if interleaving-dependent)
+// fault stream.
+func (fi *FaultInjector) roll() (lat, fail, reset bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.cfg.LatencyProb > 0 && fi.rng.Float64() < fi.cfg.LatencyProb {
+		lat = true
+		fi.latencies++
+	}
+	if fi.cfg.ErrorProb > 0 && fi.rng.Float64() < fi.cfg.ErrorProb {
+		fail = true
+		fi.errors++
+	}
+	if fi.cfg.ResetProb > 0 && fi.rng.Float64() < fi.cfg.ResetProb {
+		reset = true
+		fi.resets++
+	}
+	return lat, fail, reset
+}
+
+// Counts reports how many faults of each kind have been injected.
+func (fi *FaultInjector) Counts() (latencies, errors, resets int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.latencies, fi.errors, fi.resets
+}
+
+// Wrap returns next with fault injection in front. Injected failures
+// happen before next runs, so a request that was "reset" or "500'd"
+// never reaches the service — exactly the shape of a crash between
+// accept and handling, which is what retry-side idempotency must absorb.
+func (fi *FaultInjector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lat, fail, reset := fi.roll()
+		if lat {
+			time.Sleep(fi.cfg.Latency)
+		}
+		if reset {
+			// net/http aborts the connection without writing a response —
+			// the client sees io.EOF / ECONNRESET, not a status code.
+			panic(http.ErrAbortHandler)
+		}
+		if fail {
+			writeError(w, &apiError{
+				Status: http.StatusInternalServerError,
+				Code:   "injected_fault",
+				Message: "synthetic failure injected by the chaos harness; " +
+					"retry against a healthy instance",
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

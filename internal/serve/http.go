@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,11 +16,15 @@ import (
 const maxRequestBytes = 1 << 20
 
 // apiError is the structured error envelope: every non-2xx response is
-// {"error": {"code": ..., "message": ...}}.
+// {"error": {"code": ..., "message": ...}}. Backpressure errors
+// (queue_full, overloaded, draining) additionally carry the queue depth
+// and a retry hint that is mirrored into the Retry-After header.
 type apiError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status            int    `json:"-"`
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	QueueDepth        int    `json:"queue_depth,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 func badRequest(code string, err error) *apiError {
@@ -28,6 +33,9 @@ func badRequest(code string, err error) *apiError {
 
 func writeError(w http.ResponseWriter, e *apiError) {
 	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
 	w.WriteHeader(e.Status)
 	json.NewEncoder(w).Encode(map[string]*apiError{"error": e})
 }
@@ -38,16 +46,66 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// retrySeconds converts a wait estimate to a Retry-After value: at
+// least 1 second, rounded up, so a client that honors the header never
+// hammers a saturated server sub-second.
+func retrySeconds(wait time.Duration) int {
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // serviceError maps Plan/Compare errors onto transport errors.
-func serviceError(err error) *apiError {
+// Backpressure responses carry the queue depth and a Retry-After hint
+// derived from queue depth × observed service time, so well-behaved
+// clients back off proportionally to the actual overload.
+func (s *Service) serviceError(err error) *apiError {
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &oe):
+		return &apiError{
+			Status: http.StatusTooManyRequests, Code: "overloaded", Message: err.Error(),
+			QueueDepth: oe.QueueDepth, RetryAfterSeconds: retrySeconds(oe.EstimatedWait),
+		}
 	case errors.Is(err, ErrQueueFull):
-		return &apiError{Status: http.StatusServiceUnavailable, Code: "queue_full", Message: err.Error()}
+		return &apiError{
+			Status: http.StatusServiceUnavailable, Code: "queue_full", Message: err.Error(),
+			QueueDepth: len(s.queue), RetryAfterSeconds: retrySeconds(s.estimatedWait()),
+		}
+	case errors.Is(err, ErrDraining):
+		return &apiError{
+			Status: http.StatusServiceUnavailable, Code: "draining", Message: err.Error(),
+			RetryAfterSeconds: 1,
+		}
 	case errors.Is(err, ErrClosed):
 		return &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down", Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
 	default:
 		return &apiError{Status: http.StatusInternalServerError, Code: "optimize_failed", Message: err.Error()}
 	}
+}
+
+// requestContext derives the per-request context: an explicit
+// X-Deadline-Ms header wins, then the configured default deadline, then
+// the bare request context. The returned cancel must always be called.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc, *apiError) {
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			return nil, nil, badRequest("bad_deadline",
+				fmt.Errorf("X-Deadline-Ms must be a positive integer, got %q", h))
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		return ctx, cancel, nil
+	}
+	if d := s.cfg.DefaultDeadline; d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		return ctx, cancel, nil
+	}
+	return r.Context(), func() {}, nil
 }
 
 // decodeJSON strictly decodes a bounded request body into dst.
@@ -126,10 +184,16 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
+	ctx, cancel, aerr := s.requestContext(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	defer cancel()
 	start := time.Now()
-	plan, fp, cached, err := s.plan(r.Context(), req.Options, req.Fingerprint(), resolved(m), nil)
+	plan, fp, cached, err := s.plan(ctx, req.Options, req.Fingerprint(), resolved(m), nil)
 	if err != nil {
-		writeError(w, serviceError(err))
+		writeError(w, s.serviceError(err))
 		return
 	}
 	s.met.observeLatency(time.Since(start).Seconds())
@@ -175,12 +239,18 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 		}
 		archs = append(archs, pa)
 	}
+	ctx, cancel, aerr := s.requestContext(r)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	defer cancel()
 	// Compare latencies are not observed: a multi-architecture sweep is
 	// seconds-scale and would swamp the serving-path quantiles the
 	// latency window exists to track.
-	res, fp, cached, err := s.Compare(r.Context(), req.Model, m, req.Options, archs)
+	res, fp, cached, err := s.Compare(ctx, req.Model, m, req.Options, archs)
 	if err != nil {
-		writeError(w, serviceError(err))
+		writeError(w, s.serviceError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, CompareResponse{
@@ -256,7 +326,7 @@ func (s *Service) handleSubmitFleet(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitFleet(req.Spec)
 	if err != nil {
-		writeError(w, serviceError(err))
+		writeError(w, s.serviceError(err))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j)
@@ -272,7 +342,7 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submitJob(m, req)
 	if err != nil {
-		writeError(w, serviceError(err))
+		writeError(w, s.serviceError(err))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j)

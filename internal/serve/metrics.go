@@ -22,9 +22,13 @@ type metrics struct {
 	coalesced int64
 	optimized int64
 	queueFull int64
+	shed      int64
+	storeErrs int64
 	lat       []float64
 	latPos    int
 	latCount  int64
+	svc       []float64
+	svcPos    int
 }
 
 func newMetrics() *metrics {
@@ -48,6 +52,34 @@ func (m *metrics) cacheMiss()     { m.bump(&m.misses) }
 func (m *metrics) coalesce()      { m.bump(&m.coalesced) }
 func (m *metrics) optimizedDone() { m.bump(&m.optimized) }
 func (m *metrics) queueFullDrop() { m.bump(&m.queueFull) }
+func (m *metrics) shedDrop()      { m.bump(&m.shed) }
+func (m *metrics) storeError()    { m.bump(&m.storeErrs) }
+
+// observeService records the wall time of one completed search (flight
+// or compare run). The admission controller's shed decision multiplies
+// the mean of this window by the queue depth to estimate how long a
+// newly queued request would wait.
+func (m *metrics) observeService(seconds float64) {
+	m.mu.Lock()
+	if len(m.svc) < latencyWindow {
+		m.svc = append(m.svc, seconds)
+	} else {
+		m.svc[m.svcPos] = seconds
+		m.svcPos = (m.svcPos + 1) % latencyWindow
+	}
+	m.mu.Unlock()
+}
+
+// meanService returns the mean observed service time in seconds, or 0
+// when nothing has been observed yet (a cold service never sheds).
+func (m *metrics) meanService() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.svc) == 0 {
+		return 0
+	}
+	return stats.Mean(m.svc)
+}
 
 func (m *metrics) observeLatency(seconds float64) {
 	m.mu.Lock()
@@ -83,8 +115,16 @@ type MetricsSnapshot struct {
 	QueueDepth    int              `json:"queue_depth"`
 	QueueCapacity int              `json:"queue_capacity"`
 	QueueFull     int64            `json:"queue_full"`
+	Shed          int64            `json:"shed"`
+	StoreErrors   int64            `json:"store_errors"`
 	JobsTracked   int              `json:"jobs_tracked"`
+	WarmedEntries int              `json:"warmed_entries"`
+	Draining      bool             `json:"draining"`
 	Latency       LatencySummary   `json:"latency"`
+
+	// MeanServiceSeconds is the mean wall time of recent completed
+	// searches — the admission controller's service-time estimate.
+	MeanServiceSeconds float64 `json:"mean_service_seconds"`
 }
 
 // snapshot copies the counters; cache/queue/job gauges are filled in by
@@ -99,6 +139,11 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Coalesced:     m.coalesced,
 		Optimizations: m.optimized,
 		QueueFull:     m.queueFull,
+		Shed:          m.shed,
+		StoreErrors:   m.storeErrs,
+	}
+	if len(m.svc) > 0 {
+		s.MeanServiceSeconds = stats.Mean(m.svc)
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v

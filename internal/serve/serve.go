@@ -10,6 +10,16 @@
 // optimization runs under a context that is cancelled as soon as all
 // clients waiting on it have gone away, and topoopt.OptimizeContext polls
 // it between MCMC iterations.
+//
+// The service is crash-safe and overload-safe (see DESIGN.md,
+// "Durability and degradation"): with a Store configured, every
+// completed result is appended to a write-ahead log and replayed into
+// the LRU on boot (restart-warm, byte-identical cache hits), queued
+// async jobs are journaled and re-enqueued after a crash, BeginDrain /
+// Drain implement graceful SIGTERM shutdown (stop admission, finish
+// in-flight work up to a deadline, cancel the rest), and an admission
+// controller sheds requests whose estimated queue wait already exceeds
+// their deadline.
 package serve
 
 import (
@@ -58,13 +68,40 @@ type Config struct {
 	// topoopt.OptimizeContext with the per-request search-worker cap
 	// applied.
 	Optimize OptimizeFunc
+	// Store, when non-nil, is the durable plan store: completed results
+	// are appended to its write-ahead log, queued async jobs are
+	// journaled, the LRU is warmed from it on New, and it is compacted
+	// and closed on Close/Drain. Nil keeps the service fully in-memory.
+	Store *Store
+	// DefaultDeadline, when positive, bounds every synchronous request
+	// that does not carry its own X-Deadline-Ms header. The deadline
+	// feeds both the waiter's context and the admission controller's
+	// load shedding. Zero means no implicit deadline.
+	DefaultDeadline time.Duration
 }
 
 // Service errors surfaced to transport layers.
 var (
 	ErrQueueFull = errors.New("serve: work queue full")
 	ErrClosed    = errors.New("serve: service closed")
+	ErrDraining  = errors.New("serve: draining, not admitting new work")
 )
+
+// OverloadError is returned by the admission controller when a
+// request's estimated queue wait — queue depth × observed mean
+// optimization time over the worker count — already exceeds the
+// request's deadline, so queueing it would only burn a worker on a
+// result nobody will wait for. The transport layer maps it to 429 with
+// a Retry-After derived from EstimatedWait.
+type OverloadError struct {
+	QueueDepth    int
+	EstimatedWait time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded: estimated queue wait %s exceeds the request deadline (queue depth %d)",
+		e.EstimatedWait.Round(time.Millisecond), e.QueueDepth)
+}
 
 // PlanRequest is the wire request shared by POST /v1/plan and
 // POST /v1/jobs.
@@ -131,9 +168,13 @@ type Service struct {
 	baseCancel context.CancelFunc
 	queue      chan func()
 	wg         sync.WaitGroup
+	jobWG      sync.WaitGroup // async-job waiter goroutines
+	store      *Store
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool // admission stopped; in-flight work finishing
+	warmed   int  // cache entries replayed from the store on boot
 	cache    *planCache
 	flights  map[string]*flight
 	compares map[string]*compareFlight
@@ -179,6 +220,7 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		optimize: cfg.Optimize,
 		chains:   chains,
+		store:    cfg.Store,
 		queue:    make(chan func(), cfg.QueueLen),
 		cache:    newPlanCache(cfg.CacheEntries),
 		flights:  make(map[string]*flight),
@@ -190,6 +232,9 @@ func New(cfg Config) *Service {
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if s.store != nil {
+		s.warmFromStore()
 	}
 	return s
 }
@@ -243,13 +288,81 @@ func (s *Service) worker() {
 	}
 }
 
-// Close stops the workers and fails all pending work with ErrClosed.
+// Close stops the workers and fails all pending work with ErrClosed,
+// then compacts and closes the durable store (if any). Idempotent. For
+// a graceful shutdown that lets in-flight work finish, use Drain.
 func (s *Service) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
+	s.jobWG.Wait()
+	if s.store != nil {
+		// A compacted snapshot makes the next boot replay the live set
+		// instead of the full append history. Skipped on crash (kill -9),
+		// where the WAL replay path takes over.
+		if err := s.store.wal.Compact(); err != nil {
+			s.met.storeError()
+		}
+		s.store.wal.Close()
+	}
+}
+
+// BeginDrain stops admission: every subsequent Plan, Compare, SubmitJob
+// and SubmitFleet call — cache hits included — fails with ErrDraining
+// (a structured 503 with Retry-After at the HTTP layer), while work
+// already admitted keeps running. Idempotent; the first step of a
+// graceful shutdown, callable before the HTTP server stops listening so
+// requests that raced past the listener still get the structured
+// rejection.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the service down: admission stops immediately,
+// in-flight optimizations and async jobs run to completion (their
+// results are persisted to the store as they finish, as always), and
+// when ctx expires whatever is still running is cancelled through the
+// flight contexts — the MCMC engine observes cancellation between
+// iterations, so stragglers abort quickly. Queued-but-unstarted async
+// jobs stay journaled in the store and are re-enqueued on the next
+// boot. Finally the workers are stopped and the store is compacted and
+// closed. Returns nil if everything finished inside ctx, or ctx's error
+// if the drain deadline forced cancellation.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	var derr error
+	if !s.awaitIdle(ctx) {
+		derr = ctx.Err()
+		s.baseCancel() // deadline: cancel the stragglers
+	}
+	s.Close()
+	return derr
+}
+
+// awaitIdle polls until no flight (sync request, comparison or async
+// job) remains in flight, or ctx expires.
+func (s *Service) awaitIdle(ctx context.Context) bool {
+	for {
+		s.mu.Lock()
+		idle := len(s.flights) == 0 && len(s.compares) == 0
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // Plan returns the plan for req, consulting the cache first and coalescing
@@ -289,7 +402,14 @@ func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolv
 		return cached.(*topoopt.Plan), fp, true, nil
 	}
 	if f == nil {
-		// Miss: materialize the model without holding the lock, then race
+		// Miss: this request is about to occupy a queue slot, so this is
+		// where the admission controller sheds work that cannot meet its
+		// deadline anyway (cache hits and coalesced joins above never
+		// shed — they ride work that is already paid for).
+		if serr := s.shedCheck(ctx); serr != nil {
+			return nil, fp, false, serr
+		}
+		// Materialize the model without holding the lock, then race
 		// to create the flight (a concurrent identical request may win, in
 		// which case we join its flight instead).
 		m, rerr := resolve()
@@ -321,15 +441,28 @@ func (s *Service) planRun(m *topoopt.Model, o topoopt.Options) flightRun {
 }
 
 // waitFlight blocks until the flight completes, the caller's ctx is
-// cancelled (dropping this waiter), or the service closes.
+// cancelled (dropping this waiter), or the service closes. A completed
+// result always wins a race against cancellation or shutdown: during a
+// drain the flight may finish in the same instant the service closes,
+// and the waiter must report the work that was actually done.
 func (s *Service) waitFlight(ctx context.Context, f *flight) (any, error) {
 	select {
 	case <-f.done:
 		return f.res, f.err
 	case <-ctx.Done():
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+		}
 		s.abandon(f)
 		return nil, ctx.Err()
 	case <-s.baseCtx.Done():
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+		}
 		return nil, ErrClosed
 	}
 }
@@ -343,6 +476,10 @@ func (s *Service) joinOrCreate(fp string, run flightRun, onStart func()) (any, *
 	if s.closed {
 		s.mu.Unlock()
 		return nil, nil, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, ErrDraining
 	}
 	if v, ok := s.cache.get(fp); ok {
 		s.mu.Unlock()
@@ -407,7 +544,13 @@ func (s *Service) runFlight(f *flight, run flightRun) {
 		s.finish(f, nil, err)
 		return
 	}
+	t0 := time.Now()
 	res, err := run(f.ctx)
+	if err == nil {
+		// Completed executions feed the admission controller's service-
+		// time estimate (cancelled or failed runs would bias it short).
+		s.met.observeService(time.Since(t0).Seconds())
+	}
 	s.finish(f, res, err)
 }
 
@@ -425,8 +568,44 @@ func (s *Service) finish(f *flight, res any, err error) {
 	s.mu.Unlock()
 	if err == nil {
 		s.met.optimizedDone()
+		// Persist outside the service lock: a slow disk must not stall
+		// cache lookups. One flight per fingerprint, so appends for a
+		// given fp never race.
+		s.persist(f.fp, res)
 	}
 	f.cancel()
+}
+
+// shedCheck is the admission controller: requests carrying a deadline
+// (X-Deadline-Ms header or the -default-deadline flag, materialized as
+// a context deadline) are rejected up front when the estimated queue
+// wait already exceeds the time they have left — a 429 now is cheaper
+// for everyone than a timeout after occupying a queue slot. Requests
+// without a deadline are never shed; the bounded queue's 503 is their
+// backstop.
+func (s *Service) shedCheck(ctx context.Context) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	est := s.estimatedWait()
+	if est == 0 || est <= time.Until(dl) {
+		return nil
+	}
+	s.met.shedDrop()
+	return &OverloadError{QueueDepth: len(s.queue), EstimatedWait: est}
+}
+
+// estimatedWait predicts how long a newly queued request would wait
+// before a worker picks it up: queue depth × observed mean optimization
+// time, spread over the worker pool. Zero until the service has
+// completed at least one optimization (a cold daemon never sheds).
+func (s *Service) estimatedWait() time.Duration {
+	mean := s.met.meanService()
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(float64(len(s.queue)) * mean / float64(s.cfg.Workers) * float64(time.Second))
 }
 
 // abandon drops one waiter; the last one out cancels the optimization and
@@ -517,6 +696,10 @@ func (s *Service) Compare(ctx context.Context, spec topoopt.ModelSpec, m *topoop
 		s.mu.Unlock()
 		return nil, fp, false, ErrClosed
 	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fp, false, ErrDraining
+	}
 	if v, ok := s.cache.get(fp); ok {
 		s.mu.Unlock()
 		s.met.cacheHit()
@@ -528,6 +711,13 @@ func (s *Service) Compare(ctx context.Context, spec topoopt.ModelSpec, m *topoop
 		s.met.coalesce()
 		res, err := s.waitCompare(ctx, f)
 		return res, fp, false, err
+	}
+	// About to occupy a queue slot: same admission shedding as plans
+	// (comparisons are the most expensive request type, so doomed ones
+	// waste the most).
+	if serr := s.shedCheck(ctx); serr != nil {
+		s.mu.Unlock()
+		return nil, fp, false, serr
 	}
 	fctx, cancel := context.WithCancel(s.baseCtx)
 	f := &compareFlight{fp: fp, ctx: fctx, cancel: cancel,
@@ -557,7 +747,11 @@ func (s *Service) runCompare(f *compareFlight, m *topoopt.Model, o topoopt.Optio
 	granted := s.chains.acquire(o.Parallelism)
 	defer s.chains.release(granted)
 	o.SearchWorkers = granted
+	t0 := time.Now()
 	res, err := topoopt.CompareContext(f.ctx, m, o, archs...)
+	if err == nil {
+		s.met.observeService(time.Since(t0).Seconds())
+	}
 	s.finishCompare(f, res, err)
 }
 
@@ -573,19 +767,33 @@ func (s *Service) finishCompare(f *compareFlight, res []topoopt.CompareResult, e
 	f.res, f.err = res, err
 	close(f.done)
 	s.mu.Unlock()
+	if err == nil {
+		s.persist(f.fp, res)
+	}
 	f.cancel()
 }
 
 // waitCompare blocks until the comparison completes, the caller's ctx is
-// cancelled (dropping this waiter), or the service closes.
+// cancelled (dropping this waiter), or the service closes. As in
+// waitFlight, a completed result wins any race against cancellation.
 func (s *Service) waitCompare(ctx context.Context, f *compareFlight) ([]topoopt.CompareResult, error) {
 	select {
 	case <-f.done:
 		return f.res, f.err
 	case <-ctx.Done():
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+		}
 		s.abandonCompare(f)
 		return nil, ctx.Err()
 	case <-s.baseCtx.Done():
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+		}
 		return nil, ErrClosed
 	}
 }
@@ -651,9 +859,15 @@ func (s *Service) SubmitJob(req PlanRequest) (Job, error) {
 }
 
 // submitJob is SubmitJob after validation; m is the already-resolved
-// model (the HTTP layer resolves it during request decoding).
+// model (the HTTP layer resolves it during request decoding). The
+// canonical request is journaled so a crash re-enqueues the job on the
+// next boot.
 func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
-	return s.submitAsync(req.Fingerprint(), s.planRun(m, req.Options))
+	journal, _ := json.Marshal(PlanRequest{
+		Model:   req.Model.Canonical(),
+		Options: req.Options.Canonical(),
+	})
+	return s.submitAsync(req.Fingerprint(), s.planRun(m, req.Options), kindPlan, journal)
 }
 
 // FleetRequest is the wire request of POST /v1/fleet.
@@ -702,14 +916,18 @@ func (s *Service) SubmitFleet(spec topoopt.FleetSpec) (Job, error) {
 		}
 		return res, nil
 	}
-	return s.submitAsync(FleetFingerprint(spec), run)
+	journal, _ := json.Marshal(sp)
+	return s.submitAsync(FleetFingerprint(spec), run, kindFleet, journal)
 }
 
 // submitAsync registers an async job around a flight. The
 // cache/flight/queue admission runs synchronously so backpressure
 // surfaces as an error here (a 503 at the HTTP layer), never as an
-// accepted job that asynchronously "fails" with a full queue.
-func (s *Service) submitAsync(fp string, run flightRun) (Job, error) {
+// accepted job that asynchronously "fails" with a full queue. Admitted
+// non-cached jobs are journaled (kind + canonical request payload) so a
+// crash before completion re-enqueues them on the next boot; the
+// journal entry is cleared when the job reaches a terminal state.
+func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []byte) (Job, error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	if s.closed {
@@ -766,10 +984,14 @@ func (s *Service) submitAsync(fp string, run flightRun) (Job, error) {
 		finish(cached, nil)
 		cancel()
 	} else {
+		s.journalJob(kind, fp, journal)
+		s.jobWG.Add(1)
 		go func() {
+			defer s.jobWG.Done()
 			defer cancel()
 			res, werr := s.waitFlight(jctx, f)
 			finish(res, werr)
+			s.journalJobDone(kind, fp)
 		}()
 	}
 	snap, _ := s.GetJob(id)
@@ -849,6 +1071,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.CacheEntries = s.cache.len()
 	snap.InFlight = len(s.flights) + len(s.compares)
 	snap.JobsTracked = len(s.jobs)
+	snap.WarmedEntries = s.warmed
+	snap.Draining = s.draining
 	s.mu.Unlock()
 	snap.QueueDepth = len(s.queue)
 	snap.QueueCapacity = cap(s.queue)

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"topoopt"
+	"topoopt/internal/wal"
+)
+
+// WAL record kinds: the three cacheable result shapes, plus the same
+// names reused to tag journaled async jobs (a "plan" job record carries
+// a PlanRequest, a "fleet" job record a FleetSpec). Kinds namespace
+// fingerprints inside the store, mirroring the kind tags already mixed
+// into compare and fleet fingerprints.
+const (
+	kindPlan    = "plan"
+	kindCompare = "compare"
+	kindFleet   = "fleet"
+)
+
+// Store is the durable plan store: a typed adapter over internal/wal
+// that the Service uses to persist every completed result, journal
+// queued async jobs, warm its LRU on boot, and compact on clean
+// shutdown. Results are stored as their canonical JSON — plans,
+// compare results and fleet results are all byte-stable under
+// Marshal → Unmarshal → Marshal, which is what makes a restart-warm
+// cache hit byte-identical to the pre-crash response.
+type Store struct {
+	wal *wal.Store
+}
+
+// OpenStore opens (creating if needed) the durable plan store in dir,
+// replaying the snapshot and write-ahead log and truncating any torn
+// tail left by a crash.
+func OpenStore(dir string) (*Store, error) {
+	w, err := wal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{wal: w}, nil
+}
+
+// Len reports the number of persisted results.
+func (st *Store) Len() int { return st.wal.Len() }
+
+// encodeResult maps a cached result to its WAL kind and canonical JSON.
+func encodeResult(res any) (kind string, payload []byte, err error) {
+	switch v := res.(type) {
+	case *topoopt.Plan:
+		kind = kindPlan
+		payload, err = json.Marshal(v)
+	case []topoopt.CompareResult:
+		kind = kindCompare
+		payload, err = json.Marshal(v)
+	case *topoopt.FleetResult:
+		kind = kindFleet
+		payload, err = json.Marshal(v)
+	default:
+		err = fmt.Errorf("serve: unstorable result type %T", res)
+	}
+	return kind, payload, err
+}
+
+// decodeResult reverses encodeResult, reconstructing exactly the types
+// the in-memory cache holds so a warmed entry is indistinguishable from
+// a freshly computed one.
+func decodeResult(kind string, payload []byte) (any, error) {
+	switch kind {
+	case kindPlan:
+		var p topoopt.Plan
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	case kindCompare:
+		var rs []topoopt.CompareResult
+		if err := json.Unmarshal(payload, &rs); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case kindFleet:
+		var fr topoopt.FleetResult
+		if err := json.Unmarshal(payload, &fr); err != nil {
+			return nil, err
+		}
+		return &fr, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown stored kind %q", kind)
+	}
+}
+
+// persist appends a completed result to the WAL. Persistence is
+// best-effort relative to serving — a failed append is counted in
+// metrics but never fails the request that computed the result.
+func (s *Service) persist(fp string, res any) {
+	if s.store == nil {
+		return
+	}
+	kind, payload, err := encodeResult(res)
+	if err == nil {
+		err = s.store.wal.Append(wal.Record{Op: wal.OpPut, Kind: kind, Fp: fp, Payload: payload})
+	}
+	if err != nil {
+		s.met.storeError()
+	}
+}
+
+// journalJob records a queued async job so a restart can re-enqueue it;
+// journalJobDone clears the journal entry once the job reaches a
+// terminal state (done, failed or cancelled).
+func (s *Service) journalJob(kind, fp string, payload []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.wal.Append(wal.Record{Op: wal.OpJob, Kind: kind, Fp: fp, Payload: payload}); err != nil {
+		s.met.storeError()
+	}
+}
+
+func (s *Service) journalJobDone(kind, fp string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.wal.Append(wal.Record{Op: wal.OpJobDone, Kind: kind, Fp: fp}); err != nil {
+		s.met.storeError()
+	}
+}
+
+// warmFromStore replays the durable store into the service: every
+// persisted result lands in the LRU (so a restart serves it as a
+// byte-identical cache hit with zero re-search), and every journaled
+// but unfinished async job is re-submitted through the normal admission
+// path under a fresh job ID. Jobs whose results already landed complete
+// instantly from the warmed cache, which also clears their journal
+// entries. Runs during New, before the service accepts requests.
+func (s *Service) warmFromStore() {
+	var jobs []wal.Record
+	for _, r := range s.store.wal.Records() {
+		switch r.Op {
+		case wal.OpPut:
+			v, err := decodeResult(r.Kind, r.Payload)
+			if err != nil {
+				s.met.storeError()
+				continue
+			}
+			s.mu.Lock()
+			s.cache.add(r.Fp, v)
+			s.warmed++
+			s.mu.Unlock()
+		case wal.OpJob:
+			jobs = append(jobs, r)
+		}
+	}
+	// Re-enqueue after warming so a journaled job whose put record
+	// survived resolves as an instant cache hit instead of a re-run.
+	// Best effort: a job the queue cannot re-admit stays journaled for
+	// the next restart.
+	for _, r := range jobs {
+		switch r.Kind {
+		case kindPlan:
+			var req PlanRequest
+			if json.Unmarshal(r.Payload, &req) == nil {
+				s.SubmitJob(req)
+			}
+		case kindFleet:
+			var spec topoopt.FleetSpec
+			if json.Unmarshal(r.Payload, &spec) == nil {
+				s.SubmitFleet(spec)
+			}
+		}
+	}
+}

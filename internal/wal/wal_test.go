@@ -1,0 +1,496 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(i int) Record {
+	return Record{Op: OpPut, Kind: "plan", Fp: fmt.Sprintf("fp%04d", i),
+		Payload: []byte(fmt.Sprintf(`{"plan":%d}`, i))}
+}
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	got := s2.Records()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		want := rec(i)
+		if r.Op != want.Op || r.Kind != want.Kind || r.Fp != want.Fp ||
+			!bytes.Equal(r.Payload, want.Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+}
+
+func TestPutLastWriteWinsKeepsOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+	s.Append(Record{Op: OpPut, Kind: "plan", Fp: "a", Payload: []byte(`1`)})
+	s.Append(Record{Op: OpPut, Kind: "plan", Fp: "b", Payload: []byte(`2`)})
+	s.Append(Record{Op: OpPut, Kind: "plan", Fp: "a", Payload: []byte(`3`)})
+	got := s.Records()
+	if len(got) != 2 {
+		t.Fatalf("live puts = %d, want 2", len(got))
+	}
+	if got[0].Fp != "a" || string(got[0].Payload) != `3` {
+		t.Errorf("rewritten entry = %+v, want fp a payload 3 in original position", got[0])
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestTornFinalRecordTruncated: a partial final record (simulating a
+// crash mid-append) is dropped on replay, the file is truncated to the
+// last good boundary, and subsequent appends land cleanly.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	for name, tear := range map[string]func([]byte) []byte{
+		"torn header": func(b []byte) []byte { return append(b, 0x12, 0x34, 0x56) },
+		"torn body": func(b []byte) []byte {
+			body := []byte(`{"op":"put","kind":"plan","fp":"torn","payload":{}}`)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+			return append(append(b, hdr[:]...), body[:len(body)/2]...)
+		},
+		"impossible length": func(b []byte) []byte {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], ^uint32(0))
+			return append(b, hdr[:]...)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openT(t, dir)
+			for i := 0; i < 3; i++ {
+				if err := s.Append(rec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+			logPath := filepath.Join(dir, LogName)
+			b, err := os.ReadFile(logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goodLen := len(b)
+			if err := os.WriteFile(logPath, tear(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openT(t, dir)
+			if got := len(s2.Records()); got != 3 {
+				t.Fatalf("replayed %d records, want the 3 before the tear", got)
+			}
+			// The torn tail must be physically gone so new appends start
+			// from a clean boundary.
+			if fi, err := os.Stat(logPath); err != nil || fi.Size() != int64(goodLen) {
+				t.Fatalf("log size = %v (err %v), want truncated to %d", fi.Size(), err, goodLen)
+			}
+			if err := s2.Append(rec(3)); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			s3 := openT(t, dir)
+			defer s3.Close()
+			if got := len(s3.Records()); got != 4 {
+				t.Fatalf("after post-tear append: %d records, want 4", got)
+			}
+		})
+	}
+}
+
+// TestCRCMismatchStopsReplayKeepsPrefix: flipping a byte inside an
+// interior record stops replay at that record without poisoning the
+// entries before it.
+func TestCRCMismatchStopsReplayKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	var offsets []int64
+	logPath := filepath.Join(dir, LogName)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, fi.Size())
+	}
+	s.Close()
+
+	// Corrupt one byte inside record 2's body.
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[offsets[1]+recHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(logPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	got := s2.Records()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want the 2 before the corruption", len(got))
+	}
+	for i, r := range got {
+		if want := rec(i); r.Fp != want.Fp || !bytes.Equal(r.Payload, want.Payload) {
+			t.Errorf("record %d poisoned: %+v", i, r)
+		}
+	}
+}
+
+// TestCompactionRoundTripsByteIdentically: snapshot + truncated WAL
+// must replay to exactly the same live records, payload bytes included,
+// and a second compaction of the same state must produce a byte-
+// identical snapshot file.
+func TestCompactionRoundTripsByteIdentically(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 10; i++ {
+		s.Append(rec(i))
+	}
+	s.Append(Record{Op: OpJob, Kind: "plan", Fp: "queued", Payload: []byte(`{"req":1}`)})
+	s.Append(Record{Op: OpJob, Kind: "fleet", Fp: "donejob", Payload: []byte(`{"req":2}`)})
+	s.Append(Record{Op: OpJobDone, Kind: "fleet", Fp: "donejob"})
+	before := s.Records()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, LogName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated after compaction: %v %v", fi, err)
+	}
+	snap1, err := os.ReadFile(filepath.Join(dir, SnapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := os.ReadFile(filepath.Join(dir, SnapshotName))
+	if !bytes.Equal(snap1, snap2) {
+		t.Error("repeated compaction of identical state produced different snapshot bytes")
+	}
+	s.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	after := s2.Records()
+	if len(after) != len(before) {
+		t.Fatalf("post-compaction replay has %d records, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i].Op != after[i].Op || before[i].Kind != after[i].Kind ||
+			before[i].Fp != after[i].Fp || !bytes.Equal(before[i].Payload, after[i].Payload) {
+			t.Errorf("record %d: %+v != %+v", i, after[i], before[i])
+		}
+	}
+	// The cleared job must stay cleared; the outstanding one must survive.
+	var jobs []string
+	for _, r := range after {
+		if r.Op == OpJob {
+			jobs = append(jobs, r.Fp)
+		}
+	}
+	if len(jobs) != 1 || jobs[0] != "queued" {
+		t.Errorf("outstanding jobs after compaction = %v, want [queued]", jobs)
+	}
+}
+
+// TestKillDuringAppendCrashConsistency simulates kill -9 racing an
+// append: a writer goroutine appends records while the test repeatedly
+// copies the log file mid-write into a fresh directory and replays the
+// copy. Every copy must open cleanly to a valid record prefix. Run
+// under -race this also proves Append is internally synchronized.
+func TestKillDuringAppendCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+	logPath := filepath.Join(dir, LogName)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Bounded and throttled: enough appends to guarantee mid-write
+		// snapshots below, small enough that each crash-image replay
+		// stays cheap.
+		for i := 0; i < 20000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Append(rec(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%128 == 0 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	for snap := 0; snap < 20; snap++ {
+		time.Sleep(500 * time.Microsecond)
+		b, err := os.ReadFile(logPath) // arbitrary point-in-time image
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crashDir, LogName), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(crashDir)
+		if err != nil {
+			t.Fatalf("crash image %d failed to open: %v", snap, err)
+		}
+		recs := c.Records()
+		for i, r := range recs {
+			if want := rec(i); r.Fp != want.Fp || !bytes.Equal(r.Payload, want.Payload) {
+				t.Fatalf("crash image %d record %d corrupt: %+v", snap, i, r)
+			}
+		}
+		c.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWarmBootReplay10kUnder1s pins the ISSUE 6 acceptance bound: a
+// 10k-entry WAL must replay in under a second on a warm boot.
+func TestWarmBootReplay10kUnder1s(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	payload := []byte(`{"strategy":[1,2,3,4],"degree_allreduce":3,"degree_mp":1,` +
+		`"predicted_iteration":{"allreduce_seconds":0.1,"mp_seconds":0.2},"demand":[[0,1,2]]}`)
+	for i := 0; i < 10000; i++ {
+		if err := s.Append(Record{Op: OpPut, Kind: "plan",
+			Fp: fmt.Sprintf("%064d", i), Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	start := time.Now()
+	s2 := openT(t, dir)
+	elapsed := time.Since(start)
+	defer s2.Close()
+	if got := s2.Len(); got != 10000 {
+		t.Fatalf("replayed %d entries, want 10000", got)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("10k-entry warm-boot replay took %s, want < 1s", elapsed)
+	}
+}
+
+func TestAppendAfterCloseAndBadOp(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.Append(Record{Op: "explode", Kind: "plan", Fp: "x"}); err == nil {
+		t.Error("unknown op must be rejected")
+	}
+	s.Close()
+	if err := s.Append(rec(0)); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("compact after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close = %v, want nil", err)
+	}
+}
+
+// TestSnapshotCorruptTailKeepsPrefix: snapshot replay uses the same
+// stop-at-first-bad-record rule as the log (a half-written snapshot can
+// only exist if rename semantics were violated, but replay must still
+// degrade to a prefix, never an error).
+func TestSnapshotCorruptTailKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for i := 0; i < 4; i++ {
+		s.Append(rec(i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	snapPath := filepath.Join(dir, SnapshotName)
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := len(s2.Records()); got != 3 {
+		t.Fatalf("replayed %d records from torn snapshot, want 3", got)
+	}
+}
+
+func TestOpenErrorPaths(t *testing.T) {
+	base := t.TempDir()
+
+	// Store dir path occupied by a regular file: MkdirAll must fail.
+	filePath := filepath.Join(base, "notadir")
+	if err := os.WriteFile(filePath, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(filePath, "sub")); err == nil {
+		t.Error("Open under a regular file should fail")
+	}
+
+	// Snapshot path occupied by a directory: the read error must surface
+	// (a missing snapshot is fine; an unreadable one is not).
+	snapDir := filepath.Join(base, "snapdir")
+	if err := os.MkdirAll(filepath.Join(snapDir, SnapshotName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(snapDir); err == nil {
+		t.Error("Open with an unreadable snapshot should fail")
+	}
+
+	// Log path occupied by a directory: same for the log.
+	logDir := filepath.Join(base, "logdir")
+	if err := os.MkdirAll(filepath.Join(logDir, LogName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(logDir); err == nil {
+		t.Error("Open with an unreadable log should fail")
+	}
+}
+
+func TestClosedStoreRejectsOperations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close should be a nil no-op, got %v", err)
+	}
+	if err := s.Append(Record{Op: OpPut, Kind: "plan", Fp: "a", Payload: []byte(`{}`)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCompactErrorPaths(t *testing.T) {
+	// snapshot.tmp occupied by a directory: os.Create must fail and the
+	// store must stay usable.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(Record{Op: OpPut, Kind: "plan", Fp: "a", Payload: []byte(`{"v":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, SnapshotName+".tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err == nil {
+		t.Error("Compact with an uncreatable tmp file should fail")
+	}
+	if err := os.Remove(filepath.Join(dir, SnapshotName+".tmp")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot path occupied by a non-empty directory: the rename must
+	// fail and leave no tmp file behind.
+	if err := os.MkdirAll(filepath.Join(dir, SnapshotName, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err == nil {
+		t.Error("Compact with an unrenamable snapshot path should fail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName+".tmp")); !os.IsNotExist(err) {
+		t.Errorf("failed Compact left snapshot.tmp behind (stat err %v)", err)
+	}
+	// The log was never truncated, so the record is still replayable.
+	if err := os.RemoveAll(filepath.Join(dir, SnapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Errorf("record lost across failed compactions: Len = %d, want 1", s2.Len())
+	}
+}
+
+// TestBrokenLogHandleSurfacesErrors closes the underlying log file out
+// from under the store (same-package reach-around) so the write, the
+// post-compaction truncate and the final sync all fail, and verifies
+// each surfaces an error instead of silently dropping data.
+func TestBrokenLogHandleSurfacesErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Op: OpPut, Kind: "plan", Fp: "a", Payload: []byte(`{"v":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	s.log.Close()
+
+	if err := s.Append(Record{Op: OpPut, Kind: "plan", Fp: "b", Payload: []byte(`{"v":2}`)}); err == nil {
+		t.Error("Append on a broken log handle should fail")
+	}
+	if err := s.Compact(); err == nil {
+		t.Error("Compact should fail when it cannot truncate the log")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close should surface the failed sync")
+	}
+}
