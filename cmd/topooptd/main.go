@@ -6,8 +6,8 @@
 // Usage:
 //
 //	topooptd [-addr :7070] [-workers N] [-queue 64] [-cache 256]
-//	         [-search-threads N] [-store DIR] [-drain-timeout 30s]
-//	         [-default-deadline 0]
+//	         [-search-threads N] [-store DIR] [-store-sync]
+//	         [-drain-timeout 30s] [-default-deadline 0]
 //
 // -search-threads caps the total goroutines spent on parallel MCMC chains
 // across all concurrent optimizations (requests opt into chains with
@@ -22,7 +22,10 @@
 // daemon serves previously computed fingerprints as byte-identical cache
 // hits without re-searching; queued-but-unfinished async jobs are
 // journaled and re-enqueued. Empty (the default) keeps the cache purely
-// in-memory.
+// in-memory. By default the log is not fsynced per append (a process
+// crash loses nothing; a power loss can lose the unsynced tail, which
+// replays as a clean truncation); -store-sync fsyncs every append for
+// power-loss durability at the cost of one disk flush per write.
 //
 // On SIGTERM/SIGINT the daemon drains instead of dropping work: new
 // requests get a structured 503 ("draining") with Retry-After, in-flight
@@ -74,6 +77,7 @@ import (
 	"time"
 
 	"topoopt/internal/serve"
+	"topoopt/internal/wal"
 )
 
 // daemonConfig is the parsed command line.
@@ -84,6 +88,7 @@ type daemonConfig struct {
 	Cache           int
 	SearchThreads   int
 	Store           string
+	StoreSync       bool
 	DrainTimeout    time.Duration
 	DefaultDeadline time.Duration
 	Verbose         bool
@@ -103,6 +108,8 @@ func parseFlags(args []string) (daemonConfig, error) {
 		"total goroutines for parallel MCMC chains across requests (0 = GOMAXPROCS)")
 	fs.StringVar(&cfg.Store, "store", "",
 		"durable plan store directory (empty = in-memory cache only)")
+	fs.BoolVar(&cfg.StoreSync, "store-sync", false,
+		"fsync the store log on every append (power-loss durability; slower)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 30*time.Second,
 		"how long SIGTERM lets in-flight work finish before cancelling it")
 	fs.DurationVar(&cfg.DefaultDeadline, "default-deadline", 0,
@@ -123,8 +130,12 @@ func parseFlags(args []string) (daemonConfig, error) {
 func newService(cfg daemonConfig) (*serve.Service, error) {
 	var store *serve.Store
 	if cfg.Store != "" {
+		var opts []wal.Option
+		if cfg.StoreSync {
+			opts = append(opts, wal.WithSync())
+		}
 		var err error
-		store, err = serve.OpenStore(cfg.Store)
+		store, err = serve.OpenStore(cfg.Store, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("opening plan store: %w", err)
 		}

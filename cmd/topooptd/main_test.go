@@ -21,7 +21,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 		cfg.Cache != 256 || cfg.SearchThreads != 0 || cfg.Verbose {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
-	if cfg.Store != "" || cfg.DrainTimeout != 30*time.Second || cfg.DefaultDeadline != 0 {
+	if cfg.Store != "" || cfg.StoreSync || cfg.DrainTimeout != 30*time.Second || cfg.DefaultDeadline != 0 {
 		t.Errorf("unexpected durability defaults: %+v", cfg)
 	}
 }
@@ -30,13 +30,14 @@ func TestParseFlagsOverrides(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-addr", ":9999", "-workers", "3", "-queue", "7",
 		"-cache", "11", "-search-threads", "5", "-v",
-		"-store", "/tmp/plans", "-drain-timeout", "2s", "-default-deadline", "750ms",
+		"-store", "/tmp/plans", "-store-sync", "-drain-timeout", "2s",
+		"-default-deadline", "750ms",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := daemonConfig{Addr: ":9999", Workers: 3, Queue: 7, Cache: 11,
-		SearchThreads: 5, Verbose: true, Store: "/tmp/plans",
+		SearchThreads: 5, Verbose: true, Store: "/tmp/plans", StoreSync: true,
 		DrainTimeout: 2 * time.Second, DefaultDeadline: 750 * time.Millisecond}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)

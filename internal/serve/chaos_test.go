@@ -342,6 +342,138 @@ func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	wg.Wait() // the straggler's waiter must come back too
 }
 
+// TestDrainDeadlineKeepsAsyncJobJournal: an async job cut short by the
+// drain deadline is NOT terminal — its journal entry must survive the
+// shutdown compaction so the next boot re-enqueues and finishes it.
+// (Clearing it would silently lose accepted work, contradicting Drain's
+// re-enqueue guarantee.)
+func TestDrainDeadlineKeepsAsyncJobJournal(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	s1 := New(Config{Workers: 1, Store: store,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			started <- struct{}{}
+			<-ctx.Done() // outlives any drain budget
+			return nil, ctx.Err()
+		}})
+	jb, err := s1.SubmitJob(testRequest(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s1.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain past deadline returned %v, want context.DeadlineExceeded", err)
+	}
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store2.wal.HasJob(kindPlan, jb.Fingerprint) {
+		t.Fatal("drain deadline erased the journal entry of an unfinished job")
+	}
+	plan := stubPlan(t)
+	var runs atomic.Int64
+	s2 := New(Config{Workers: 1, Store: store2,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			runs.Add(1)
+			return plan, nil
+		}})
+	defer s2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for store2.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-enqueued job never persisted its result")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("restart ran the drained job %d times, want 1", got)
+	}
+	if store2.wal.HasJob(kindPlan, jb.Fingerprint) {
+		t.Error("journal entry not cleared after the re-run completed")
+	}
+}
+
+// TestWarmBootClearsSatisfiedJobJournal: a journal entry whose put
+// record also survived the crash resolves as an instant cache hit on
+// boot AND clears the journal — without the clear the stale OpJob
+// record would outlive every compaction and re-submit the job on every
+// subsequent boot.
+func TestWarmBootClearsSatisfiedJobJournal(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := stubPlan(t)
+	s1 := New(Config{Workers: 1, Store: store,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			return plan, nil
+		}})
+	req := testRequest(21)
+	if _, _, _, err := s1.Plan(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Len() == 0 { // persist runs after the flight's waiters wake
+		if time.Now().After(deadline) {
+			t.Fatal("completed plan never persisted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Crash exactly between a job's journal append and its job_done:
+	// the put record and the journal entry both survive.
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := req.Fingerprint()
+	if err := store.wal.Append(wal.Record{Op: wal.OpJob, Kind: kindPlan, Fp: fp, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	// s1 is abandoned: kill -9, no Close, no compaction.
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store2.wal.HasJob(kindPlan, fp) {
+		t.Fatal("precondition: journal entry did not survive the crash")
+	}
+	var runs atomic.Int64
+	s2 := New(Config{Workers: 1, Store: store2,
+		Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+			runs.Add(1)
+			return nil, fmt.Errorf("satisfied job must not re-search")
+		}})
+	if got := runs.Load(); got != 0 {
+		t.Errorf("warm boot re-ran a satisfied job %d times, want 0", got)
+	}
+	if store2.wal.HasJob(kindPlan, fp) {
+		t.Error("stale journal entry survived the warm-boot cache hit")
+	}
+	s2.Close() // compacts
+
+	store3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range store3.wal.Records() {
+		if r.Op == wal.OpJob {
+			t.Errorf("stale OpJob record %s/%s survived compaction", r.Kind, r.Fp)
+		}
+	}
+	store3.wal.Close()
+}
+
 // TestOverloadNeverCorruptsStore hammers a tiny (1 worker, queue of 2)
 // stored service through the fault-injection middleware — injected
 // latency, injected 500s, connection resets, queue-full 503s, shed 429s

@@ -926,7 +926,9 @@ func (s *Service) SubmitFleet(spec topoopt.FleetSpec) (Job, error) {
 // accepted job that asynchronously "fails" with a full queue. Admitted
 // non-cached jobs are journaled (kind + canonical request payload) so a
 // crash before completion re-enqueues them on the next boot; the
-// journal entry is cleared when the job reaches a terminal state.
+// journal entry is cleared when the job reaches a genuine terminal
+// state (done, failed, user-cancelled) — never when shutdown cut it
+// short, so drained-but-unfinished jobs survive into the next boot.
 func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []byte) (Job, error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
@@ -935,6 +937,12 @@ func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []b
 		cancel()
 		return Job{}, ErrClosed
 	}
+	// Reserve the waiter slot under the same lock as the closed check:
+	// Close sets closed before waiting on jobWG, so every Add
+	// happens-before the Wait and no waiter goroutine can appear (or
+	// touch the store) once shutdown has begun. Paths that end up not
+	// spawning the waiter release the reservation themselves.
+	s.jobWG.Add(1)
 	s.jobID++
 	id := fmt.Sprintf("j%08d", s.jobID)
 	j := &job{
@@ -975,6 +983,7 @@ func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []b
 	cached, f, err := s.joinOrCreate(fp, run, onStart)
 	if err != nil {
 		cancel()
+		s.jobWG.Done()
 		s.mu.Lock()
 		delete(s.jobs, id) // never admitted; jobSeq is cleaned lazily
 		s.mu.Unlock()
@@ -982,20 +991,42 @@ func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []b
 	}
 	if cached != nil {
 		finish(cached, nil)
+		// A journaled job resolving straight from the cache is terminal
+		// too: the boot-time re-submission path lands here when a job's
+		// put record survived a crash alongside its journal entry, and
+		// without the clear that entry would outlive every compaction and
+		// re-submit the job on every subsequent boot.
+		s.clearStaleJournal(kind, fp)
 		cancel()
+		s.jobWG.Done()
 	} else {
 		s.journalJob(kind, fp, journal)
-		s.jobWG.Add(1)
 		go func() {
 			defer s.jobWG.Done()
 			defer cancel()
 			res, werr := s.waitFlight(jctx, f)
 			finish(res, werr)
-			s.journalJobDone(kind, fp)
+			// A job killed by shutdown (drain deadline or Close) is not
+			// terminal: its journal entry must survive so the next boot
+			// re-enqueues it. Success, genuine failure and user cancels
+			// clear it.
+			if !s.shutdownErr(werr) {
+				s.journalJobDone(kind, fp)
+			}
 		}()
 	}
 	snap, _ := s.GetJob(id)
 	return snap, nil
+}
+
+// shutdownErr reports whether werr is a shutdown-induced job failure
+// (drain-deadline cancellation or Close) rather than a terminal outcome
+// of the job itself. The job ctx descends from baseCtx, so a shutdown
+// cancel can surface either as ErrClosed or as context.Canceled racing
+// through the waiter's own ctx branch — check the service state, not
+// just the error value.
+func (s *Service) shutdownErr(werr error) bool {
+	return werr != nil && (errors.Is(werr, ErrClosed) || s.baseCtx.Err() != nil)
 }
 
 // GetJob returns a snapshot of the job, if tracked.

@@ -32,9 +32,10 @@ type Store struct {
 
 // OpenStore opens (creating if needed) the durable plan store in dir,
 // replaying the snapshot and write-ahead log and truncating any torn
-// tail left by a crash.
-func OpenStore(dir string) (*Store, error) {
-	w, err := wal.Open(dir)
+// tail left by a crash. Options (e.g. wal.WithSync for power-loss
+// durability) pass through to the underlying log.
+func OpenStore(dir string, opts ...wal.Option) (*Store, error) {
+	w, err := wal.Open(dir, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +126,16 @@ func (s *Service) journalJobDone(kind, fp string) {
 	if err := s.store.wal.Append(wal.Record{Op: wal.OpJobDone, Kind: kind, Fp: fp}); err != nil {
 		s.met.storeError()
 	}
+}
+
+// clearStaleJournal clears the journal entry, if any, of a job that
+// resolved straight from the cache. Ordinary submissions hitting a warm
+// cache were never journaled, so this appends nothing for them.
+func (s *Service) clearStaleJournal(kind, fp string) {
+	if s.store == nil || !s.store.wal.HasJob(kind, fp) {
+		return
+	}
+	s.journalJobDone(kind, fp)
 }
 
 // warmFromStore replays the durable store into the service: every

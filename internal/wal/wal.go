@@ -23,9 +23,12 @@
 // Each append is a single buffered write of header+body, so a process
 // crash (kill -9) can never interleave two records; an OS crash can
 // lose the unsynced page-cache tail but the CRC framing turns that into
-// a clean truncation, never a corrupt store. Compaction fsyncs the
+// a clean truncation, never a corrupt store. Deployments that need
+// acknowledged appends to survive power loss too can open the store
+// with WithSync, which fsyncs the log on every Append at the cost of
+// one disk flush per acknowledged write. Compaction always fsyncs the
 // snapshot before the rename, so the atomically-replaced snapshot is
-// durable even across power loss.
+// durable even across power loss in either mode.
 package wal
 
 import (
@@ -81,7 +84,8 @@ const maxRecordLen = 64 << 20
 // kept in memory for Records and Compact; payloads are shared, not
 // copied, so callers must not mutate them.
 type Store struct {
-	dir string
+	dir  string
+	sync bool // fsync the log on every Append (power-loss durability)
 
 	mu     sync.Mutex
 	log    *os.File
@@ -95,10 +99,19 @@ type Store struct {
 
 func key(kind, fp string) string { return kind + "\x00" + fp }
 
+// Option configures a Store at Open time.
+type Option func(*Store)
+
+// WithSync makes every Append fsync the log before returning, extending
+// the durability of acknowledged writes from process crashes to power
+// loss. The default (no fsync on append) relies on the OS page cache;
+// a lost unsynced tail still replays as a clean truncation either way.
+func WithSync() Option { return func(s *Store) { s.sync = true } }
+
 // Open opens (creating if needed) the store in dir, replays the
 // snapshot and then the log, and truncates the log at the first torn or
 // corrupt record so subsequent appends start from a clean boundary.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -106,6 +119,9 @@ func Open(dir string) (*Store, error) {
 		dir:  dir,
 		puts: make(map[string]Record),
 		jobs: make(map[string]Record),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	if snap, err := os.ReadFile(filepath.Join(dir, SnapshotName)); err == nil {
 		recs, _ := decodeAll(snap)
@@ -224,6 +240,11 @@ func (s *Store) Append(r Record) error {
 	if _, err := s.log.Write(buf); err != nil {
 		return fmt.Errorf("wal: appending: %w", err)
 	}
+	if s.sync {
+		if err := s.log.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing append: %w", err)
+		}
+	}
 	s.apply(r)
 	return nil
 }
@@ -253,6 +274,15 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.puts)
+}
+
+// HasJob reports whether (kind, fp) has an outstanding journaled job —
+// an OpJob record not yet cleared by an OpJobDone.
+func (s *Store) HasJob(kind, fp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.jobs[key(kind, fp)]
+	return ok
 }
 
 // Compact writes the live record set to a fresh snapshot (atomically:

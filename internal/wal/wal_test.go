@@ -55,6 +55,50 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWithSyncRoundTripAndHasJob: the opt-in sync-on-append mode writes
+// the same on-disk format (a sync store and a default store interop on
+// one directory), and HasJob tracks the OpJob/OpJobDone lifecycle.
+func TestWithSyncRoundTripAndHasJob(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Record{Op: OpJob, Kind: "plan", Fp: "j1", Payload: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasJob("plan", "j1") {
+		t.Error("HasJob = false for an outstanding journaled job")
+	}
+	if s.HasJob("plan", "j2") || s.HasJob("fleet", "j1") {
+		t.Error("HasJob = true for a never-journaled key")
+	}
+	if err := s.Append(Record{Op: OpJobDone, Kind: "plan", Fp: "j1"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasJob("plan", "j1") {
+		t.Error("HasJob = true after OpJobDone cleared the entry")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A default (non-sync) store replays the synced log unchanged.
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if got := s2.Len(); got != 5 {
+		t.Fatalf("replayed %d puts from a synced log, want 5", got)
+	}
+	if s2.HasJob("plan", "j1") {
+		t.Error("cleared job resurrected on replay")
+	}
+}
+
 func TestPutLastWriteWinsKeepsOrder(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
