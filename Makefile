@@ -25,7 +25,8 @@ SHELL := /bin/bash
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
 	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
-	fleet-benchcheck bench-smoke chaos cover lint ci
+	fleet-benchcheck bench-smoke bench-history profile-serve \
+	profile-fleet profile-smoke chaos cover lint ci
 
 tier1: fmt vet build test
 
@@ -93,6 +94,63 @@ fleet-benchcheck:
 bench-smoke:
 	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck fleet-benchcheck
 
+# Appends one dated entry per suite to the BENCH_HISTORY.json trajectory
+# ledger (append-only, unlike the BENCH_*.json files whose "current"
+# section is overwritten each record), then prints the first→latest trend
+# per benchmark. Run at PR time with HISTORY_LABEL=prN to keep the
+# performance story readable across PRs without git archaeology.
+HISTORY_LABEL ?=
+bench-history:
+	$(GO) test ./internal/netsim -run '^$$' -bench BenchmarkNetsim -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite netsim -label '$(HISTORY_LABEL)'
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite serve -label '$(HISTORY_LABEL)'
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite flexnet -label '$(HISTORY_LABEL)'
+	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
+		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite fleet -label '$(HISTORY_LABEL)'
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -trend
+
+# Contention + CPU profiles over the benchmark suites that exercise the
+# serving hot path (cache hits, coalescing, lock handoffs) and the
+# cluster simulator. Emits standard pprof files plus the test binary for
+# symbolization; inspect with e.g.
+#	go tool pprof profiles/serve.test profiles/serve_mutex.out
+# Every profile must come out non-empty — an empty mutex/block profile
+# means the runtime rates were never wired, which is exactly the
+# regression this target exists to catch.
+PROFILE_DIR ?= profiles
+
+profile-serve:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
+		-o $(PROFILE_DIR)/serve.test -outputdir $(abspath $(PROFILE_DIR)) \
+		-cpuprofile serve_cpu.out \
+		-mutexprofile serve_mutex.out -mutexprofilefraction 5 \
+		-blockprofile serve_block.out -blockprofilerate 10000
+	@for f in serve_cpu.out serve_mutex.out serve_block.out; do \
+		[ -s $(PROFILE_DIR)/$$f ] || { echo "profile-serve: $(PROFILE_DIR)/$$f missing or empty"; exit 1; }; \
+	done
+	@echo "profile-serve: wrote $(PROFILE_DIR)/serve_{cpu,mutex,block}.out"
+
+profile-fleet:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
+		-o $(PROFILE_DIR)/fleet.test -outputdir $(abspath $(PROFILE_DIR)) \
+		-cpuprofile fleet_cpu.out \
+		-mutexprofile fleet_mutex.out -mutexprofilefraction 5 \
+		-blockprofile fleet_block.out -blockprofilerate 10000
+	@for f in fleet_cpu.out fleet_mutex.out fleet_block.out; do \
+		[ -s $(PROFILE_DIR)/$$f ] || { echo "profile-fleet: $(PROFILE_DIR)/$$f missing or empty"; exit 1; }; \
+	done
+	@echo "profile-fleet: wrote $(PROFILE_DIR)/fleet_{cpu,mutex,block}.out"
+
+# Short-benchtime pass over both profiled suites: proves the profiling
+# plumbing end to end (files exist and are non-empty) without the cost of
+# a full benchtime run. CI runs this once per pipeline.
+profile-smoke:
+	$(MAKE) BENCHTIME=0.2s profile-serve profile-fleet
+
 # Chaos suite: the crash/restart/drain/overload tests for the durable
 # serving layer (internal/serve chaos + robustness files, driven through
 # the seeded fault-injection middleware) and the WAL crash-consistency
@@ -111,8 +169,10 @@ chaos:
 # cluster/fleet simulators (an untested scheduling or failure path breaks
 # reproducibility silently — results stay plausible but wrong). Floors
 # sit below current coverage with headroom for refactors; raise them as
-# the packages grow.
-COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80 internal/wal:85
+# the packages grow. internal/telemetry is floored high because its whole
+# job is observability — an untested trace or exposition path means the
+# operator's view of the daemon silently lies.
+COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80 internal/wal:85 internal/telemetry:85
 
 cover:
 	@set -e; for spec in $(COVER_FLOORS); do \
@@ -141,4 +201,4 @@ lint:
 	fi
 
 # The exact job list of .github/workflows/ci.yml, runnable locally.
-ci: tier1 race chaos cover lint bench-smoke
+ci: tier1 race chaos cover lint bench-smoke profile-smoke

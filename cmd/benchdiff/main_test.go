@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,6 +77,107 @@ func TestCompareFlagsMissingBenchmarks(t *testing.T) {
 	}
 	if fails := compare(path, results, 10, 10); fails == 0 {
 		t.Error("a recorded benchmark missing from the run must fail the check")
+	}
+}
+
+func TestHistoryAppendAndImport(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "BENCH_HISTORY.json")
+
+	// First append creates the ledger from stdin-parsed results.
+	var out strings.Builder
+	err := runHistory(ledger, "netsim", "pr7", "2026-08-08", "", false,
+		strings.NewReader(sampleBenchOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "appended netsim/2026-08-08 (2 benchmarks)") {
+		t.Errorf("append output: %q", out.String())
+	}
+
+	// Second entry imports a committed BENCH_*.json instead of stdin.
+	seed := writeBenchFile(t, File{Current: []Result{
+		{Name: "BenchmarkNetsimSmall", NsPerOp: 1000, AllocsPerOp: 2}}})
+	if err := runHistory(ledger, "netsim", "seed", "2026-07-01", seed, false, nil, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := readHistory(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Entries) != 2 || h.Note == "" {
+		t.Fatalf("ledger: %+v", h)
+	}
+	if h.Entries[0].Label != "pr7" || h.Entries[1].Label != "seed" {
+		t.Errorf("entry labels/order wrong: %+v", h.Entries)
+	}
+	if len(h.Entries[1].Results) != 1 || h.Entries[1].Results[0].NsPerOp != 1000 {
+		t.Errorf("imported results wrong: %+v", h.Entries[1].Results)
+	}
+}
+
+func TestHistoryAppendValidation(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "BENCH_HISTORY.json")
+	if err := runHistory(ledger, "", "", "", "", false,
+		strings.NewReader(sampleBenchOutput), io.Discard); err == nil {
+		t.Error("append without -suite must fail")
+	}
+	if err := runHistory(ledger, "netsim", "", "", "", false,
+		strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+		t.Error("append with no parsed results must fail")
+	}
+	if _, err := os.Stat(ledger); !os.IsNotExist(err) {
+		t.Error("failed appends must not create the ledger")
+	}
+}
+
+func TestHistoryTrend(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "BENCH_HISTORY.json")
+	entries := []HistoryEntry{
+		{Date: "2026-07-01", Suite: "netsim", Results: []Result{
+			{Name: "BenchmarkNetsimSmall", NsPerOp: 1000, AllocsPerOp: 2},
+			{Name: "BenchmarkNetsimLarge", NsPerOp: 50000}}},
+		{Date: "2026-08-08", Suite: "netsim", Results: []Result{
+			{Name: "BenchmarkNetsimSmall", NsPerOp: 1200, AllocsPerOp: 3},
+			{Name: "BenchmarkNetsimLarge", NsPerOp: 48000}}},
+		{Date: "2026-08-08", Suite: "serve", Results: []Result{
+			{Name: "BenchmarkServeCacheHit", NsPerOp: 60000}}},
+	}
+	if err := writeHistory(ledger, History{Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runHistory(ledger, "", "", "", "", true, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkNetsimSmall", "2 runs", "1000 -> 2026-08-08 1200 ns/op (1.20x) SLOWER",
+		"allocs/op 2 -> 3",
+		"(0.96x) flat", // NetsimLarge: inside the ±5% flat band
+		"1 runs",       // the serve suite's single entry still reports
+		"BenchmarkServeCacheHit",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trend output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Suite filter narrows the report; an unknown suite is an error.
+	out.Reset()
+	if err := runHistory(ledger, "serve", "", "", "", true, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "netsim") {
+		t.Errorf("suite filter leaked other suites:\n%s", out.String())
+	}
+	if err := runHistory(ledger, "no-such-suite", "", "", "", true, nil, io.Discard); err == nil {
+		t.Error("trend for an unknown suite must fail")
+	}
+	if err := runHistory(filepath.Join(t.TempDir(), "missing.json"), "", "", "", "", true, nil, io.Discard); err == nil {
+		t.Error("trend over an empty ledger must fail")
 	}
 }
 

@@ -1,8 +1,10 @@
 // Command planload is a load generator for topooptd: it fires concurrent
 // POST /v1/plan requests, optionally spreading them over several seeds to
-// control the cache hit ratio, and reports client-side latency quantiles,
-// an error taxonomy (connect / timeout / 4xx / 5xx / retry-exhausted)
-// plus the server's own /v1/metrics counters afterwards.
+// control the cache hit ratio, and reports client-side latency quantiles
+// (p50/p90/p99/max, broken down per endpoint and per outcome class so
+// retry/backoff time never skews the success numbers), an error taxonomy
+// (connect / timeout / 4xx / 5xx / retry-exhausted) plus the server's
+// own /v1/metrics counters afterwards.
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -74,11 +77,11 @@ func main() {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		statuses  = map[int]int{}
-		cached    int
-		tally     = newTally()
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		cached   int
+		tally    = newTally()
+		hist     = newLatHist()
 	)
 	retrier := clientretry.New(clientretry.Policy{
 		MaxRetries: *retries, Base: *backoff, Seed: 1,
@@ -108,9 +111,7 @@ func main() {
 				if resp != nil {
 					statuses[resp.StatusCode]++
 				}
-				if out == clientretry.OK {
-					latencies = append(latencies, lat)
-				}
+				hist.observe("plan", out, lat)
 				mu.Unlock()
 				if resp == nil {
 					continue
@@ -140,10 +141,11 @@ func main() {
 		fmt.Printf("  HTTP %d: %d\n", code, count)
 	}
 	fmt.Print(tally.report("  "))
-	if len(latencies) > 0 {
-		fmt.Printf("  latency: %s\n", stats.Summary(latencies))
+	if ok := hist.ok("plan"); len(ok) > 0 {
+		fmt.Printf("  latency: %s\n", stats.Summary(ok))
 		fmt.Printf("  cache-hit responses: %d\n", cached)
 	}
+	fmt.Print(hist.report("  "))
 
 	resp, err := client.Get(*addr + "/v1/metrics")
 	if err != nil {
@@ -204,6 +206,70 @@ func (t *tally) report(prefix string) string {
 			fmt.Fprintf(&b, " (first: %s)", first)
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// latHist buckets client-observed latencies by endpoint and outcome
+// class. Failed requests' latencies include retry backoff sleeps and
+// timeout waits, so mixing them into the success quantiles would skew
+// them; keeping one histogram per (endpoint, class) keeps both views
+// honest. Not goroutine-safe; callers hold the run's mutex.
+type latHist struct {
+	samples map[histKey][]float64
+}
+
+type histKey struct {
+	endpoint string
+	class    clientretry.Outcome
+}
+
+func newLatHist() *latHist {
+	return &latHist{samples: map[histKey][]float64{}}
+}
+
+func (h *latHist) observe(endpoint string, class clientretry.Outcome, seconds float64) {
+	k := histKey{endpoint, class}
+	h.samples[k] = append(h.samples[k], seconds)
+}
+
+// ok returns the successful-request latencies for one endpoint (the
+// series the headline summary and cache-hit ratio are computed over).
+func (h *latHist) ok(endpoint string) []float64 {
+	return h.samples[histKey{endpoint, clientretry.OK}]
+}
+
+// histClasses fixes the report's row order: success first, then the
+// failure taxonomy in the same order tally.report uses.
+var histClasses = []clientretry.Outcome{
+	clientretry.OK, clientretry.Connect, clientretry.Timeout,
+	clientretry.Status4xx, clientretry.Status5xx, clientretry.Exhausted,
+}
+
+// report renders one quantile line per populated (endpoint, class)
+// bucket, endpoints sorted, classes in taxonomy order.
+func (h *latHist) report(prefix string) string {
+	endpoints := make(map[string]bool)
+	for k := range h.samples {
+		endpoints[k.endpoint] = true
+	}
+	sorted := make([]string, 0, len(endpoints))
+	for e := range endpoints {
+		sorted = append(sorted, e)
+	}
+	sort.Strings(sorted)
+	var b bytes.Buffer
+	for _, e := range sorted {
+		for _, class := range histClasses {
+			xs := h.samples[histKey{e, class}]
+			if len(xs) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%slatency[%s,%s]: n=%d p50=%.4gs p90=%.4gs p99=%.4gs max=%.4gs\n",
+				prefix, e, class, len(xs),
+				stats.Percentile(xs, 50), stats.Percentile(xs, 90),
+				stats.Percentile(xs, 99), stats.Max(xs))
+		}
 	}
 	return b.String()
 }

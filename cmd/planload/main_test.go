@@ -90,6 +90,59 @@ func TestTallyReportTaxonomy(t *testing.T) {
 	}
 }
 
+func TestLatHistPerClassQuantiles(t *testing.T) {
+	h := newLatHist()
+	for i := 1; i <= 100; i++ {
+		h.observe("plan", clientretry.OK, float64(i)/1000) // 1ms..100ms
+	}
+	h.observe("plan", clientretry.Exhausted, 2.5) // includes backoff sleeps
+	h.observe("plan", clientretry.Exhausted, 3.5)
+
+	ok := h.ok("plan")
+	if len(ok) != 100 {
+		t.Fatalf("ok series has %d samples, want 100", len(ok))
+	}
+
+	got := h.report("  ")
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("report has %d lines, want 2 (one per populated class):\n%s", len(lines), got)
+	}
+	// OK row first, failure classes after, and the slow retry-exhausted
+	// samples stay out of the OK quantiles.
+	if !strings.HasPrefix(lines[0], "  latency[plan,ok]: n=100 ") {
+		t.Errorf("first row should be the OK class: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "p50=0.0505s") || !strings.Contains(lines[0], "max=0.1s") {
+		t.Errorf("OK quantiles wrong (retry latencies leaked in?): %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  latency[plan,retry-exhausted]: n=2 ") ||
+		!strings.Contains(lines[1], "max=3.5s") {
+		t.Errorf("exhausted row wrong: %q", lines[1])
+	}
+}
+
+func TestLatHistMultipleEndpointsSorted(t *testing.T) {
+	h := newLatHist()
+	h.observe("plan", clientretry.OK, 0.01)
+	h.observe("compare", clientretry.OK, 0.02)
+	h.observe("compare", clientretry.Status5xx, 0.03)
+	got := h.report("")
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	want := []string{"latency[compare,ok]:", "latency[compare,5xx]:", "latency[plan,ok]:"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), got)
+	}
+	for i, w := range want {
+		if !strings.HasPrefix(lines[i], w) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], w)
+		}
+	}
+	if h.ok("cost") != nil {
+		t.Error("unobserved endpoint should have a nil OK series")
+	}
+}
+
 func TestTallyReportEmptyWhenAllOK(t *testing.T) {
 	ty := newTally()
 	ty.add(clientretry.OK, nil)

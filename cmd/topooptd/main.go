@@ -60,8 +60,21 @@
 //	POST   /v1/jobs       async plan; poll GET /v1/jobs/{id}, cancel with
 //	                      DELETE /v1/jobs/{id}
 //	GET    /v1/metrics    request counts, cache hit rate, queue depth,
-//	                      latency quantiles
+//	                      latency quantiles (JSON)
+//	GET    /metrics       the same snapshot as Prometheus text exposition
+//	GET    /debug/requests ring of recent request stage breakdowns
 //	GET    /healthz
+//
+// Observability: every /v1/plan and /v1/compare response carries an
+// X-Trace header with its stage breakdown (decode/admission/cache/queue/
+// search/encode, microsecond precision), and /debug/requests returns the
+// last 128 breakdowns. -debug-addr starts a second, operator-only
+// listener with net/http/pprof (CPU, heap, mutex, block, goroutine
+// profiles) plus the /metrics and /debug/requests views; keep it on
+// loopback — it is not meant for untrusted networks.
+// -mutex-profile-fraction and -block-profile-rate enable the runtime's
+// contention profilers (0 = off, the runtime default) so `go tool pprof
+// http://host:debugport/debug/pprof/mutex` shows real lock contention.
 package main
 
 import (
@@ -71,8 +84,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -92,6 +107,9 @@ type daemonConfig struct {
 	DrainTimeout    time.Duration
 	DefaultDeadline time.Duration
 	Verbose         bool
+	DebugAddr       string
+	MutexFraction   int
+	BlockRate       int
 }
 
 // parseFlags parses args (excluding the program name) into a
@@ -115,13 +133,52 @@ func parseFlags(args []string) (daemonConfig, error) {
 	fs.DurationVar(&cfg.DefaultDeadline, "default-deadline", 0,
 		"deadline applied to requests without an X-Deadline-Ms header (0 = none)")
 	fs.BoolVar(&cfg.Verbose, "v", false, "log each request")
+	fs.StringVar(&cfg.DebugAddr, "debug-addr", "",
+		"operator listener with pprof + metrics, e.g. 127.0.0.1:7071 (empty = off)")
+	fs.IntVar(&cfg.MutexFraction, "mutex-profile-fraction", 0,
+		"sample 1/N of mutex contention events into the mutex profile (0 = off)")
+	fs.IntVar(&cfg.BlockRate, "block-profile-rate", 0,
+		"sample blocking events lasting ≥ N ns into the block profile (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return daemonConfig{}, err
 	}
 	if cfg.DrainTimeout <= 0 {
 		return daemonConfig{}, fmt.Errorf("-drain-timeout must be positive, got %s", cfg.DrainTimeout)
 	}
+	if cfg.MutexFraction < 0 || cfg.BlockRate < 0 {
+		return daemonConfig{}, fmt.Errorf("-mutex-profile-fraction and -block-profile-rate must be ≥ 0")
+	}
 	return cfg, nil
+}
+
+// applyProfileRates wires the contention-profiling flags into the
+// runtime. Zero values leave both profilers off (the runtime default),
+// so an unconfigured daemon pays nothing.
+func applyProfileRates(cfg daemonConfig) {
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRate)
+	}
+}
+
+// debugHandler is the operator-only surface served on -debug-addr:
+// net/http/pprof (on its conventional /debug/pprof/ paths, but on an
+// explicit mux rather than http.DefaultServeMux) plus the service's
+// metrics and request-trace views, so one scrape target covers both.
+func debugHandler(svc *serve.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	api := svc.Handler()
+	mux.Handle("GET /debug/requests", api)
+	mux.Handle("GET /metrics", api)
+	mux.Handle("GET /v1/metrics", api)
+	return mux
 }
 
 // newService builds the planning service for a daemonConfig, opening
@@ -168,12 +225,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	applyProfileRates(cfg)
 	svc, err := newService(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topooptd:", err)
 		os.Exit(1)
 	}
 	srv := &http.Server{Addr: cfg.Addr, Handler: handler(svc, cfg.Verbose)}
+
+	var dbgSrv *http.Server
+	if cfg.DebugAddr != "" {
+		dbgSrv = &http.Server{Addr: cfg.DebugAddr, Handler: debugHandler(svc)}
+		go func() {
+			log.Printf("topooptd: debug listener (pprof, metrics) on %s", cfg.DebugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("topooptd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -193,6 +262,9 @@ func main() {
 		// Drain cancels whatever is left when drainCtx expires, persists
 		// completed results, and compacts the store.
 		srv.Shutdown(drainCtx)
+		if dbgSrv != nil {
+			dbgSrv.Shutdown(drainCtx)
+		}
 		if derr := svc.Drain(drainCtx); derr != nil {
 			log.Printf("topooptd: drain timeout: cancelled remaining work (%v)", derr)
 		} else {

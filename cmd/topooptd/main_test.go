@@ -56,6 +56,59 @@ func TestParseFlagsRejectsNonPositiveDrainTimeout(t *testing.T) {
 	}
 }
 
+func TestParseFlagsDebugAndProfiling(t *testing.T) {
+	cfg, err := parseFlags([]string{"-debug-addr", "127.0.0.1:7071",
+		"-mutex-profile-fraction", "5", "-block-profile-rate", "1000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DebugAddr != "127.0.0.1:7071" || cfg.MutexFraction != 5 || cfg.BlockRate != 1000 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	for _, args := range [][]string{
+		{"-mutex-profile-fraction", "-1"},
+		{"-block-profile-rate", "-7"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v should fail", args)
+		}
+	}
+}
+
+// TestDebugHandlerSurface checks the operator listener serves pprof
+// indexes and the shared metrics/trace views, and nothing else (no /v1
+// planning API on the debug port).
+func TestDebugHandlerSurface(t *testing.T) {
+	svc, err := newService(daemonConfig{Workers: 1, Queue: 4, Cache: 8, DrainTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(debugHandler(svc))
+	defer ts.Close()
+
+	for path, want := range map[string]int{
+		"/debug/pprof/":                  http.StatusOK,
+		"/debug/pprof/heap?debug=1":      http.StatusOK,
+		"/debug/pprof/mutex?debug=1":     http.StatusOK,
+		"/debug/pprof/block?debug=1":     http.StatusOK,
+		"/debug/pprof/goroutine?debug=1": http.StatusOK,
+		"/debug/requests":                http.StatusOK,
+		"/metrics":                       http.StatusOK,
+		"/v1/metrics":                    http.StatusOK,
+		"/v1/plan":                       http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
 // TestDaemonServesPlan spins the real daemon wiring (flags → service →
 // handler) and drives one parallel plan request through it.
 func TestDaemonServesPlan(t *testing.T) {

@@ -34,6 +34,11 @@ type CoOptConfig struct {
 	// it to keep per-request search threads within a global budget.
 	// Default min(Parallelism, GOMAXPROCS).
 	SearchWorkers int
+	// Progress, when non-nil, receives per-epoch search progress
+	// (MCMCConfig.Progress) from every round's strategy search. done
+	// restarts from zero at each round boundary; observers that want a
+	// cumulative count across rounds accumulate deltas themselves.
+	Progress func(done, total int)
 }
 
 // CoOptResult is the converged strategy + topology pair.
@@ -112,6 +117,7 @@ func CoOptimizeContext(ctx context.Context, m *model.Model, cfg CoOptConfig) (*C
 			Ctx:         ctx,
 			Parallelism: cfg.Parallelism,
 			Workers:     cfg.SearchWorkers,
+			Progress:    cfg.Progress,
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err

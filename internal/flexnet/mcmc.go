@@ -68,6 +68,16 @@ type MCMCConfig struct {
 	// produces byte-identical results. Services use it to keep
 	// per-request search threads within a global budget.
 	Workers int
+	// Progress, when non-nil, is called at every epoch barrier with the
+	// proposals consumed so far across all chains and the total budget:
+	// (done, cfg.Iters), done monotonically increasing within one search.
+	// Searches that never reach a barrier (a model with no shardable
+	// layers resolves in the two canonical evaluations) report nothing. It runs on the goroutine driving the barrier
+	// while no chain executes, so it may touch shared state without
+	// synchronizing against the chains; it must be cheap — it sits
+	// between every epoch. Purely observational: the search result is
+	// identical with or without it.
+	Progress func(done, total int)
 	// Warm lists extra starting candidates evaluated alongside the
 	// canonical hybrid and pure-DP starts: every chain begins from the
 	// best of all starts, and the global argmin can be a warm candidate
@@ -298,6 +308,13 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 				c.cur, c.curCost = g.best.Clone(), g.bestCost
 				c.best, c.bestCost = g.best.Clone(), g.bestCost
 			}
+		}
+		if cfg.Progress != nil {
+			done := 0
+			for _, c := range chains {
+				done += c.done
+			}
+			cfg.Progress(done, cfg.Iters)
 		}
 	}
 

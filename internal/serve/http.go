@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"topoopt"
+	"topoopt/internal/telemetry"
 )
 
 // maxRequestBytes bounds request bodies; plan requests are tiny.
@@ -151,7 +152,9 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest)
 //	POST   /v1/jobs       — submit an async planning job
 //	GET    /v1/jobs/{id}  — poll a job (plan or fleet)
 //	DELETE /v1/jobs/{id}  — cancel a job
-//	GET    /v1/metrics    — counters, gauges, latency quantiles
+//	GET    /v1/metrics    — counters, gauges, latency quantiles (JSON)
+//	GET    /metrics       — the same snapshot, Prometheus text exposition
+//	GET    /debug/requests — ring of recent request stage breakdowns
 //	GET    /healthz       — liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -163,6 +166,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -178,26 +183,40 @@ type PlanResponse struct {
 
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("plan")
+	tr := s.tel.Begin("plan")
+	tr.Start(telemetry.StageDecode)
 	var req PlanRequest
 	m, aerr := decodePlanRequest(w, r, &req)
 	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
 	}
 	ctx, cancel, aerr := s.requestContext(r)
 	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
 	}
 	defer cancel()
+	fp := req.Fingerprint()
+	tr.End()
 	start := time.Now()
-	plan, fp, cached, err := s.plan(ctx, req.Options, req.Fingerprint(), resolved(m), nil)
+	plan, fp, cached, err := s.plan(ctx, req.Options, fp, resolved(m), nil, tr)
 	if err != nil {
-		writeError(w, s.serviceError(err))
+		aerr := s.serviceError(err)
+		tr.Finish(fp, false, aerr.Status)
+		writeError(w, aerr)
 		return
 	}
 	s.met.observeLatency(time.Since(start).Seconds())
+	tr.Start(telemetry.StageEncode)
+	// The header renders before the body is encoded (headers must precede
+	// WriteHeader), so its encode figure is ~0; the full encode time still
+	// lands in the published /debug/requests record and stage quantiles.
+	w.Header().Set("X-Trace", string(tr.AppendHeader(nil)))
 	writeJSON(w, http.StatusOK, PlanResponse{Fingerprint: fp, Cached: cached, Plan: plan})
+	tr.Finish(fp, cached, http.StatusOK)
 }
 
 // CompareRequest is the POST /v1/compare request body. Archs defaults to
@@ -217,13 +236,17 @@ type CompareResponse struct {
 
 func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("compare")
+	tr := s.tel.Begin("compare")
+	tr.Start(telemetry.StageDecode)
 	var req CompareRequest
 	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
 	}
 	m, aerr := validatePlanFields(req.Model, req.Options)
 	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
 	}
@@ -234,6 +257,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	for _, a := range req.Archs {
 		pa, err := topoopt.ParseArchitecture(a)
 		if err != nil {
+			tr.Finish("", false, http.StatusBadRequest)
 			writeError(w, badRequest("bad_arch", err))
 			return
 		}
@@ -241,23 +265,30 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, aerr := s.requestContext(r)
 	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
 	}
 	defer cancel()
+	tr.End()
 	// Compare latencies are not observed: a multi-architecture sweep is
 	// seconds-scale and would swamp the serving-path quantiles the
 	// latency window exists to track.
-	res, fp, cached, err := s.Compare(ctx, req.Model, m, req.Options, archs)
+	res, fp, cached, err := s.compare(ctx, req.Model, m, req.Options, archs, tr)
 	if err != nil {
-		writeError(w, s.serviceError(err))
+		aerr := s.serviceError(err)
+		tr.Finish(fp, false, aerr.Status)
+		writeError(w, aerr)
 		return
 	}
+	tr.Start(telemetry.StageEncode)
+	w.Header().Set("X-Trace", string(tr.AppendHeader(nil)))
 	writeJSON(w, http.StatusOK, CompareResponse{
 		Fingerprint: fp,
 		Cached:      cached,
 		Results:     res,
 	})
+	tr.Finish(fp, cached, http.StatusOK)
 }
 
 // CostResponse is the GET /v1/cost response body.
@@ -372,4 +403,22 @@ func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handlePromMetrics is the Prometheus scrape endpoint: the same snapshot
+// as /v1/metrics, rendered as text exposition format 0.0.4.
+func (s *Service) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	WriteMetricsText(w, s.Metrics())
+}
+
+// DebugRequests is the GET /debug/requests response body: the last
+// telemetry.DefaultRingSize completed traced requests, newest first,
+// each with its per-stage breakdown.
+type DebugRequests struct {
+	Requests []telemetry.Record `json:"requests"`
+}
+
+func (s *Service) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DebugRequests{Requests: s.tel.Requests()})
 }

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"topoopt/internal/stats"
+	"topoopt/internal/telemetry"
 )
 
 // latencyWindow bounds the ring buffer the latency quantiles are computed
@@ -11,49 +13,72 @@ import (
 // daemon's /metrics reflects recent behavior.
 const latencyWindow = 1024
 
-// metrics aggregates service counters. All methods are safe for
-// concurrent use; it has its own mutex so hot counters never contend
-// with the Service's cache/flight lock.
+// endpointNames is the fixed set of request counters. The per-endpoint
+// map is built once in newMetrics and never mutated afterwards, so
+// incRequest is a lock-free map read plus an atomic add.
+var endpointNames = []string{
+	"plan", "compare", "cost", "fleet",
+	"jobs_submit", "jobs_get", "jobs_cancel",
+}
+
+// metrics aggregates service counters. Hot counters — everything bumped
+// on the cache-hit fast path or per request — are plain atomics so the
+// serving path never takes a metrics lock; the mutex guards only the
+// latency and service-time ring buffers, which are touched once per
+// completed request or optimization.
 type metrics struct {
-	mu        sync.Mutex
-	requests  map[string]int64
-	hits      int64
-	misses    int64
-	coalesced int64
-	optimized int64
-	queueFull int64
-	shed      int64
-	storeErrs int64
-	lat       []float64
-	latPos    int
-	latCount  int64
-	svc       []float64
-	svcPos    int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	optimized atomic.Int64
+	queueFull atomic.Int64
+	shed      atomic.Int64
+	storeErrs atomic.Int64
+	// proposals counts MCMC proposals consumed across all searches, fed
+	// by the engine's epoch barriers (Options.Progress). Rate over time
+	// is the daemon's search throughput.
+	proposals atomic.Int64
+	requests  map[string]*atomic.Int64 // fixed keys; see endpointNames
+
+	mu       sync.Mutex // guards the rings below, nothing else
+	lat      []float64
+	latPos   int
+	latCount int64
+	latSum   float64 // all-time, so the Prometheus summary _sum is monotonic
+	svc      []float64
+	svcPos   int
+	svcSum   float64 // running sum of svc, so the mean is O(1)
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]int64)}
+	m := &metrics{requests: make(map[string]*atomic.Int64, len(endpointNames))}
+	for _, e := range endpointNames {
+		m.requests[e] = new(atomic.Int64)
+	}
+	return m
 }
 
 func (m *metrics) incRequest(endpoint string) {
-	m.mu.Lock()
-	m.requests[endpoint]++
-	m.mu.Unlock()
+	if c, ok := m.requests[endpoint]; ok {
+		c.Add(1)
+	}
 }
 
-func (m *metrics) bump(field *int64) {
-	m.mu.Lock()
-	*field++
-	m.mu.Unlock()
-}
+func (m *metrics) cacheHit()      { m.hits.Add(1) }
+func (m *metrics) cacheMiss()     { m.misses.Add(1) }
+func (m *metrics) coalesce()      { m.coalesced.Add(1) }
+func (m *metrics) optimizedDone() { m.optimized.Add(1) }
+func (m *metrics) queueFullDrop() { m.queueFull.Add(1) }
+func (m *metrics) shedDrop()      { m.shed.Add(1) }
+func (m *metrics) storeError()    { m.storeErrs.Add(1) }
 
-func (m *metrics) cacheHit()      { m.bump(&m.hits) }
-func (m *metrics) cacheMiss()     { m.bump(&m.misses) }
-func (m *metrics) coalesce()      { m.bump(&m.coalesced) }
-func (m *metrics) optimizedDone() { m.bump(&m.optimized) }
-func (m *metrics) queueFullDrop() { m.bump(&m.queueFull) }
-func (m *metrics) shedDrop()      { m.bump(&m.shed) }
-func (m *metrics) storeError()    { m.bump(&m.storeErrs) }
+// addProposals folds an epoch's worth of consumed MCMC proposals into
+// the throughput counter.
+func (m *metrics) addProposals(n int64) {
+	if n > 0 {
+		m.proposals.Add(n)
+	}
+}
 
 // observeService records the wall time of one completed search (flight
 // or compare run). The admission controller's shed decision multiplies
@@ -64,21 +89,28 @@ func (m *metrics) observeService(seconds float64) {
 	if len(m.svc) < latencyWindow {
 		m.svc = append(m.svc, seconds)
 	} else {
+		m.svcSum -= m.svc[m.svcPos]
 		m.svc[m.svcPos] = seconds
 		m.svcPos = (m.svcPos + 1) % latencyWindow
 	}
+	m.svcSum += seconds
 	m.mu.Unlock()
 }
 
 // meanService returns the mean observed service time in seconds, or 0
-// when nothing has been observed yet (a cold service never sheds).
+// when nothing has been observed yet (a cold service never sheds). O(1):
+// the running sum is maintained by observeService.
 func (m *metrics) meanService() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.meanServiceLocked()
+}
+
+func (m *metrics) meanServiceLocked() float64 {
 	if len(m.svc) == 0 {
 		return 0
 	}
-	return stats.Mean(m.svc)
+	return m.svcSum / float64(len(m.svc))
 }
 
 func (m *metrics) observeLatency(seconds float64) {
@@ -90,12 +122,16 @@ func (m *metrics) observeLatency(seconds float64) {
 		m.latPos = (m.latPos + 1) % latencyWindow
 	}
 	m.latCount++
+	m.latSum += seconds
 	m.mu.Unlock()
 }
 
 // LatencySummary reports quantiles over the recent-request window.
+// Count and SumSeconds are all-time totals (monotonic, as Prometheus
+// summaries require); the mean and quantiles cover the recent window.
 type LatencySummary struct {
 	Count       int64   `json:"count"`
+	SumSeconds  float64 `json:"sum_seconds"`
 	MeanSeconds float64 `json:"mean_seconds"`
 	P50Seconds  float64 `json:"p50_seconds"`
 	P90Seconds  float64 `json:"p90_seconds"`
@@ -103,7 +139,8 @@ type LatencySummary struct {
 	MaxSeconds  float64 `json:"max_seconds"`
 }
 
-// MetricsSnapshot is the /v1/metrics response body.
+// MetricsSnapshot is the /v1/metrics response body; WriteMetricsText
+// renders the same snapshot as Prometheus text exposition at /metrics.
 type MetricsSnapshot struct {
 	Requests      map[string]int64 `json:"requests"`
 	CacheHits     int64            `json:"cache_hits"`
@@ -125,33 +162,45 @@ type MetricsSnapshot struct {
 	// MeanServiceSeconds is the mean wall time of recent completed
 	// searches — the admission controller's service-time estimate.
 	MeanServiceSeconds float64 `json:"mean_service_seconds"`
+
+	// MCMCProposals counts search proposals consumed across all requests,
+	// reported by the engine's epoch barriers.
+	MCMCProposals int64 `json:"mcmc_proposals"`
+
+	// Stages holds per-stage latency quantiles (decode, admission, cache,
+	// queue, search, persist, encode) over recent traced requests.
+	Stages map[string]telemetry.StageSummary `json:"stages,omitempty"`
 }
 
-// snapshot copies the counters; cache/queue/job gauges are filled in by
-// the Service, which owns those structures.
+// snapshot copies the counters; cache/queue/job gauges and the stage
+// summaries are filled in by the Service, which owns those structures.
 func (m *metrics) snapshot() MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := MetricsSnapshot{
 		Requests:      make(map[string]int64, len(m.requests)),
-		CacheHits:     m.hits,
-		CacheMisses:   m.misses,
-		Coalesced:     m.coalesced,
-		Optimizations: m.optimized,
-		QueueFull:     m.queueFull,
-		Shed:          m.shed,
-		StoreErrors:   m.storeErrs,
+		CacheHits:     m.hits.Load(),
+		CacheMisses:   m.misses.Load(),
+		Coalesced:     m.coalesced.Load(),
+		Optimizations: m.optimized.Load(),
+		QueueFull:     m.queueFull.Load(),
+		Shed:          m.shed.Load(),
+		StoreErrors:   m.storeErrs.Load(),
+		MCMCProposals: m.proposals.Load(),
 	}
-	if len(m.svc) > 0 {
-		s.MeanServiceSeconds = stats.Mean(m.svc)
+	for k, c := range m.requests {
+		if v := c.Load(); v > 0 {
+			s.Requests[k] = v
+		}
 	}
-	for k, v := range m.requests {
-		s.Requests[k] = v
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The mean is computed exactly once per snapshot and reused for both
+	// the JSON field and whatever renders it downstream.
+	s.MeanServiceSeconds = m.meanServiceLocked()
 	if len(m.lat) > 0 {
 		window := append([]float64(nil), m.lat...)
 		s.Latency = LatencySummary{
 			Count:       m.latCount,
+			SumSeconds:  m.latSum,
 			MeanSeconds: stats.Mean(window),
 			P50Seconds:  stats.Percentile(window, 50),
 			P90Seconds:  stats.Percentile(window, 90),

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"topoopt"
+	"topoopt/internal/telemetry"
 )
 
 // OptimizeFunc computes a plan. It is injectable so tests and benchmarks
@@ -149,6 +150,18 @@ type flight struct {
 	// (job status transitions) fire at that moment. Both under Service.mu.
 	started bool
 	onStart []func()
+	// prog is the flight's search-progress sink: the optimizer publishes
+	// (proposals done, budget) into it at every MCMC epoch barrier, and
+	// each waiter copies it into its trace on wake.
+	prog *telemetry.Progress
+	// Lifecycle timestamps for stage attribution, all under Service.mu:
+	// enqueued at creation, startedAt when a worker dequeues the task,
+	// finishedAt when the result is published. A waiter clips these
+	// intervals against its own wait window, so queue and search stages
+	// are correct for creators and late joiners alike.
+	enqueued   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 }
 
 // flightRun computes a flight's result under the flight's context.
@@ -170,6 +183,7 @@ type Service struct {
 	wg         sync.WaitGroup
 	jobWG      sync.WaitGroup // async-job waiter goroutines
 	store      *Store
+	tel        *telemetry.Registry
 
 	mu       sync.Mutex
 	closed   bool
@@ -203,6 +217,7 @@ func New(cfg Config) *Service {
 		cfg.SearchThreads = runtime.GOMAXPROCS(0)
 	}
 	chains := &chainBudget{avail: cfg.SearchThreads}
+	met := newMetrics()
 	if cfg.Optimize == nil {
 		cfg.Optimize = func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
 			// SearchWorkers is server policy, never client input (it is
@@ -213,6 +228,22 @@ func New(cfg Config) *Service {
 			granted := chains.acquire(o.Parallelism)
 			defer chains.release(granted)
 			o.SearchWorkers = granted
+			// Progress is server-side instrumentation, like SearchWorkers:
+			// each epoch barrier feeds the flight's progress sink (read by
+			// waiters when they wake) and the daemon-wide proposal counter.
+			// CoOptimize restarts done at every alternating-optimization
+			// round; last tracks the reset so the counter only ever adds
+			// the delta actually consumed.
+			sink := telemetry.ProgressFromContext(ctx)
+			last := 0
+			o.Progress = func(done, total int) {
+				if done < last {
+					last = 0
+				}
+				met.addProposals(int64(done - last))
+				last = done
+				sink.Set(int64(done), int64(total))
+			}
 			return topoopt.OptimizeContext(ctx, m, o)
 		}
 	}
@@ -221,12 +252,13 @@ func New(cfg Config) *Service {
 		optimize: cfg.Optimize,
 		chains:   chains,
 		store:    cfg.Store,
+		tel:      telemetry.NewRegistry(0),
 		queue:    make(chan func(), cfg.QueueLen),
 		cache:    newPlanCache(cfg.CacheEntries),
 		flights:  make(map[string]*flight),
 		compares: make(map[string]*compareFlight),
 		jobs:     make(map[string]*job),
-		met:      newMetrics(),
+		met:      met,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
@@ -377,7 +409,7 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*topoopt.Plan, str
 			err = req.Options.Validate()
 		}
 		return m, err
-	}, nil)
+	}, nil, nil)
 }
 
 // resolved wraps an already-resolved model for the plan call (the HTTP
@@ -392,9 +424,14 @@ func resolved(m *topoopt.Model) func() (*topoopt.Model, error) {
 // model materialization or re-validation (a cached fingerprint implies
 // the request was valid). onStart, when non-nil, fires once the
 // optimization actually begins executing (async jobs use it to move from
-// "queued" to "running").
-func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func()) (*topoopt.Plan, string, bool, error) {
+// "queued" to "running"). tr, when non-nil, receives the request's stage
+// breakdown — cache lookup, admission, queue wait and search time, the
+// latter two clipped to this waiter's own wait window so coalesced
+// joiners never claim time they did not spend waiting.
+func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func(), tr *telemetry.Trace) (*topoopt.Plan, string, bool, error) {
+	tr.Start(telemetry.StageCache)
 	cached, f, err := s.joinOrCreate(fp, nil, onStart)
+	tr.End()
 	if err != nil {
 		return nil, fp, false, err
 	}
@@ -406,17 +443,24 @@ func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolv
 		// where the admission controller sheds work that cannot meet its
 		// deadline anyway (cache hits and coalesced joins above never
 		// shed — they ride work that is already paid for).
-		if serr := s.shedCheck(ctx); serr != nil {
+		tr.Start(telemetry.StageAdmission)
+		serr := s.shedCheck(ctx)
+		tr.End()
+		if serr != nil {
 			return nil, fp, false, serr
 		}
 		// Materialize the model without holding the lock, then race
 		// to create the flight (a concurrent identical request may win, in
 		// which case we join its flight instead).
+		tr.Start(telemetry.StageDecode)
 		m, rerr := resolve()
+		tr.End()
 		if rerr != nil {
 			return nil, fp, false, rerr
 		}
+		tr.Start(telemetry.StageCache)
 		cached, f, err = s.joinOrCreate(fp, s.planRun(m, o), onStart)
+		tr.End()
 		if err != nil {
 			return nil, fp, false, err
 		}
@@ -424,9 +468,50 @@ func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolv
 			return cached.(*topoopt.Plan), fp, true, nil
 		}
 	}
+	joined := time.Now()
 	res, err := s.waitFlight(ctx, f)
+	s.traceWait(tr, f, joined)
 	p, _ := res.(*topoopt.Plan)
 	return p, fp, false, err
+}
+
+// traceWait attributes a waiter's time on f to the queue and search
+// stages: the flight's [enqueued, started] and [started, finished]
+// intervals clipped to [joined, now]. For the creator the clip is the
+// whole flight; a joiner that arrived mid-search only claims its own
+// wait. Also copies the flight's search-progress counter into the trace.
+func (s *Service) traceWait(tr *telemetry.Trace, f *flight, joined time.Time) {
+	if tr == nil {
+		return
+	}
+	woke := time.Now()
+	s.mu.Lock()
+	enq, started, finished := f.enqueued, f.startedAt, f.finishedAt
+	s.mu.Unlock()
+	tr.Add(telemetry.StageQueue, overlap(enq, started, joined, woke))
+	if !started.IsZero() {
+		tr.Add(telemetry.StageSearch, overlap(started, finished, joined, woke))
+	}
+	tr.SetSearchProgress(f.prog.Load())
+}
+
+// overlap returns the length of [a0, a1] ∩ [b0, b1]. A zero a0 means the
+// interval never opened (length 0); a zero a1 means it is still open and
+// clamps to b1.
+func overlap(a0, a1, b0, b1 time.Time) time.Duration {
+	if a0.IsZero() {
+		return 0
+	}
+	if a1.IsZero() || a1.After(b1) {
+		a1 = b1
+	}
+	if a0.Before(b0) {
+		a0 = b0
+	}
+	if d := a1.Sub(a0); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // planRun adapts the optimizer to the generic flight runner.
@@ -507,8 +592,10 @@ func (s *Service) joinOrCreate(fp string, run flightRun, onStart func()) (any, *
 		s.mu.Unlock()
 		return nil, nil, nil
 	}
-	fctx, cancel := context.WithCancel(s.baseCtx)
-	f := &flight{fp: fp, ctx: fctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	prog := new(telemetry.Progress)
+	fctx, cancel := context.WithCancel(telemetry.ContextWithProgress(s.baseCtx, prog))
+	f := &flight{fp: fp, ctx: fctx, cancel: cancel, done: make(chan struct{}),
+		waiters: 1, prog: prog, enqueued: time.Now()}
 	if onStart != nil {
 		f.onStart = append(f.onStart, onStart)
 	}
@@ -534,6 +621,7 @@ func (s *Service) joinOrCreate(fp string, run flightRun, onStart func()) (any, *
 func (s *Service) runFlight(f *flight, run flightRun) {
 	s.mu.Lock()
 	f.started = true
+	f.startedAt = time.Now()
 	cbs := f.onStart
 	f.onStart = nil
 	s.mu.Unlock()
@@ -564,16 +652,31 @@ func (s *Service) finish(f *flight, res any, err error) {
 		s.cache.add(f.fp, res)
 	}
 	f.res, f.err = res, err
+	f.finishedAt = time.Now()
 	close(f.done)
 	s.mu.Unlock()
 	if err == nil {
 		s.met.optimizedDone()
 		// Persist outside the service lock: a slow disk must not stall
 		// cache lookups. One flight per fingerprint, so appends for a
-		// given fp never race.
-		s.persist(f.fp, res)
+		// given fp never race. It also runs after close(done) — the
+		// response is already released — so the persist stage feeds the
+		// stage quantiles but never a request's own breakdown.
+		s.observedPersist(f.fp, res)
 	}
 	f.cancel()
+}
+
+// observedPersist is persist with its wall time folded into the persist
+// stage's quantile window (only when a store is configured; a no-op
+// persist would flood the window with zeros).
+func (s *Service) observedPersist(fp string, res any) {
+	if s.store == nil {
+		return
+	}
+	t0 := time.Now()
+	s.persist(fp, res)
+	s.tel.ObserveStage(telemetry.StagePersist, time.Since(t0))
 }
 
 // shedCheck is the admission controller: requests carrying a deadline
@@ -678,6 +781,11 @@ type compareFlight struct {
 	res     []topoopt.CompareResult
 	err     error
 	waiters int
+	// Lifecycle timestamps for stage attribution, mirroring flight's;
+	// all under Service.mu.
+	enqueued   time.Time
+	startedAt  time.Time
+	finishedAt time.Time
 }
 
 // Compare runs topoopt.CompareContext on the worker pool (bounded like
@@ -690,38 +798,55 @@ type compareFlight struct {
 // bypass the SearchThreads budget. Returns the results, the request
 // fingerprint, and whether the results came from the cache.
 func (s *Service) Compare(ctx context.Context, spec topoopt.ModelSpec, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) ([]topoopt.CompareResult, string, bool, error) {
+	return s.compare(ctx, spec, m, o, archs, nil)
+}
+
+// compare is the core of Compare; tr, when non-nil, receives the stage
+// breakdown exactly as in plan (queue/search clipped to this waiter's
+// wait window).
+func (s *Service) compare(ctx context.Context, spec topoopt.ModelSpec, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture, tr *telemetry.Trace) ([]topoopt.CompareResult, string, bool, error) {
 	fp := CompareFingerprint(spec, o, archs)
+	tr.Start(telemetry.StageCache)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		tr.End()
 		return nil, fp, false, ErrClosed
 	}
 	if s.draining {
 		s.mu.Unlock()
+		tr.End()
 		return nil, fp, false, ErrDraining
 	}
 	if v, ok := s.cache.get(fp); ok {
 		s.mu.Unlock()
+		tr.End()
 		s.met.cacheHit()
 		return v.([]topoopt.CompareResult), fp, true, nil
 	}
 	if f, ok := s.compares[fp]; ok {
 		f.waiters++
 		s.mu.Unlock()
+		tr.End()
 		s.met.coalesce()
+		joined := time.Now()
 		res, err := s.waitCompare(ctx, f)
+		s.traceCompareWait(tr, f, joined)
 		return res, fp, false, err
 	}
 	// About to occupy a queue slot: same admission shedding as plans
 	// (comparisons are the most expensive request type, so doomed ones
 	// waste the most).
+	tr.Start(telemetry.StageAdmission)
 	if serr := s.shedCheck(ctx); serr != nil {
 		s.mu.Unlock()
+		tr.End()
 		return nil, fp, false, serr
 	}
+	tr.Start(telemetry.StageCache)
 	fctx, cancel := context.WithCancel(s.baseCtx)
 	f := &compareFlight{fp: fp, ctx: fctx, cancel: cancel,
-		done: make(chan struct{}), waiters: 1}
+		done: make(chan struct{}), waiters: 1, enqueued: time.Now()}
 	task := func() { s.runCompare(f, m, o, archs) }
 	select {
 	case s.queue <- task:
@@ -729,17 +854,41 @@ func (s *Service) Compare(ctx context.Context, spec topoopt.ModelSpec, m *topoop
 	default:
 		cancel()
 		s.mu.Unlock()
+		tr.End()
 		s.met.queueFullDrop()
 		return nil, fp, false, ErrQueueFull
 	}
 	s.mu.Unlock()
+	tr.End()
 	s.met.cacheMiss()
+	joined := time.Now()
 	res, err := s.waitCompare(ctx, f)
+	s.traceCompareWait(tr, f, joined)
 	return res, fp, false, err
+}
+
+// traceCompareWait is traceWait for comparison flights (which have no
+// per-epoch progress sink; their searches span whole architecture
+// registries).
+func (s *Service) traceCompareWait(tr *telemetry.Trace, f *compareFlight, joined time.Time) {
+	if tr == nil {
+		return
+	}
+	woke := time.Now()
+	s.mu.Lock()
+	enq, started, finished := f.enqueued, f.startedAt, f.finishedAt
+	s.mu.Unlock()
+	tr.Add(telemetry.StageQueue, overlap(enq, started, joined, woke))
+	if !started.IsZero() {
+		tr.Add(telemetry.StageSearch, overlap(started, finished, joined, woke))
+	}
 }
 
 // runCompare executes one comparison flight on a worker.
 func (s *Service) runCompare(f *compareFlight, m *topoopt.Model, o topoopt.Options, archs []topoopt.Architecture) {
+	s.mu.Lock()
+	f.startedAt = time.Now()
+	s.mu.Unlock()
 	if err := f.ctx.Err(); err != nil {
 		s.finishCompare(f, nil, err)
 		return
@@ -765,10 +914,11 @@ func (s *Service) finishCompare(f *compareFlight, res []topoopt.CompareResult, e
 		s.cache.add(f.fp, res)
 	}
 	f.res, f.err = res, err
+	f.finishedAt = time.Now()
 	close(f.done)
 	s.mu.Unlock()
 	if err == nil {
-		s.persist(f.fp, res)
+		s.observedPersist(f.fp, res)
 	}
 	f.cancel()
 }
@@ -1094,10 +1244,16 @@ func (s *Service) evictJobsLocked() {
 	}
 }
 
+// Telemetry returns the service's trace registry — the ring of recent
+// request breakdowns behind /debug/requests and the per-stage quantile
+// windows folded into /metrics. Never nil.
+func (s *Service) Telemetry() *telemetry.Registry { return s.tel }
+
 // Metrics returns a point-in-time snapshot of the service counters and
 // gauges.
 func (s *Service) Metrics() MetricsSnapshot {
 	snap := s.met.snapshot()
+	snap.Stages = s.tel.StageSummaries()
 	s.mu.Lock()
 	snap.CacheEntries = s.cache.len()
 	snap.InFlight = len(s.flights) + len(s.compares)

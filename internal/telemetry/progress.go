@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Progress is a goroutine-safe (done, total) proposal counter one search
+// publishes and any number of waiters read: the MCMC engine's epoch
+// barrier stores into it via the Options.Progress callback, and every
+// request coalesced onto the flight copies it into its trace when it
+// wakes. A search spanning several alternating-optimization rounds
+// resets done at each round boundary; total is the round's budget.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// Set stores the current (done, total) pair.
+func (p *Progress) Set(done, total int64) {
+	if p == nil {
+		return
+	}
+	p.done.Store(done)
+	p.total.Store(total)
+}
+
+// Load returns the last stored (done, total) pair.
+func (p *Progress) Load() (done, total int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.done.Load(), p.total.Load()
+}
+
+type progressKey struct{}
+
+// ContextWithProgress attaches a Progress sink to ctx. The planning
+// service hangs one off every flight context so the optimizer — which
+// only sees the context — can report epoch progress back to the flight's
+// waiters.
+func ContextWithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFromContext returns the attached Progress sink, or nil.
+func ProgressFromContext(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

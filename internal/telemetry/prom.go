@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders Prometheus text exposition format 0.0.4 without any
+// client-library dependency. It is a thin stateful helper: Family emits
+// the # HELP/# TYPE header, Sample one sample line. Errors stick — the
+// first write failure is remembered and every later call is a no-op —
+// so render code stays branch-free and checks Err once at the end.
+//
+// Output is byte-deterministic for a fixed call sequence; callers are
+// responsible for iterating maps in sorted order.
+type PromWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewPromWriter returns a PromWriter over w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) flush() {
+	if p.err == nil {
+		_, p.err = p.w.Write(p.buf)
+	}
+	p.buf = p.buf[:0]
+}
+
+// Family emits the HELP and TYPE header of a metric family. typ is one
+// of "counter", "gauge", "summary", "histogram", "untyped".
+func (p *PromWriter) Family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, escapeHelp(help)...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// Sample emits one sample line. labels is a sequence of name, value
+// string pairs rendered in the given order; pass none for an unlabeled
+// sample. Label values are escaped per the exposition format.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	if p.err != nil {
+		return
+	}
+	p.buf = append(p.buf, name...)
+	if len(labels) > 0 {
+		p.buf = append(p.buf, '{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, labels[i]...)
+			p.buf = append(p.buf, '=', '"')
+			p.buf = append(p.buf, escapeLabel(labels[i+1])...)
+			p.buf = append(p.buf, '"')
+		}
+		p.buf = append(p.buf, '}')
+	}
+	p.buf = append(p.buf, ' ')
+	p.buf = appendValue(p.buf, value)
+	p.buf = append(p.buf, '\n')
+	p.flush()
+}
+
+// Int is Sample for integer-valued metrics (counters, gauges counting
+// discrete things), avoiding float formatting of exact integers.
+func (p *PromWriter) Int(name string, value int64, labels ...string) {
+	p.Sample(name, float64(value), labels...)
+}
+
+// appendValue formats v the way Prometheus expects: shortest float
+// representation, integers without an exponent or trailing ".0".
+func appendValue(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value: backslash, double quote and
+// newline per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Summary emits a full summary family: quantile samples over the recent
+// window plus the monotonic _count and _sum series. labels prefix every
+// sample (e.g. stage="queue"); the quantile label is appended last.
+func (p *PromWriter) Summary(name string, s StageSummary, labels ...string) {
+	q := func(quantile string, v float64) {
+		p.Sample(name, v, append(append([]string(nil), labels...), "quantile", quantile)...)
+	}
+	q("0.5", s.P50Seconds)
+	q("0.9", s.P90Seconds)
+	q("0.99", s.P99Seconds)
+	p.Sample(name+"_sum", s.SumSeconds, labels...)
+	p.Int(name+"_count", s.Count, labels...)
+}

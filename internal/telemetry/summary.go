@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sort"
+
+	"topoopt/internal/stats"
+)
+
+// window is a bounded ring of recent observations plus all-time
+// count/sum totals, so quantiles track recent behavior while _count and
+// _sum stay monotonic the way Prometheus summaries require. Callers
+// hold the registry mutex.
+type window struct {
+	buf   []float64
+	pos   int
+	count int64
+	sum   float64
+}
+
+func (w *window) observe(v float64) {
+	if len(w.buf) < stageWindow {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.pos] = v
+		w.pos = (w.pos + 1) % stageWindow
+	}
+	w.count++
+	w.sum += v
+}
+
+// StageSummary is the quantile view of one stage's window: Count and
+// SumSeconds are all-time totals; quantiles are over the recent window.
+type StageSummary struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+func (w *window) summary() StageSummary {
+	s := StageSummary{Count: w.count, SumSeconds: w.sum}
+	if len(w.buf) > 0 {
+		cp := append([]float64(nil), w.buf...)
+		s.P50Seconds = stats.Percentile(cp, 50)
+		s.P90Seconds = stats.Percentile(cp, 90)
+		s.P99Seconds = stats.Percentile(cp, 99)
+		s.MaxSeconds = stats.Max(cp)
+	}
+	return s
+}
+
+// StageSummaries returns the quantile summary of every stage that has
+// at least one observation, keyed by stage label.
+func (r *Registry) StageSummaries() map[string]StageSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]StageSummary)
+	for s := Stage(0); s < NumStages; s++ {
+		if r.stages[s].count > 0 {
+			out[stageNames[s]] = r.stages[s].summary()
+		}
+	}
+	return out
+}
+
+// StageNames returns the summary's keys in stable enum order — the
+// iteration order every deterministic renderer (Prometheus exposition)
+// must use.
+func StageNames(m map[string]StageSummary) []string {
+	names := make([]string, 0, len(m))
+	for s := Stage(0); s < NumStages; s++ {
+		if _, ok := m[stageNames[s]]; ok {
+			names = append(names, stageNames[s])
+		}
+	}
+	// Forward-compatible: keys that are not stage labels (none today)
+	// sort after the enum block rather than vanishing.
+	if len(names) < len(m) {
+		known := make(map[string]bool, len(names))
+		for _, n := range names {
+			known[n] = true
+		}
+		var extra []string
+		for k := range m {
+			if !known[k] {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		names = append(names, extra...)
+	}
+	return names
+}

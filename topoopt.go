@@ -105,6 +105,13 @@ type Options struct {
 	// the fingerprint; the planning service sets it per request from its
 	// global search-thread budget.
 	SearchWorkers int `json:"-"`
+	// Progress, when non-nil, receives per-epoch strategy-search progress
+	// (proposals done, round budget) from the MCMC engine's epoch
+	// barriers; done restarts at each alternating-optimization round.
+	// Purely observational — the plan is identical with or without it —
+	// so, like SearchWorkers, it is server-side instrumentation excluded
+	// from the wire format and the fingerprint.
+	Progress func(done, total int) `json:"-"`
 }
 
 // Validate checks that the options describe a feasible deployment. It is
@@ -222,6 +229,7 @@ func OptimizeContext(ctx context.Context, m *Model, o Options) (*Plan, error) {
 		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
 		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
 		Parallelism: o.Parallelism, SearchWorkers: o.SearchWorkers,
+		Progress: o.Progress,
 	})
 	if err != nil {
 		return nil, err

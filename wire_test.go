@@ -159,7 +159,9 @@ func TestOptionsJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b1, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != o {
+	// reflect.DeepEqual, not ==: Options carries non-wire func fields
+	// (Progress) that make the struct incomparable.
+	if !reflect.DeepEqual(back, o) {
 		t.Fatalf("options round trip: got %+v want %+v", back, o)
 	}
 	b2, _ := json.Marshal(back)
