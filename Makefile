@@ -25,7 +25,7 @@ SHELL := /bin/bash
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
 	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
-	fleet-benchcheck bench-smoke bench-history profile-serve \
+	fleet-benchcheck sweep-bench bench-smoke bench-history profile-serve \
 	profile-fleet profile-smoke chaos cover lint ci
 
 tier1: fmt vet build test
@@ -87,6 +87,17 @@ fleet-bench:
 fleet-benchcheck:
 	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -check BENCH_cluster.json $(BENCHDIFF_FLAGS)
+
+# `make sweep-bench` is the PR-time recorder for the fleet suite now that
+# it includes the Monte Carlo sweep service (BenchmarkFleetSweep) and the
+# pooled steady path (BenchmarkFleetSteady at 0 allocs/op, which
+# fleet-benchcheck pins exactly — benchdiff treats a 0-alloc baseline as
+# an exact gate, so a single leaked allocation fails the check). Runs the
+# suite once, records it into BENCH_cluster.json, then copies that
+# recording into the BENCH_HISTORY.json ledger under HISTORY_LABEL.
+sweep-bench: fleet-bench
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite fleet \
+		-import BENCH_cluster.json -label '$(HISTORY_LABEL)'
 
 # Short-benchtime pass over every recorded suite. Warn-only: CI runners
 # are noisy and 0.2s samples are for catching order-of-magnitude

@@ -10,8 +10,15 @@
 //	fleetsim -scenario steady
 //	fleetsim -scenario failure-storm -seed 7 -summary
 //	fleetsim -scenario diurnal-burst -policy fifo -o run.json
+//	fleetsim -scenario steady -sweep 64 -parallel 8
 //	fleetsim -spec myspec.json
 //	fleetsim -list-scenarios
+//
+// With -sweep K the spec runs as a Monte Carlo sweep: K seed-replicas
+// (replica i under a splitmix64-derived seed; replica 0 is the root
+// seed) merged into per-metric p50/p90/p99 distributions with mean
+// CIs. -parallel bounds concurrent replicas; the merged JSON is
+// byte-identical at any width.
 //
 // Scenario presets:
 //
@@ -55,6 +62,7 @@ type simConfig struct {
 	Prov     string
 	Jobs     int
 	Parallel int
+	Sweep    int
 }
 
 // parseFlags parses args (excluding the program name) with a fresh
@@ -75,7 +83,8 @@ func parseFlags(args []string) (simConfig, error) {
 	fs.StringVar(&cfg.Policy, "policy", "", "override the placement policy (fifo, strided, backfill)")
 	fs.StringVar(&cfg.Prov, "provisioning", "", "override provisioning (patch, lookahead, ocs)")
 	fs.IntVar(&cfg.Jobs, "jobs", 0, "override the synthetic job count")
-	fs.IntVar(&cfg.Parallel, "parallel", 0, "MCMC chains per embedded strategy search")
+	fs.IntVar(&cfg.Parallel, "parallel", 0, "MCMC chains per embedded strategy search (with -sweep: concurrent replicas)")
+	fs.IntVar(&cfg.Sweep, "sweep", 0, "run K seed-replicas and merge them into metric distributions")
 	if err := fs.Parse(args); err != nil {
 		return simConfig{}, err
 	}
@@ -148,6 +157,9 @@ func run(ctx context.Context, cfg simConfig, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Sweep > 0 {
+		return runSweep(ctx, cfg, spec, stdout, stderr)
+	}
 	res, err := topoopt.RunFleet(ctx, spec)
 	if err != nil {
 		return err
@@ -176,6 +188,49 @@ func run(ctx context.Context, cfg simConfig, stdout, stderr io.Writer) error {
 			s.MeanJCTS, s.P50JCTS, s.P95JCTS, s.MeanQueueDelayS, s.MeanSlowdown,
 			100*s.MeanUtilization, s.Failures, s.Replans, s.Restarts,
 			s.Searches, s.WarmStarts)
+	}
+	return nil
+}
+
+// runSweep executes a -sweep K Monte Carlo run. -parallel doubles as
+// the replica fan-out width (each replica's embedded searches run
+// single-threaded); the merged output is byte-stable at any width.
+func runSweep(ctx context.Context, cfg simConfig, spec topoopt.FleetSpec, stdout, stderr io.Writer) error {
+	spec.SearchWorkers = cfg.Parallel
+	var progress func(done, total int)
+	if cfg.Summary {
+		progress = func(done, total int) {
+			fmt.Fprintf(stderr, "\rfleetsim: sweep replica %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(stderr)
+			}
+		}
+	}
+	res, err := topoopt.RunFleetSweep(ctx, spec, cfg.Sweep, progress)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if cfg.Out != "" {
+		if err := os.WriteFile(cfg.Out, b, 0o644); err != nil {
+			return err
+		}
+	} else {
+		if _, err := stdout.Write(b); err != nil {
+			return err
+		}
+	}
+	if cfg.Summary {
+		fmt.Fprintf(stderr, "fleetsim: sweep of %d replicas on %s/%s/%s (root seed %d)\n",
+			res.Replicas, res.Arch, res.Policy, res.Provisioning, res.Seed)
+		for _, m := range res.Metrics {
+			fmt.Fprintf(stderr, "  %-20s mean %.3f  [%.3f, %.3f] 95%% CI  p50 %.3f  p90 %.3f  p99 %.3f\n",
+				m.Name, m.Mean, m.CI95Lo, m.CI95Hi, m.P50, m.P90, m.P99)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,11 @@
 // optimization and the rest coalesce onto it or hit the cache, which is
 // the serving hot path the BenchmarkServe* suite records.
 //
+// With -sweep K the load targets POST /v1/sweep instead: each request
+// is a K-replica Monte Carlo fleet sweep of the -scenario preset,
+// cycling root seeds the same way. Sweeps are fingerprinted and cached
+// like plans, so the same retry/latency/cache accounting applies.
+//
 // Plan requests are idempotent (fingerprint-keyed and cached server
 // side), so -retries re-sends failed requests with capped exponential
 // backoff, honoring the server's Retry-After backpressure hints
@@ -57,6 +62,8 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
 		retries   = flag.Int("retries", 0, "retries per failed request (plan requests are idempotent)")
 		backoff   = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+		sweep     = flag.Int("sweep", 0, "fire K-replica POST /v1/sweep requests instead of plans")
+		scenario  = flag.String("scenario", "steady", "fleet scenario preset for -sweep requests")
 	)
 	flag.Parse()
 	if *n <= 0 || *c <= 0 || *seeds <= 0 {
@@ -66,12 +73,20 @@ func main() {
 		fatal(fmt.Errorf("-retries must be non-negative"))
 	}
 
-	bodies, err := requestBodies(loadSpec{
-		Model: *modelName, Section: *section,
-		Servers: *servers, Degree: *degree, BandwidthGbps: *bandwidth,
-		MCMCIters: *mcmc, Rounds: *rounds, Parallelism: *parallel,
-		Seeds: *seeds,
-	})
+	endpoint, path := "plan", "/v1/plan"
+	var bodies [][]byte
+	var err error
+	if *sweep > 0 {
+		endpoint, path = "sweep", "/v1/sweep"
+		bodies, err = sweepBodies(*scenario, *sweep, *seeds)
+	} else {
+		bodies, err = requestBodies(loadSpec{
+			Model: *modelName, Section: *section,
+			Servers: *servers, Degree: *degree, BandwidthGbps: *bandwidth,
+			MCMCIters: *mcmc, Rounds: *rounds, Parallelism: *parallel,
+			Seeds: *seeds,
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +113,7 @@ func main() {
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
 				resp, out, err := retrier.Do(client, true, func() (*http.Request, error) {
-					req, err := http.NewRequest(http.MethodPost, *addr+"/v1/plan", bytes.NewReader(body))
+					req, err := http.NewRequest(http.MethodPost, *addr+path, bytes.NewReader(body))
 					if err != nil {
 						return nil, err
 					}
@@ -111,14 +126,17 @@ func main() {
 				if resp != nil {
 					statuses[resp.StatusCode]++
 				}
-				hist.observe("plan", out, lat)
+				hist.observe(endpoint, out, lat)
 				mu.Unlock()
 				if resp == nil {
 					continue
 				}
-				var pr serve.PlanResponse
+				// Both response shapes carry a top-level "cached" flag.
+				var cr struct {
+					Cached bool `json:"cached"`
+				}
 				if resp.StatusCode == http.StatusOK &&
-					json.NewDecoder(resp.Body).Decode(&pr) == nil && pr.Cached {
+					json.NewDecoder(resp.Body).Decode(&cr) == nil && cr.Cached {
 					mu.Lock()
 					cached++
 					mu.Unlock()
@@ -141,7 +159,7 @@ func main() {
 		fmt.Printf("  HTTP %d: %d\n", code, count)
 	}
 	fmt.Print(tally.report("  "))
-	if ok := hist.ok("plan"); len(ok) > 0 {
+	if ok := hist.ok(endpoint); len(ok) > 0 {
 		fmt.Printf("  latency: %s\n", stats.Summary(ok))
 		fmt.Printf("  cache-hit responses: %d\n", cached)
 	}
@@ -299,6 +317,26 @@ func requestBodies(s loadSpec) ([][]byte, error) {
 			},
 		}
 		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// sweepBodies pre-marshals one K-replica sweep request per root seed,
+// built on the named fleet scenario preset.
+func sweepBodies(scenario string, replicas, seeds int) ([][]byte, error) {
+	spec, err := topoopt.FleetScenario(scenario)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, seeds)
+	for i := range bodies {
+		sp := spec
+		sp.Seed = int64(i + 1)
+		b, err := json.Marshal(serve.SweepRequest{Spec: sp, Replicas: replicas})
 		if err != nil {
 			return nil, err
 		}

@@ -51,7 +51,14 @@ func (s *Scheduler) Free() int {
 
 // Allocate reserves k servers (lowest-index first) and returns their IDs.
 func (s *Scheduler) Allocate(k int) ([]int, error) {
-	var out []int
+	return s.AllocateInto(nil, k)
+}
+
+// AllocateInto is Allocate reserving into buf's storage (appending from
+// buf[:0]), so a steady-state caller that recycles shard slices allocates
+// nothing. buf may be nil.
+func (s *Scheduler) AllocateInto(buf []int, k int) ([]int, error) {
+	out := buf[:0]
 	for v := 0; v < s.n && len(out) < k; v++ {
 		if !s.used[v] {
 			out = append(out, v)
@@ -71,10 +78,16 @@ func (s *Scheduler) Allocate(k int) ([]int, error) {
 // different racks, the non-rack-aligned placement typical of shared
 // production clusters). Falls back to first-fit for leftovers.
 func (s *Scheduler) AllocateStrided(k, stride int) ([]int, error) {
+	return s.AllocateStridedInto(nil, k, stride)
+}
+
+// AllocateStridedInto is AllocateStrided reserving into buf's storage
+// (appending from buf[:0]). buf may be nil.
+func (s *Scheduler) AllocateStridedInto(buf []int, k, stride int) ([]int, error) {
 	if stride < 1 {
 		stride = 1
 	}
-	var out []int
+	out := buf[:0]
 	for off := 0; off < stride && len(out) < k; off++ {
 		for v := off; v < s.n && len(out) < k; v += stride {
 			if !s.used[v] {
@@ -88,6 +101,12 @@ func (s *Scheduler) AllocateStrided(k, stride int) ([]int, error) {
 		return nil, fmt.Errorf("cluster: want %d servers, only %d free", k, s.Free())
 	}
 	return out, nil
+}
+
+// Reset frees every server, returning the scheduler to its initial
+// state (the pooled fleet engine rewinds with it between runs).
+func (s *Scheduler) Reset() {
+	clear(s.used)
 }
 
 // Release frees a shard.

@@ -1,0 +1,41 @@
+//go:build !race
+
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineResetZeroAllocs pins the tentpole guarantee: after one
+// warm-up lifetime, Engine.Run allocates nothing — every event, queue
+// entry, server slice and utilization point is reused from the engine's
+// pools. Excluded under the race detector and coverage instrumentation,
+// both of which insert allocations the steady path doesn't make.
+func TestEngineResetZeroAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	ctx := context.Background()
+	for _, name := range Scenarios() {
+		sp, err := Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, err := NewEngine(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := en.Run(ctx); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := en.Run(ctx); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the warmed Reset path, want 0", name, allocs)
+		}
+	}
+}

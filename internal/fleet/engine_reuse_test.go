@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestEngineResetNoResidue: a pooled engine rerun must be
+// indistinguishable from a fresh run — no residue from prior lifetimes
+// (event heap, queue, running set, finish-event generations, server
+// slices, utilization series, eval counters) may leak across Reset.
+// Checked across every scenario preset, including the failure storm
+// where restarts and replans churn the pools hardest.
+func TestEngineResetNoResidue(t *testing.T) {
+	for _, name := range Scenarios() {
+		sp, err := Scenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runJSON(t, sp)
+
+		en, err := NewEngine(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rerun := 0; rerun < 3; rerun++ {
+			res, err := en.Run(context.Background())
+			if err != nil {
+				t.Fatalf("%s rerun %d: %v", name, rerun, err)
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: engine rerun %d differs from a fresh run", name, rerun)
+			}
+		}
+	}
+}
+
+// TestEngineResetAfterAbort: an aborted lifetime (context cancelled
+// mid-run) must not poison the next one — Reset reclaims the scheduler
+// state and in-flight server slices that the abort stranded.
+func TestEngineResetAfterAbort(t *testing.T) {
+	sp, err := Scenario(ScenarioFailureStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runJSON(t, sp)
+
+	en, err := NewEngine(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := en.Run(ctx); err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+	res, err := en.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("run after an aborted lifetime differs from a fresh run")
+	}
+}

@@ -36,13 +36,38 @@ type evalOut struct {
 // before warm-starts its degraded replans from the prior strategy. The
 // cache is keyed by struct and only ever read by key — no map iteration
 // can leak ordering into results.
+//
+// The cache outlives Engine.Reset (evaluations are pure under the spec),
+// but the Searches/WarmStarts accounting must not: a replayed lifetime
+// has to report the same counters a fresh engine would. So counters are
+// per-run, and `seen` tracks which cached keys this run has already
+// charged — the first hit of a key that a fresh run would have searched
+// counts as a search, later hits are the genuine intra-run cache hits a
+// fresh run also gets for free.
 type evaluator struct {
-	spec    Spec
-	backend arch.Backend
-	cache   map[evalKey]evalOut
+	spec       Spec
+	backend    arch.Backend
+	isIterator bool
+	cache      map[evalKey]evalOut
+	// failed memoizes deterministic evaluation failures (e.g. a degraded
+	// fabric that cannot be built): the error is a pure function of the
+	// key under the spec, so a replay can return it without re-running the
+	// doomed search. Context cancellations are never recorded — they
+	// belong to the run, not the key.
+	failed map[evalKey]failedEval
 
-	searches   int // cache misses: full searches run
-	warmStarts int // searches seeded with a prior plan's strategy
+	seen       map[evalKey]struct{} // keys charged this run
+	searches   int                  // searches a fresh run would execute
+	warmStarts int                  // searches seeded with a prior plan's strategy
+}
+
+// failedEval is one memoized failure. warmChargeable records whether the
+// failure happened after the warm-start point (so a fresh attempt with a
+// warm seed would have counted a warm start before failing) — the replay
+// must charge the same counters a fresh run would.
+type failedEval struct {
+	err            error
+	warmChargeable bool
 }
 
 func newEvaluator(sp Spec) (*evaluator, error) {
@@ -50,7 +75,31 @@ func newEvaluator(sp Spec) (*evaluator, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown architecture %q", sp.Arch)
 	}
-	return &evaluator{spec: sp, backend: b, cache: make(map[evalKey]evalOut)}, nil
+	_, isIter := b.(arch.Iterator)
+	return &evaluator{
+		spec: sp, backend: b, isIterator: isIter,
+		cache:  make(map[evalKey]evalOut),
+		failed: make(map[evalKey]failedEval),
+		seen:   make(map[evalKey]struct{}),
+	}, nil
+}
+
+// noteFailure memoizes a deterministic evaluation failure. Cancellation
+// is not a property of the key: once the context is done, the outcome
+// says nothing about what an unhurried search would have found.
+func (e *evaluator) noteFailure(ctx context.Context, key evalKey, err error, warmChargeable bool) {
+	if ctx.Err() != nil {
+		return
+	}
+	e.failed[key] = failedEval{err: err, warmChargeable: warmChargeable}
+}
+
+// beginRun resets the per-run accounting. The builtin clear keeps the
+// map's buckets, so re-charging the same keys next run allocates nothing.
+func (e *evaluator) beginRun() {
+	e.searches = 0
+	e.warmStarts = 0
+	clear(e.seen)
 }
 
 // evaluate returns the iteration time of a k-worker shard of the given
@@ -61,7 +110,27 @@ func newEvaluator(sp Spec) (*evaluator, error) {
 func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree int, warm *parallel.Strategy) (evalOut, error) {
 	key := evalKey{family: fam, k: k, degree: degree}
 	if out, ok := e.cache[key]; ok {
+		if _, charged := e.seen[key]; !charged {
+			// First touch this run of a key warmed by a previous run: a
+			// fresh engine would have searched here, so the replay charges
+			// it too — byte-identical Summary across Reset.
+			e.searches++
+			if warm != nil && !e.isIterator {
+				e.warmStarts++
+			}
+			e.seen[key] = struct{}{}
+		}
 		return out, nil
+	}
+	if f, ok := e.failed[key]; ok {
+		// A fresh run re-attempts (and re-counts) failed searches on every
+		// touch; the memoized replay charges identically and returns the
+		// same deterministic error without burning the search.
+		e.searches++
+		if f.warmChargeable && warm != nil && !e.isIterator {
+			e.warmStarts++
+		}
+		return evalOut{}, f.err
 	}
 	e.searches++
 	m := modelFor(fam)
@@ -78,12 +147,14 @@ func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree in
 		// to warm-start on.
 		res, err := it.Iteration(ctx, m, ao)
 		if err != nil {
+			e.noteFailure(ctx, key, err, false)
 			return evalOut{}, err
 		}
 		out = evalOut{iterS: res.Total()}
 	} else {
 		fab, err := e.backend.Build(ao)
 		if err != nil {
+			e.noteFailure(ctx, key, err, false)
 			return evalOut{}, err
 		}
 		mc := flexnet.MCMCConfig{
@@ -96,15 +167,22 @@ func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree in
 		}
 		st, res, err := flexnet.SearchOnFabricContext(ctx, m, fab, k, 0, mc, e.spec.GPU)
 		if err != nil {
+			e.noteFailure(ctx, key, err, true)
 			return evalOut{}, err
 		}
 		out = evalOut{iterS: res.Total(), strategy: &st}
 	}
 	if out.iterS <= 0 {
-		return evalOut{}, fmt.Errorf("fleet: %s evaluation of %s×%d returned non-positive iteration time",
+		err := fmt.Errorf("fleet: %s evaluation of %s×%d returned non-positive iteration time",
 			e.spec.Arch, fam, k)
+		e.noteFailure(ctx, key, err, !e.isIterator)
+		return evalOut{}, err
 	}
+	// Failed searches are deliberately NOT recorded in seen: they cache
+	// nothing, so a fresh run re-attempts (and re-counts) them — the
+	// replay must too.
 	e.cache[key] = out
+	e.seen[key] = struct{}{}
 	return out, nil
 }
 

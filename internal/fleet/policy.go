@@ -3,8 +3,6 @@ package fleet
 import (
 	"fmt"
 	"strings"
-
-	"topoopt/internal/cluster"
 )
 
 // Policy names accepted on the wire.
@@ -27,12 +25,22 @@ type QueuedJob struct {
 
 // PolicyContext is everything a policy may consult when deciding what to
 // place next. All of it is deterministic state, so any policy built from
-// it keeps the engine's reproducibility guarantee.
+// it keeps the engine's reproducibility guarantee. The function fields
+// are closures over the engine, built once per Engine — not per pass —
+// so a scheduling pass costs no allocation.
 type PolicyContext struct {
 	// Now is the current simulation time.
 	Now float64
-	// Sched tracks free servers; the policy allocates through it.
-	Sched *cluster.Scheduler
+	// Free reports the current number of unallocated servers.
+	Free func() int
+	// Alloc reserves k servers packed (lowest-index first-fit) and returns
+	// their IDs, or ok=false if k servers are not free. The returned slice
+	// comes from the engine's shard pool: the policy hands it to the
+	// engine via Pick and must not retain it.
+	Alloc func(k int) (servers []int, ok bool)
+	// AllocStrided is Alloc with rack-strided placement (members land
+	// stride apart, falling back to first-fit for leftovers).
+	AllocStrided func(k, stride int) (servers []int, ok bool)
 	// Queue is the waiting queue in admission order (index 0 = head).
 	Queue []QueuedJob
 	// Est returns the deterministic service-time estimate of queue entry
@@ -57,7 +65,7 @@ type PolicyContext struct {
 type Policy interface {
 	Name() string
 	// Pick returns the queue index to admit and its allocated servers
-	// (already reserved in pc.Sched), or ok=false when nothing can start
+	// (already reserved via pc.Alloc), or ok=false when nothing can start
 	// now. The engine calls Pick repeatedly until it declines.
 	Pick(pc *PolicyContext) (i int, servers []int, ok bool)
 }
@@ -87,11 +95,11 @@ type fifoPolicy struct{}
 func (fifoPolicy) Name() string { return PolicyFIFO }
 
 func (fifoPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
-	if len(pc.Queue) == 0 || pc.Sched.Free() < pc.Queue[0].Workers {
+	if len(pc.Queue) == 0 || pc.Free() < pc.Queue[0].Workers {
 		return 0, nil, false
 	}
-	servers, err := pc.Sched.Allocate(pc.Queue[0].Workers)
-	if err != nil {
+	servers, ok := pc.Alloc(pc.Queue[0].Workers)
+	if !ok {
 		return 0, nil, false
 	}
 	return 0, servers, true
@@ -106,11 +114,11 @@ type stridedPolicy struct{ stride int }
 func (stridedPolicy) Name() string { return PolicyStrided }
 
 func (p stridedPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
-	if len(pc.Queue) == 0 || pc.Sched.Free() < pc.Queue[0].Workers {
+	if len(pc.Queue) == 0 || pc.Free() < pc.Queue[0].Workers {
 		return 0, nil, false
 	}
-	servers, err := pc.Sched.AllocateStrided(pc.Queue[0].Workers, p.stride)
-	if err != nil {
+	servers, ok := pc.AllocStrided(pc.Queue[0].Workers, p.stride)
+	if !ok {
 		return 0, nil, false
 	}
 	return 0, servers, true
@@ -129,10 +137,10 @@ func (backfillPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
 	if len(pc.Queue) == 0 {
 		return 0, nil, false
 	}
-	free := pc.Sched.Free()
+	free := pc.Free()
 	if free >= pc.Queue[0].Workers {
-		servers, err := pc.Sched.Allocate(pc.Queue[0].Workers)
-		if err != nil {
+		servers, ok := pc.Alloc(pc.Queue[0].Workers)
+		if !ok {
 			return 0, nil, false
 		}
 		return 0, servers, true
@@ -148,8 +156,8 @@ func (backfillPolicy) Pick(pc *PolicyContext) (int, []int, bool) {
 			continue
 		}
 		if start+pc.Est(i) <= when || j.Workers <= extra {
-			servers, err := pc.Sched.Allocate(j.Workers)
-			if err != nil {
+			servers, ok := pc.Alloc(j.Workers)
+			if !ok {
 				return 0, nil, false
 			}
 			return i, servers, true

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"slices"
+
 	"topoopt/internal/stats"
 )
 
@@ -77,16 +79,19 @@ type Result struct {
 }
 
 // summarize fills the aggregate block from the per-job records and the
-// utilization series.
-func summarize(res *Result, servers int) {
+// utilization series. scratch (may be nil) backs the JCT percentile sort;
+// the used buffer is returned so a pooled engine can recycle it.
+func summarize(res *Result, servers int, scratch []float64) []float64 {
 	s := &res.Summary
 	s.Jobs = len(res.Jobs)
 	if len(res.Jobs) == 0 {
-		return
+		return scratch
 	}
-	jcts := make([]float64, len(res.Jobs))
-	for i, j := range res.Jobs {
-		jcts[i] = j.JCTS
+	jcts := scratch[:0]
+	var sumJCT float64
+	for _, j := range res.Jobs {
+		jcts = append(jcts, j.JCTS)
+		sumJCT += j.JCTS
 		s.MeanQueueDelayS += j.QueueDelayS
 		s.MeanSlowdown += j.Slowdown
 		s.Restarts += j.Restarts
@@ -95,9 +100,10 @@ func summarize(res *Result, servers int) {
 			s.MakespanS = j.FinishS
 		}
 	}
-	s.MeanJCTS = stats.Mean(jcts)
-	s.P50JCTS = stats.Percentile(jcts, 50)
-	s.P95JCTS = stats.Percentile(jcts, 95)
+	slices.Sort(jcts)
+	s.MeanJCTS = sumJCT / float64(len(jcts))
+	s.P50JCTS = stats.PercentileSorted(jcts, 50)
+	s.P95JCTS = stats.PercentileSorted(jcts, 95)
 	s.MeanQueueDelayS /= float64(len(res.Jobs))
 	s.MeanSlowdown /= float64(len(res.Jobs))
 
@@ -119,4 +125,5 @@ func summarize(res *Result, servers int) {
 	if span := s.MakespanS - firstArrival; span > 0 {
 		s.MeanUtilization = area / span / float64(servers)
 	}
+	return jcts
 }

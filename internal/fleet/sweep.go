@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"topoopt/internal/stats"
+)
+
+// A fleet run is a pure function of its seed, so K runs of the same spec
+// under K derived seeds form a Monte Carlo sample of the workload's
+// JCT/queueing/utilization behavior — the quantile-centric methodology a
+// single lifetime cannot provide. Sweep fans the replicas across a
+// bounded worker pool and merges them into a byte-stable SweepResult:
+// replica seeds are a pure function of (root seed, replica index),
+// results land in per-index slots, and the merge walks the slots in
+// index order, so neither goroutine interleaving nor the pool width can
+// reach the output bytes.
+
+// MaxSweepReplicas bounds one sweep. 4096 replicas of even the cheapest
+// scenario is minutes of work — anything beyond it is a typo, not a plan.
+const MaxSweepReplicas = 4096
+
+// maxReplicaSummaries caps the per-replica detail included in a
+// SweepResult; larger sweeps report distributions only, keeping the
+// response (and its WAL record) bounded.
+const maxReplicaSummaries = 32
+
+// MetricDist is the across-replica distribution of one summary metric.
+// The confidence interval is the normal-approximation 95% CI of the mean
+// (±1.96·s/√K, sample standard deviation); it collapses to the mean when
+// K = 1.
+type MetricDist struct {
+	Name   string  `json:"name"`
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+}
+
+// ReplicaSummary is one replica's aggregate block plus the seed that
+// produced it, so any replica can be reproduced standalone with a plain
+// fleet run.
+type ReplicaSummary struct {
+	Replica int     `json:"replica"`
+	Seed    int64   `json:"seed"`
+	Summary Summary `json:"summary"`
+}
+
+// SweepResult is the merged output of a K-replica Monte Carlo sweep.
+// Like Result it contains only slices and scalars, so its JSON encoding
+// is canonical: the same (spec, K) marshals to identical bytes regardless
+// of worker count or scheduling.
+type SweepResult struct {
+	Arch         string `json:"arch"`
+	Policy       string `json:"policy"`
+	Provisioning string `json:"provisioning"`
+	// Seed is the root seed; replica i runs under ReplicaSeed(Seed, i).
+	Seed     int64 `json:"seed"`
+	Replicas int   `json:"replicas"`
+	// Metrics holds one distribution per summary metric, in fixed order.
+	Metrics []MetricDist `json:"metrics"`
+	// ReplicaSummaries lists per-replica aggregates, elided entirely for
+	// sweeps larger than the size cap.
+	ReplicaSummaries []ReplicaSummary `json:"replica_summaries,omitempty"`
+}
+
+// ReplicaSeed derives replica i's seed from the root seed. Replica 0 IS
+// the root seed — a K=1 sweep samples exactly the plain run — and later
+// replicas pass the root+i·golden-gamma counter through the splitmix64
+// finalizer, the standard construction for statistically independent
+// streams from consecutive counters.
+func ReplicaSeed(root int64, i int) int64 {
+	if i == 0 {
+		return root
+	}
+	z := uint64(root) + uint64(i)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Sweep runs `replicas` seed-replicas of spec and merges their summaries
+// into metric distributions. Concurrency: min(replicas, spec.SearchWorkers)
+// replicas run at once (at least one), each with its own single-threaded
+// engine — the sweep parallelizes across replicas, not inside searches,
+// so granted worker budget translates directly into replica throughput.
+// progress, when non-nil, is called after each replica completes with
+// (done, total); it may be called concurrently.
+//
+// The result is byte-stable: same spec and K → identical JSON, at any
+// worker count. On error, the error of the lowest-indexed failing
+// replica is returned.
+func Sweep(ctx context.Context, spec Spec, replicas int, progress func(done, total int)) (*SweepResult, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("fleet: sweep needs at least 1 replica, got %d", replicas)
+	}
+	if replicas > MaxSweepReplicas {
+		return nil, fmt.Errorf("fleet: sweep of %d replicas exceeds the cap of %d", replicas, MaxSweepReplicas)
+	}
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	workers := spec.SearchWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+
+	summaries := make([]Summary, replicas)
+	errs := make([]error, replicas)
+	var done atomic.Int64
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rs := spec
+				rs.Seed = ReplicaSeed(spec.Seed, i)
+				// One search thread per replica: cross-replica fan-out is
+				// the parallelism; nested search pools would oversubscribe
+				// the budget the caller already spent on workers.
+				rs.SearchWorkers = 1
+				res, err := Run(ctx, rs)
+				if err != nil {
+					errs[i] = err
+				} else {
+					summaries[i] = res.Summary
+				}
+				if progress != nil {
+					progress(int(done.Add(1)), replicas)
+				}
+			}
+		}()
+	}
+	for i := 0; i < replicas; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: sweep replica %d (seed %d): %w", i, ReplicaSeed(spec.Seed, i), err)
+		}
+	}
+
+	out := &SweepResult{
+		Arch:         spec.Arch,
+		Policy:       spec.Policy,
+		Provisioning: spec.Provisioning,
+		Seed:         spec.Seed,
+		Replicas:     replicas,
+		Metrics:      mergeMetrics(summaries),
+	}
+	if replicas <= maxReplicaSummaries {
+		out.ReplicaSummaries = make([]ReplicaSummary, replicas)
+		for i, s := range summaries {
+			out.ReplicaSummaries[i] = ReplicaSummary{Replica: i, Seed: ReplicaSeed(spec.Seed, i), Summary: s}
+		}
+	}
+	return out, nil
+}
+
+// sweepMetrics fixes the metric order of SweepResult.Metrics.
+var sweepMetrics = []struct {
+	name string
+	get  func(*Summary) float64
+}{
+	{"mean_jct_s", func(s *Summary) float64 { return s.MeanJCTS }},
+	{"p50_jct_s", func(s *Summary) float64 { return s.P50JCTS }},
+	{"p95_jct_s", func(s *Summary) float64 { return s.P95JCTS }},
+	{"mean_queue_delay_s", func(s *Summary) float64 { return s.MeanQueueDelayS }},
+	{"mean_slowdown", func(s *Summary) float64 { return s.MeanSlowdown }},
+	{"mean_utilization", func(s *Summary) float64 { return s.MeanUtilization }},
+	{"makespan_s", func(s *Summary) float64 { return s.MakespanS }},
+}
+
+func mergeMetrics(summaries []Summary) []MetricDist {
+	out := make([]MetricDist, 0, len(sweepMetrics))
+	vals := make([]float64, len(summaries))
+	sorted := make([]float64, len(summaries))
+	for _, m := range sweepMetrics {
+		for i := range summaries {
+			vals[i] = m.get(&summaries[i])
+		}
+		copy(sorted, vals)
+		slices.Sort(sorted)
+		mean := stats.Mean(vals)
+		d := MetricDist{
+			Name: m.name,
+			Mean: mean,
+			P50:  stats.PercentileSorted(sorted, 50),
+			P90:  stats.PercentileSorted(sorted, 90),
+			P99:  stats.PercentileSorted(sorted, 99),
+		}
+		d.CI95Lo, d.CI95Hi = mean, mean
+		if n := len(vals); n > 1 {
+			var ss float64
+			for _, v := range vals {
+				ss += (v - mean) * (v - mean)
+			}
+			half := 1.96 * math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+			d.CI95Lo, d.CI95Hi = mean-half, mean+half
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sweepSpec is a small sampled workload — the trace itself is drawn
+// from the seed, so replica seeds genuinely diversify the runs — kept
+// cheap enough to run dozens of replicas in a unit test.
+func sweepSpec(seed int64) Spec {
+	return Spec{
+		Servers: 8, Degree: 2, LinkBandwidth: 25e9,
+		Arch: "Fat-tree", Policy: "fifo", Provisioning: "ocs", Seed: seed,
+		MCMCIters: 5, Rounds: 1,
+		Trace: TraceSpec{Jobs: 4, MeanInterarrivalS: 120},
+	}
+}
+
+func sweepJSON(t *testing.T, sp Spec, k int) []byte {
+	t.Helper()
+	res, err := Sweep(context.Background(), sp, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the sweep's core
+// guarantee: the same (spec, K) marshals to byte-identical JSON on
+// reruns and at every worker-pool width — goroutine interleaving must
+// not reach the output.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	const k = 8
+	base := sweepSpec(7)
+	base.SearchWorkers = 1
+	want := sweepJSON(t, base, k)
+	for _, workers := range []int{1, 3, 8, 32} {
+		sp := sweepSpec(7)
+		sp.SearchWorkers = workers
+		if got := sweepJSON(t, sp, k); !bytes.Equal(got, want) {
+			t.Errorf("SearchWorkers=%d produced different sweep JSON", workers)
+		}
+	}
+}
+
+// TestSweepK1MatchesPlainRun: replica 0 runs under the root seed, so a
+// K=1 sweep's distributions collapse to exactly the plain fleet run's
+// summary, with every CI pinned to its mean.
+func TestSweepK1MatchesPlainRun(t *testing.T) {
+	sp := sweepSpec(3)
+	res, err := Run(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Sweep(context.Background(), sp, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"mean_jct_s":         res.Summary.MeanJCTS,
+		"p50_jct_s":          res.Summary.P50JCTS,
+		"p95_jct_s":          res.Summary.P95JCTS,
+		"mean_queue_delay_s": res.Summary.MeanQueueDelayS,
+		"mean_slowdown":      res.Summary.MeanSlowdown,
+		"mean_utilization":   res.Summary.MeanUtilization,
+		"makespan_s":         res.Summary.MakespanS,
+	}
+	if len(sw.Metrics) != len(want) {
+		t.Fatalf("got %d metrics, want %d", len(sw.Metrics), len(want))
+	}
+	for _, m := range sw.Metrics {
+		v, ok := want[m.Name]
+		if !ok {
+			t.Errorf("unexpected metric %q", m.Name)
+			continue
+		}
+		if m.Mean != v || m.P50 != v || m.P90 != v || m.P99 != v ||
+			m.CI95Lo != v || m.CI95Hi != v {
+			t.Errorf("%s: K=1 distribution %+v != plain-run value %v", m.Name, m, v)
+		}
+	}
+	if len(sw.ReplicaSummaries) != 1 || sw.ReplicaSummaries[0].Seed != sp.Seed {
+		t.Errorf("K=1 replica summary = %+v, want one entry under the root seed", sw.ReplicaSummaries)
+	}
+}
+
+// TestSweepReplicaSeeds: replica 0 is the root seed (K=1 ≡ plain run)
+// and the splitmix64-derived seeds are pairwise distinct.
+func TestSweepReplicaSeeds(t *testing.T) {
+	const root = int64(42)
+	if got := ReplicaSeed(root, 0); got != root {
+		t.Errorf("ReplicaSeed(root, 0) = %d, want the root seed %d", got, root)
+	}
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := ReplicaSeed(root, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("replicas %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestSweepReplicaCountChangesResult: different K must yield different
+// distributions (more replicas = more samples), and seeds must actually
+// diversify the runs — identical summaries across all replicas would
+// mean the seed never reached the engine.
+func TestSweepReplicaCountChangesResult(t *testing.T) {
+	sp := sweepSpec(7)
+	sw, err := Sweep(context.Background(), sp, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	first, _ := json.Marshal(sw.ReplicaSummaries[0].Summary)
+	for _, rs := range sw.ReplicaSummaries[1:] {
+		b, _ := json.Marshal(rs.Summary)
+		if !bytes.Equal(first, b) {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("all 8 replicas produced identical summaries; seeds are not reaching the runs")
+	}
+}
+
+// TestSweepBounds: the replica count is validated before any work runs.
+func TestSweepBounds(t *testing.T) {
+	sp := sweepSpec(1)
+	for _, k := range []int{0, -1, MaxSweepReplicas + 1} {
+		if _, err := Sweep(context.Background(), sp, k, nil); err == nil {
+			t.Errorf("replicas=%d: want an error", k)
+		}
+	}
+	bad := sp
+	bad.Servers = 0
+	if _, err := Sweep(context.Background(), bad, 2, nil); err == nil {
+		t.Error("invalid spec must fail validation before sweeping")
+	}
+}
+
+// TestSweepProgress: the progress callback fires once per replica and
+// the final call reports done == total.
+func TestSweepProgress(t *testing.T) {
+	sp := sweepSpec(1)
+	sp.SearchWorkers = 4
+	const k = 6
+	var mu sync.Mutex
+	calls, maxDone := 0, 0
+	_, err := Sweep(context.Background(), sp, k, func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if done > maxDone {
+			maxDone = done
+		}
+		if total != k {
+			t.Errorf("progress total = %d, want %d", total, k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != k || maxDone != k {
+		t.Errorf("progress calls=%d maxDone=%d, want %d/%d", calls, maxDone, k, k)
+	}
+}
+
+// TestSweepSummariesElided: sweeps beyond the size cap report
+// distributions only.
+func TestSweepSummariesElided(t *testing.T) {
+	sp := sweepSpec(1)
+	// The cheapest possible replica: one fixed-duration job, no searches.
+	sp.Trace = TraceSpec{Inline: []JobSpec{{AtS: 0, Workers: 4, FixedDurationS: 20}}}
+	sp.SearchWorkers = 8
+	sw, err := Sweep(context.Background(), sp, maxReplicaSummaries+1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.ReplicaSummaries != nil {
+		t.Errorf("%d replicas must elide per-replica summaries", maxReplicaSummaries+1)
+	}
+	if sw.Replicas != maxReplicaSummaries+1 || len(sw.Metrics) == 0 {
+		t.Errorf("merged result incomplete: %+v", sw)
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts the sweep with the
+// lowest failing replica's error, naming the replica and its seed.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, sweepSpec(1), 4, nil)
+	if err == nil {
+		t.Fatal("cancelled sweep must fail")
+	}
+	if !strings.Contains(err.Error(), "sweep replica 0") {
+		t.Errorf("error %q should name the lowest failing replica", err)
+	}
+}

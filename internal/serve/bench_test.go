@@ -90,6 +90,37 @@ func BenchmarkServeCoalesce(b *testing.B) {
 	}
 }
 
+// BenchmarkServeCacheHitParallel hammers the cache-hit path from many
+// concurrent goroutines calling Service.Plan directly (no HTTP), to
+// expose Service.mu — the lock every hit takes for the LRU bump and
+// flight-map check — under far higher client counts than the HTTP
+// benchmark reaches. Run with -mutexprofilefraction to measure the
+// lock's contribution; the EXPERIMENTS.md contention harvest records
+// the verdict.
+func BenchmarkServeCacheHitParallel(b *testing.B) {
+	plan := stubPlan(b)
+	s := New(Config{Workers: 2, Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+		return plan, nil
+	}})
+	defer s.Close()
+	ctx := context.Background()
+	req := testRequest(1)
+	if _, _, _, err := s.Plan(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.SetParallelism(64) // 64 goroutines per core
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, cached, err := s.Plan(ctx, req); err != nil || !cached {
+				b.Errorf("cached=%v err=%v", cached, err)
+			}
+		}
+	})
+}
+
 // BenchmarkServeFingerprint measures request fingerprinting, which sits
 // on every request including cache hits.
 func BenchmarkServeFingerprint(b *testing.B) {

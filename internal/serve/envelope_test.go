@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// errorCodes is the published taxonomy from the ErrorResponse doc
+// comment; every error any endpoint produces must use one of these.
+var errorCodes = map[string]bool{
+	"bad_request": true, "bad_deadline": true, "unknown_arch": true,
+	"not_found": true, "queue_full": true, "overloaded": true,
+	"draining": true, "shutting_down": true, "deadline_exceeded": true,
+	"internal": true,
+}
+
+// TestErrorEnvelopeConformance drives an error out of every v1 route and
+// asserts the response is exactly the unified envelope: a single "error"
+// key holding an ErrorResponse whose code is in the published taxonomy
+// — no endpoint-private shapes, no stray fields.
+func TestErrorEnvelopeConformance(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const validSweepSpec = `{"servers":8,"degree":1,"link_bandwidth":1e9,"arch":"Fat-tree",` +
+		`"trace":{"inline":[{"at_s":0,"workers":4,"fixed_duration_s":10}]}}`
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		headers    map[string]string
+		wantStatus int
+		wantCode   string
+		wantDetail string // "" means don't care
+	}{
+		{"plan malformed body", "POST", "/v1/plan", `{"model":`, nil,
+			http.StatusBadRequest, "bad_request", "body"},
+		{"plan bad model", "POST", "/v1/plan",
+			`{"model":{"preset":"gpt5"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`, nil,
+			http.StatusBadRequest, "bad_request", "model"},
+		{"plan bad options", "POST", "/v1/plan",
+			`{"model":{"preset":"bert"},"options":{"servers":1,"degree":4,"link_bandwidth":25e9}}`, nil,
+			http.StatusBadRequest, "bad_request", "options"},
+		{"plan bad deadline", "POST", "/v1/plan",
+			`{"model":{"preset":"bert"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`,
+			map[string]string{"X-Deadline-Ms": "nope"},
+			http.StatusBadRequest, "bad_deadline", ""},
+		{"compare unknown arch", "POST", "/v1/compare",
+			`{"model":{"preset":"bert"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9},"archs":["warpdrive"]}`, nil,
+			http.StatusBadRequest, "unknown_arch", ""},
+		{"cost missing params", "GET", "/v1/cost?arch=Fat-tree", "", nil,
+			http.StatusBadRequest, "bad_request", "query"},
+		{"cost unknown arch", "GET", "/v1/cost?arch=warpdrive&servers=16&degree=4&bandwidth_gbps=100", "", nil,
+			http.StatusBadRequest, "unknown_arch", ""},
+		{"fleet bad spec", "POST", "/v1/fleet", `{"spec":{"servers":0}}`, nil,
+			http.StatusBadRequest, "bad_request", "spec"},
+		{"sweep malformed body", "POST", "/v1/sweep", `{"spec":`, nil,
+			http.StatusBadRequest, "bad_request", "body"},
+		{"sweep bad spec", "POST", "/v1/sweep", `{"spec":{"servers":0},"replicas":2}`, nil,
+			http.StatusBadRequest, "bad_request", "spec"},
+		{"sweep zero replicas", "POST", "/v1/sweep",
+			`{"spec":` + validSweepSpec + `,"replicas":0}`, nil,
+			http.StatusBadRequest, "bad_request", "replicas"},
+		{"sweep too many replicas", "POST", "/v1/sweep",
+			`{"spec":` + validSweepSpec + `,"replicas":1000000}`, nil,
+			http.StatusBadRequest, "bad_request", "replicas"},
+		{"jobs submit malformed body", "POST", "/v1/jobs", `{`, nil,
+			http.StatusBadRequest, "bad_request", "body"},
+		{"jobs list bad limit", "GET", "/v1/jobs?limit=abc", "", nil,
+			http.StatusBadRequest, "bad_request", "query"},
+		{"jobs list bad status", "GET", "/v1/jobs?status=bogus", "", nil,
+			http.StatusBadRequest, "bad_request", "query"},
+		{"job get not found", "GET", "/v1/jobs/j99999999", "", nil,
+			http.StatusNotFound, "not_found", ""},
+		{"job cancel not found", "DELETE", "/v1/jobs/j99999999", "", nil,
+			http.StatusNotFound, "not_found", ""},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range tc.headers {
+				req.Header.Set(k, v)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+
+			// The envelope must be exactly {"error": ErrorResponse}: one top
+			// key, no fields beyond the published four.
+			var top map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &top); err != nil {
+				t.Fatalf("body is not a JSON object: %s", raw)
+			}
+			inner, ok := top["error"]
+			if !ok || len(top) != 1 {
+				t.Fatalf("body must have exactly the \"error\" key: %s", raw)
+			}
+			dec := json.NewDecoder(bytes.NewReader(inner))
+			dec.DisallowUnknownFields()
+			var e ErrorResponse
+			if err := dec.Decode(&e); err != nil {
+				t.Fatalf("error object has fields outside ErrorResponse: %v (%s)", err, inner)
+			}
+
+			if e.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", e.Code, tc.wantCode)
+			}
+			if !errorCodes[e.Code] {
+				t.Errorf("code %q is not in the published taxonomy", e.Code)
+			}
+			if e.Message == "" {
+				t.Error("message must be non-empty")
+			}
+			if tc.wantDetail != "" && e.Detail != tc.wantDetail {
+				t.Errorf("detail = %q, want %q", e.Detail, tc.wantDetail)
+			}
+		})
+	}
+}

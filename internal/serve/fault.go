@@ -88,9 +88,11 @@ func (fi *FaultInjector) Wrap(next http.Handler) http.Handler {
 		if fail {
 			writeError(w, &apiError{
 				Status: http.StatusInternalServerError,
-				Code:   "injected_fault",
-				Message: "synthetic failure injected by the chaos harness; " +
-					"retry against a healthy instance",
+				ErrorResponse: ErrorResponse{
+					Code: "injected_fault",
+					Message: "synthetic failure injected by the chaos harness; " +
+						"retry against a healthy instance",
+				},
 			})
 			return
 		}

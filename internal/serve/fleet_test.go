@@ -46,6 +46,22 @@ func postFleet(t *testing.T, url string, spec topoopt.FleetSpec) (int, Job, map[
 	return resp.StatusCode, j, nil
 }
 
+// fleetJobResult re-decodes a done job's kind-tagged result envelope
+// into the concrete fleet result type (over HTTP the envelope's Result
+// arrives as generic JSON).
+func fleetJobResult(t *testing.T, j Job) topoopt.FleetResult {
+	t.Helper()
+	raw, err := json.Marshal(j.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr topoopt.FleetResult
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatalf("decoding fleet job result: %v", err)
+	}
+	return fr
+}
+
 func pollJob(t *testing.T, url, id string) Job {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
@@ -84,14 +100,15 @@ func TestHTTPFleetRoundTrip(t *testing.T) {
 		t.Fatalf("submit status %d", code)
 	}
 	done1 := pollJob(t, ts.URL, j1.ID)
-	if done1.Status != JobDone || done1.Fleet == nil {
+	if done1.Status != JobDone || done1.Result == nil {
 		t.Fatalf("job 1 = %+v", done1)
 	}
-	if done1.Plan != nil {
-		t.Error("fleet job must not carry a plan")
+	if done1.Kind != kindFleet {
+		t.Errorf("fleet job kind = %q, want %q", done1.Kind, kindFleet)
 	}
-	if len(done1.Fleet.Jobs) != 3 {
-		t.Fatalf("fleet result has %d jobs, want 3", len(done1.Fleet.Jobs))
+	fr1 := fleetJobResult(t, done1)
+	if len(fr1.Jobs) != 3 {
+		t.Fatalf("fleet result has %d jobs, want 3", len(fr1.Jobs))
 	}
 
 	// Repeat: same fingerprint, instantly done from the cache, identical
@@ -101,8 +118,8 @@ func TestHTTPFleetRoundTrip(t *testing.T) {
 		t.Errorf("repeat fingerprint %s != %s", j2.Fingerprint, j1.Fingerprint)
 	}
 	done2 := pollJob(t, ts.URL, j2.ID)
-	b1, _ := json.Marshal(done1.Fleet)
-	b2, _ := json.Marshal(done2.Fleet)
+	b1, _ := json.Marshal(done1.Result)
+	b2, _ := json.Marshal(done2.Result)
 	if !bytes.Equal(b1, b2) {
 		t.Error("cached repeat returned a different result")
 	}
@@ -115,7 +132,8 @@ func TestHTTPFleetRoundTrip(t *testing.T) {
 }
 
 // TestHTTPFleetValidation: structural 400s for bad specs, with the
-// bad_spec code and a menu in the message.
+// unified bad_request code, the spec detail group, and a menu in the
+// message.
 func TestHTTPFleetValidation(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
@@ -129,8 +147,10 @@ func TestHTTPFleetValidation(t *testing.T) {
 		t.Fatalf("bad arch status %d", code)
 	}
 	msg, _ := json.Marshal(e)
-	if !strings.Contains(string(msg), "bad_spec") || !strings.Contains(string(msg), "TopoOpt") {
-		t.Errorf("error should carry bad_spec and the registered menu: %s", msg)
+	if !strings.Contains(string(msg), `"bad_request"`) ||
+		!strings.Contains(string(msg), `"spec"`) ||
+		!strings.Contains(string(msg), "TopoOpt") {
+		t.Errorf("error should carry bad_request, the spec detail group and the registered menu: %s", msg)
 	}
 
 	bad = tinyFleetSpec(1)

@@ -16,20 +16,52 @@ import (
 // maxRequestBytes bounds request bodies; plan requests are tiny.
 const maxRequestBytes = 1 << 20
 
-// apiError is the structured error envelope: every non-2xx response is
-// {"error": {"code": ..., "message": ...}}. Backpressure errors
-// (queue_full, overloaded, draining) additionally carry the queue depth
-// and a retry hint that is mirrored into the Retry-After header.
-type apiError struct {
-	Status            int    `json:"-"`
+// ErrorResponse is the unified error envelope: every non-2xx response
+// from every endpoint is {"error": ErrorResponse}. Code is the
+// machine-readable taxonomy —
+//
+//	bad_request        malformed body/query or invalid field values
+//	bad_deadline       malformed X-Deadline-Ms header
+//	unknown_arch       architecture name not in the backend registry
+//	not_found          no such job
+//	queue_full         work queue at capacity
+//	overloaded         admission controller shed the request
+//	draining           graceful shutdown in progress, not admitting
+//	shutting_down      service closed
+//	deadline_exceeded  the request's deadline expired while waiting
+//	internal           the computation itself failed
+//
+// — and Detail carries machine-readable context within a code (the
+// offending field group for bad_request, queue depth for backpressure).
+// RetryAfterSeconds, when nonzero, mirrors the Retry-After header:
+// backpressure responses derive it from queue depth × observed service
+// time, so well-behaved clients back off proportionally to the actual
+// overload.
+type ErrorResponse struct {
 	Code              string `json:"code"`
 	Message           string `json:"message"`
-	QueueDepth        int    `json:"queue_depth,omitempty"`
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+	Detail            string `json:"detail,omitempty"`
 }
 
-func badRequest(code string, err error) *apiError {
-	return &apiError{Status: http.StatusBadRequest, Code: code, Message: err.Error()}
+// apiError is an ErrorResponse plus the HTTP status it rides on.
+type apiError struct {
+	Status int `json:"-"`
+	ErrorResponse
+}
+
+// badRequest is a 400 bad_request with detail naming the offending field
+// group (body, model, options, spec, query, replicas).
+func badRequest(detail string, err error) *apiError {
+	return &apiError{Status: http.StatusBadRequest,
+		ErrorResponse: ErrorResponse{Code: "bad_request", Message: err.Error(), Detail: detail}}
+}
+
+// unknownArch is a 400 unknown_arch: the architecture name is not in the
+// backend registry (the message names the registered menu).
+func unknownArch(err error) *apiError {
+	return &apiError{Status: http.StatusBadRequest,
+		ErrorResponse: ErrorResponse{Code: "unknown_arch", Message: err.Error()}}
 }
 
 func writeError(w http.ResponseWriter, e *apiError) {
@@ -38,7 +70,7 @@ func writeError(w http.ResponseWriter, e *apiError) {
 		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
 	}
 	w.WriteHeader(e.Status)
-	json.NewEncoder(w).Encode(map[string]*apiError{"error": e})
+	json.NewEncoder(w).Encode(map[string]ErrorResponse{"error": e.ErrorResponse})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -58,34 +90,38 @@ func retrySeconds(wait time.Duration) int {
 	return secs
 }
 
-// serviceError maps Plan/Compare errors onto transport errors.
-// Backpressure responses carry the queue depth and a Retry-After hint
-// derived from queue depth × observed service time, so well-behaved
-// clients back off proportionally to the actual overload.
+// serviceError maps service-layer errors onto the unified envelope.
+// Backpressure responses carry the queue depth (in Detail) and a
+// Retry-After hint derived from queue depth × observed service time, so
+// well-behaved clients back off proportionally to the actual overload.
 func (s *Service) serviceError(err error) *apiError {
 	var oe *OverloadError
 	switch {
 	case errors.As(err, &oe):
-		return &apiError{
-			Status: http.StatusTooManyRequests, Code: "overloaded", Message: err.Error(),
-			QueueDepth: oe.QueueDepth, RetryAfterSeconds: retrySeconds(oe.EstimatedWait),
-		}
+		return &apiError{Status: http.StatusTooManyRequests, ErrorResponse: ErrorResponse{
+			Code: "overloaded", Message: err.Error(),
+			Detail:            fmt.Sprintf("queue_depth=%d", oe.QueueDepth),
+			RetryAfterSeconds: retrySeconds(oe.EstimatedWait),
+		}}
 	case errors.Is(err, ErrQueueFull):
-		return &apiError{
-			Status: http.StatusServiceUnavailable, Code: "queue_full", Message: err.Error(),
-			QueueDepth: len(s.queue), RetryAfterSeconds: retrySeconds(s.estimatedWait()),
-		}
+		return &apiError{Status: http.StatusServiceUnavailable, ErrorResponse: ErrorResponse{
+			Code: "queue_full", Message: err.Error(),
+			Detail:            fmt.Sprintf("queue_depth=%d", len(s.queue)),
+			RetryAfterSeconds: retrySeconds(s.estimatedWait()),
+		}}
 	case errors.Is(err, ErrDraining):
-		return &apiError{
-			Status: http.StatusServiceUnavailable, Code: "draining", Message: err.Error(),
-			RetryAfterSeconds: 1,
-		}
+		return &apiError{Status: http.StatusServiceUnavailable, ErrorResponse: ErrorResponse{
+			Code: "draining", Message: err.Error(), RetryAfterSeconds: 1,
+		}}
 	case errors.Is(err, ErrClosed):
-		return &apiError{Status: http.StatusServiceUnavailable, Code: "shutting_down", Message: err.Error()}
+		return &apiError{Status: http.StatusServiceUnavailable,
+			ErrorResponse: ErrorResponse{Code: "shutting_down", Message: err.Error()}}
 	case errors.Is(err, context.DeadlineExceeded):
-		return &apiError{Status: http.StatusGatewayTimeout, Code: "deadline_exceeded", Message: err.Error()}
+		return &apiError{Status: http.StatusGatewayTimeout,
+			ErrorResponse: ErrorResponse{Code: "deadline_exceeded", Message: err.Error()}}
 	default:
-		return &apiError{Status: http.StatusInternalServerError, Code: "optimize_failed", Message: err.Error()}
+		return &apiError{Status: http.StatusInternalServerError,
+			ErrorResponse: ErrorResponse{Code: "internal", Message: err.Error()}}
 	}
 }
 
@@ -96,8 +132,10 @@ func (s *Service) requestContext(r *http.Request) (context.Context, context.Canc
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		ms, err := strconv.Atoi(h)
 		if err != nil || ms <= 0 {
-			return nil, nil, badRequest("bad_deadline",
-				fmt.Errorf("X-Deadline-Ms must be a positive integer, got %q", h))
+			return nil, nil, &apiError{Status: http.StatusBadRequest, ErrorResponse: ErrorResponse{
+				Code:    "bad_deadline",
+				Message: fmt.Sprintf("X-Deadline-Ms must be a positive integer, got %q", h),
+			}}
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
 		return ctx, cancel, nil
@@ -114,23 +152,23 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return badRequest("bad_json", err)
+		return badRequest("body", err)
 	}
 	return nil
 }
 
 // validatePlanFields resolves the spec and validates the options — the
-// single validation pipeline every planning endpoint shares, with
-// field-specific 400 codes: bad_model (unresolvable ModelSpec),
-// bad_options (Options.Validate failure). The resolved model is returned
-// so downstream code never re-resolves.
+// single validation pipeline every planning endpoint shares. Failures
+// are bad_request with detail naming the field group: "model"
+// (unresolvable ModelSpec) or "options" (Options.Validate failure). The
+// resolved model is returned so downstream code never re-resolves.
 func validatePlanFields(spec topoopt.ModelSpec, o topoopt.Options) (*topoopt.Model, *apiError) {
 	m, err := spec.Resolve()
 	if err != nil {
-		return nil, badRequest("bad_model", err)
+		return nil, badRequest("model", err)
 	}
 	if err := o.Validate(); err != nil {
-		return nil, badRequest("bad_options", err)
+		return nil, badRequest("options", err)
 	}
 	return m, nil
 }
@@ -149,8 +187,10 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest)
 //	POST   /v1/compare    — architecture comparison
 //	GET    /v1/cost       — §5.2 cost model lookup
 //	POST   /v1/fleet      — submit an async fleet simulation
+//	POST   /v1/sweep      — K-replica Monte Carlo fleet sweep (sync or async)
 //	POST   /v1/jobs       — submit an async planning job
-//	GET    /v1/jobs/{id}  — poll a job (plan or fleet)
+//	GET    /v1/jobs       — list jobs, newest first (?status=, ?limit=)
+//	GET    /v1/jobs/{id}  — poll a job (plan, fleet or sweep)
 //	DELETE /v1/jobs/{id}  — cancel a job
 //	GET    /v1/metrics    — counters, gauges, latency quantiles (JSON)
 //	GET    /metrics       — the same snapshot, Prometheus text exposition
@@ -162,7 +202,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("GET /v1/cost", s.handleCost)
 	mux.HandleFunc("POST /v1/fleet", s.handleSubmitFleet)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -258,7 +300,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 		pa, err := topoopt.ParseArchitecture(a)
 		if err != nil {
 			tr.Finish("", false, http.StatusBadRequest)
-			writeError(w, badRequest("bad_arch", err))
+			writeError(w, unknownArch(err))
 			return
 		}
 		archs = append(archs, pa)
@@ -308,7 +350,7 @@ func (s *Service) handleCost(w http.ResponseWriter, r *http.Request) {
 	degree, err2 := strconv.Atoi(q.Get("degree"))
 	gbps, err3 := strconv.ParseFloat(q.Get("bandwidth_gbps"), 64)
 	if arch == "" || err1 != nil || err2 != nil || err3 != nil {
-		writeError(w, badRequest("bad_query",
+		writeError(w, badRequest("query",
 			errors.New("required query parameters: arch, servers, degree, bandwidth_gbps")))
 		return
 	}
@@ -316,19 +358,19 @@ func (s *Service) handleCost(w http.ResponseWriter, r *http.Request) {
 	// Same bounds as Options.Validate, so /v1/cost rejects what /v1/plan
 	// would instead of pricing a nonsensical deployment.
 	if err := (topoopt.Options{Servers: servers, Degree: degree, LinkBandwidth: bw}).Validate(); err != nil {
-		writeError(w, badRequest("bad_query", err))
+		writeError(w, badRequest("query", err))
 		return
 	}
 	// Registry validation first: an unknown name is a client error that
 	// names the registered menu, never a 500.
 	pa, err := topoopt.ParseArchitecture(arch)
 	if err != nil {
-		writeError(w, badRequest("bad_arch", err))
+		writeError(w, unknownArch(err))
 		return
 	}
 	c, err := topoopt.Cost(pa, servers, degree, bw)
 	if err != nil {
-		writeError(w, badRequest("bad_arch", err))
+		writeError(w, unknownArch(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, CostResponse{
@@ -352,7 +394,7 @@ func (s *Service) handleSubmitFleet(w http.ResponseWriter, r *http.Request) {
 	// Validate up front: the 400 names the registered menu (archs,
 	// policies, provisioning modes) instead of surfacing a late 500.
 	if err := req.Spec.Validate(); err != nil {
-		writeError(w, badRequest("bad_spec", err))
+		writeError(w, badRequest("spec", err))
 		return
 	}
 	j, err := s.SubmitFleet(req.Spec)
@@ -361,6 +403,102 @@ func (s *Service) handleSubmitFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j)
+}
+
+// SweepResponse is the synchronous POST /v1/sweep response body.
+type SweepResponse struct {
+	Fingerprint string                    `json:"fingerprint"`
+	Cached      bool                      `json:"cached"`
+	Sweep       *topoopt.FleetSweepResult `json:"sweep"`
+}
+
+// handleSweep runs a K-replica Monte Carlo fleet sweep. Synchronous by
+// default — the merged distributions come back in the response with the
+// standard X-Trace breakdown (replica progress included) — or async with
+// "async": true, returning 202 + a kind="sweep" job to poll.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("sweep")
+	tr := s.tel.Begin("sweep")
+	tr.Start(telemetry.StageDecode)
+	var req SweepRequest
+	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		aerr := badRequest("spec", err)
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
+	if req.Replicas < 1 || req.Replicas > topoopt.MaxFleetSweepReplicas {
+		aerr := badRequest("replicas",
+			fmt.Errorf("replicas must be in [1, %d], got %d", topoopt.MaxFleetSweepReplicas, req.Replicas))
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
+	if req.Async {
+		j, err := s.SubmitSweep(req.Spec, req.Replicas)
+		if err != nil {
+			aerr := s.serviceError(err)
+			tr.Finish("", false, aerr.Status)
+			writeError(w, aerr)
+			return
+		}
+		tr.Finish(j.Fingerprint, false, http.StatusAccepted)
+		writeJSON(w, http.StatusAccepted, j)
+		return
+	}
+	ctx, cancel, aerr := s.requestContext(r)
+	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
+	defer cancel()
+	tr.End()
+	// Sweep latencies are not observed, like compares: a K-replica fan-out
+	// is seconds-to-minutes scale and would swamp the serving-path
+	// quantiles.
+	res, fp, cached, err := s.Sweep(ctx, req.Spec, req.Replicas, tr)
+	if err != nil {
+		aerr := s.serviceError(err)
+		tr.Finish(fp, false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
+	tr.Start(telemetry.StageEncode)
+	w.Header().Set("X-Trace", string(tr.AppendHeader(nil)))
+	writeJSON(w, http.StatusOK, SweepResponse{Fingerprint: fp, Cached: cached, Sweep: res})
+	tr.Finish(fp, cached, http.StatusOK)
+}
+
+// JobList is the GET /v1/jobs response body: tracked jobs newest-first,
+// result payloads stripped (GET the individual job for its result).
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.met.incRequest("jobs_list")
+	q := r.URL.Query()
+	limit := 0
+	if l := q.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 1 {
+			writeError(w, badRequest("query", fmt.Errorf("limit must be a positive integer, got %q", l)))
+			return
+		}
+		limit = n
+	}
+	jobs, err := s.ListJobs(q.Get("status"), limit)
+	if err != nil {
+		writeError(w, badRequest("query", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: jobs})
 }
 
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -383,19 +521,23 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("jobs_get")
 	j, ok := s.GetJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found",
-			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeError(w, jobNotFound(r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
+}
+
+func jobNotFound(id string) *apiError {
+	return &apiError{Status: http.StatusNotFound, ErrorResponse: ErrorResponse{
+		Code: "not_found", Message: fmt.Sprintf("no job %q", id),
+	}}
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("jobs_cancel")
 	j, ok := s.CancelJob(r.PathValue("id"))
 	if !ok {
-		writeError(w, &apiError{Status: http.StatusNotFound, Code: "not_found",
-			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeError(w, jobNotFound(r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)

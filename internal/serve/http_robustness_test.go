@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,8 +122,8 @@ func TestShedding429WhenQueueWaitExceedsDeadline(t *testing.T) {
 	if e.Code != "overloaded" {
 		t.Errorf("code %q, want overloaded", e.Code)
 	}
-	if e.QueueDepth < 1 {
-		t.Errorf("queue_depth = %d, want >= 1", e.QueueDepth)
+	if !strings.HasPrefix(e.Detail, "queue_depth=") {
+		t.Errorf("detail = %q, want queue_depth=N", e.Detail)
 	}
 	if e.RetryAfterSeconds != ra {
 		t.Errorf("body retry_after_seconds %d != header %d", e.RetryAfterSeconds, ra)
@@ -206,8 +207,8 @@ func TestQueueFull503StructuredResponses(t *testing.T) {
 			if e.Code != "queue_full" {
 				t.Errorf("code %q, want queue_full", e.Code)
 			}
-			if e.QueueDepth < 1 {
-				t.Errorf("queue_depth = %d, want >= 1", e.QueueDepth)
+			if !strings.HasPrefix(e.Detail, "queue_depth=") {
+				t.Errorf("detail = %q, want queue_depth=N", e.Detail)
 			}
 		})
 	}

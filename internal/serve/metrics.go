@@ -17,8 +17,8 @@ const latencyWindow = 1024
 // map is built once in newMetrics and never mutated afterwards, so
 // incRequest is a lock-free map read plus an atomic add.
 var endpointNames = []string{
-	"plan", "compare", "cost", "fleet",
-	"jobs_submit", "jobs_get", "jobs_cancel",
+	"plan", "compare", "cost", "fleet", "sweep",
+	"jobs_submit", "jobs_list", "jobs_get", "jobs_cancel",
 }
 
 // metrics aggregates service counters. Hot counters — everything bumped

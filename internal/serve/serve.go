@@ -429,14 +429,34 @@ func resolved(m *topoopt.Model) func() (*topoopt.Model, error) {
 // latter two clipped to this waiter's own wait window so coalesced
 // joiners never claim time they did not spend waiting.
 func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func(), tr *telemetry.Trace) (*topoopt.Plan, string, bool, error) {
+	res, hit, err := s.execute(ctx, fp, func() (flightRun, error) {
+		m, rerr := resolve()
+		if rerr != nil {
+			return nil, rerr
+		}
+		return s.planRun(m, o), nil
+	}, onStart, tr)
+	if err != nil {
+		return nil, fp, hit, err
+	}
+	return res.(*topoopt.Plan), fp, hit, nil
+}
+
+// execute is the shared cache → coalesce → admit → queue → wait sequence
+// every flight-backed request shape (plan, fleet, sweep) rides. makeRun
+// is only invoked on the flight-creating path, outside the service lock:
+// cache hits and coalesced joins are served by fingerprint alone, so
+// they never pay for request materialization (a cached fingerprint
+// implies the request was valid). The returned bool reports a cache hit.
+func (s *Service) execute(ctx context.Context, fp string, makeRun func() (flightRun, error), onStart func(), tr *telemetry.Trace) (any, bool, error) {
 	tr.Start(telemetry.StageCache)
 	cached, f, err := s.joinOrCreate(fp, nil, onStart)
 	tr.End()
 	if err != nil {
-		return nil, fp, false, err
+		return nil, false, err
 	}
 	if cached != nil {
-		return cached.(*topoopt.Plan), fp, true, nil
+		return cached, true, nil
 	}
 	if f == nil {
 		// Miss: this request is about to occupy a queue slot, so this is
@@ -447,32 +467,31 @@ func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolv
 		serr := s.shedCheck(ctx)
 		tr.End()
 		if serr != nil {
-			return nil, fp, false, serr
+			return nil, false, serr
 		}
-		// Materialize the model without holding the lock, then race
-		// to create the flight (a concurrent identical request may win, in
+		// Materialize the run without holding the lock, then race to
+		// create the flight (a concurrent identical request may win, in
 		// which case we join its flight instead).
 		tr.Start(telemetry.StageDecode)
-		m, rerr := resolve()
+		run, rerr := makeRun()
 		tr.End()
 		if rerr != nil {
-			return nil, fp, false, rerr
+			return nil, false, rerr
 		}
 		tr.Start(telemetry.StageCache)
-		cached, f, err = s.joinOrCreate(fp, s.planRun(m, o), onStart)
+		cached, f, err = s.joinOrCreate(fp, run, onStart)
 		tr.End()
 		if err != nil {
-			return nil, fp, false, err
+			return nil, false, err
 		}
 		if cached != nil {
-			return cached.(*topoopt.Plan), fp, true, nil
+			return cached, true, nil
 		}
 	}
 	joined := time.Now()
 	res, err := s.waitFlight(ctx, f)
 	s.traceWait(tr, f, joined)
-	p, _ := res.(*topoopt.Plan)
-	return p, fp, false, err
+	return res, false, err
 }
 
 // traceWait attributes a waiter's time on f to the queue and search
@@ -976,18 +995,21 @@ const (
 	JobCancelled = "cancelled"
 )
 
-// Job is the externally visible state of an async job. Exactly one of
-// Plan (planning jobs) and Fleet (fleet-simulation jobs) is set once the
-// job is done.
+// Job is the externally visible state of an async job. Every job kind
+// (plan, fleet, sweep) shares this one envelope: Kind names the result
+// shape and Result carries it once the job is done — *topoopt.Plan for
+// "plan" jobs, *topoopt.FleetResult for "fleet", *topoopt.FleetSweepResult
+// for "sweep" — so callers dispatch on the tag instead of probing
+// per-kind optional fields.
 type Job struct {
-	ID          string               `json:"id"`
-	Status      string               `json:"status"`
-	Fingerprint string               `json:"fingerprint,omitempty"`
-	Plan        *topoopt.Plan        `json:"plan,omitempty"`
-	Fleet       *topoopt.FleetResult `json:"fleet,omitempty"`
-	Error       string               `json:"error,omitempty"`
-	CreatedAt   time.Time            `json:"created_at"`
-	FinishedAt  *time.Time           `json:"finished_at,omitempty"`
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Status      string     `json:"status"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Result      any        `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	CreatedAt   time.Time  `json:"created_at"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 }
 
 type job struct {
@@ -1070,6 +1092,111 @@ func (s *Service) SubmitFleet(spec topoopt.FleetSpec) (Job, error) {
 	return s.submitAsync(FleetFingerprint(spec), run, kindFleet, journal)
 }
 
+// SweepRequest is the wire request of POST /v1/sweep: a fleet spec plus
+// the Monte Carlo replica count. Async selects 202 + job semantics
+// instead of a synchronous response.
+type SweepRequest struct {
+	Spec     topoopt.FleetSpec `json:"spec"`
+	Replicas int               `json:"replicas"`
+	Async    bool              `json:"async,omitempty"`
+}
+
+// sweepJournal is the durable form of an admitted sweep job: everything
+// needed to re-submit it after a crash.
+type sweepJournal struct {
+	Spec     topoopt.FleetSpec `json:"spec"`
+	Replicas int               `json:"replicas"`
+}
+
+// SweepFingerprint returns the deterministic cache key of a Monte Carlo
+// sweep: SHA-256 over the canonical JSON of (spec, replicas) under a
+// "sweep" kind tag. The replica count is part of the key — a K=64 sweep
+// and a K=8 sweep of the same spec are different distributions.
+func SweepFingerprint(spec topoopt.FleetSpec, replicas int) string {
+	b, err := json.Marshal(struct {
+		Kind     string            `json:"kind"`
+		Spec     topoopt.FleetSpec `json:"spec"`
+		Replicas int               `json:"replicas"`
+	}{Kind: "sweep", Spec: spec.Canonical(), Replicas: replicas})
+	if err != nil {
+		// Plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: sweep fingerprint marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// sweepRun adapts a Monte Carlo sweep to the generic flight runner. The
+// replica fan-out is metered by the shared chain budget: the sweep asks
+// for one worker per replica and fans out only as wide as the grant, so
+// a 64-replica sweep on a busy daemon degrades toward sequential
+// replicas instead of oversubscribing the host. Replica completions feed
+// the flight's progress sink, so sweep progress (done/total replicas)
+// reaches X-Trace headers and /debug/requests exactly like MCMC proposal
+// progress does for plans.
+func (s *Service) sweepRun(spec topoopt.FleetSpec, replicas int) flightRun {
+	return func(ctx context.Context) (any, error) {
+		want := replicas
+		if spec.Parallelism > 0 && spec.Parallelism < want {
+			want = spec.Parallelism
+		}
+		granted := s.chains.acquire(want)
+		defer s.chains.release(granted)
+		sp := spec
+		sp.SearchWorkers = granted
+		sink := telemetry.ProgressFromContext(ctx)
+		sink.Set(0, int64(replicas))
+		res, err := topoopt.RunFleetSweep(ctx, sp, replicas, func(done, total int) {
+			sink.Set(int64(done), int64(total))
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// Sweep runs a K-replica Monte Carlo sweep synchronously, riding the
+// same fingerprint cache, in-flight coalescing and admission control as
+// plans: concurrent identical sweeps cost one fan-out, repeated sweeps
+// are served from the LRU (and the WAL across restarts), and sweeps that
+// cannot meet their deadline are shed up front. Returns the merged
+// distributions, the fingerprint, and whether the result was cached.
+func (s *Service) Sweep(ctx context.Context, spec topoopt.FleetSpec, replicas int, tr *telemetry.Trace) (*topoopt.FleetSweepResult, string, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, "", false, err
+	}
+	if replicas < 1 || replicas > topoopt.MaxFleetSweepReplicas {
+		return nil, "", false, fmt.Errorf("serve: sweep replicas must be in [1, %d], got %d",
+			topoopt.MaxFleetSweepReplicas, replicas)
+	}
+	sp := spec.Canonical()
+	fp := SweepFingerprint(sp, replicas)
+	res, hit, err := s.execute(ctx, fp, func() (flightRun, error) {
+		return s.sweepRun(sp, replicas), nil
+	}, nil, tr)
+	if err != nil {
+		return nil, fp, hit, err
+	}
+	return res.(*topoopt.FleetSweepResult), fp, hit, nil
+}
+
+// SubmitSweep registers an async Monte Carlo sweep job: same flight
+// machinery as Sweep, with job semantics (status polling via GET
+// /v1/jobs/{id}, cancellation via DELETE, crash-safe journaling).
+func (s *Service) SubmitSweep(spec topoopt.FleetSpec, replicas int) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	if replicas < 1 || replicas > topoopt.MaxFleetSweepReplicas {
+		return Job{}, fmt.Errorf("serve: sweep replicas must be in [1, %d], got %d",
+			topoopt.MaxFleetSweepReplicas, replicas)
+	}
+	sp := spec.Canonical()
+	journal, _ := json.Marshal(sweepJournal{Spec: sp, Replicas: replicas})
+	return s.submitAsync(SweepFingerprint(sp, replicas), s.sweepRun(sp, replicas), kindSweep, journal)
+}
+
 // submitAsync registers an async job around a flight. The
 // cache/flight/queue admission runs synchronously so backpressure
 // surfaces as an error here (a 503 at the HTTP layer), never as an
@@ -1096,7 +1223,7 @@ func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []b
 	s.jobID++
 	id := fmt.Sprintf("j%08d", s.jobID)
 	j := &job{
-		snap:   Job{ID: id, Status: JobQueued, Fingerprint: fp, CreatedAt: time.Now().UTC()},
+		snap:   Job{ID: id, Kind: kind, Status: JobQueued, Fingerprint: fp, CreatedAt: time.Now().UTC()},
 		cancel: cancel,
 	}
 	s.jobs[id] = j
@@ -1115,13 +1242,7 @@ func (s *Service) submitAsync(fp string, run flightRun, kind string, journal []b
 			j.FinishedAt = &now
 			switch {
 			case err == nil:
-				j.Status = JobDone
-				switch v := res.(type) {
-				case *topoopt.Plan:
-					j.Plan = v
-				case *topoopt.FleetResult:
-					j.Fleet = v
-				}
+				j.Status, j.Result = JobDone, res
 			case errors.Is(err, context.Canceled):
 				j.Status, j.Error = JobCancelled, err.Error()
 			default:
@@ -1188,6 +1309,45 @@ func (s *Service) GetJob(id string) (Job, bool) {
 		return Job{}, false
 	}
 	return j.snap, true
+}
+
+// Job-listing bounds: callers page with limit; the hard cap keeps one
+// response from serializing a thousand tracked jobs.
+const (
+	defaultJobListLimit = 100
+	maxJobListLimit     = 1000
+)
+
+// ListJobs returns tracked jobs newest-first, optionally filtered by
+// status (empty matches all), bounded by limit (≤ 0 selects the default
+// of 100; the cap is 1000). Result payloads are stripped from listings —
+// they can be megabytes for fleet runs — so callers list to discover and
+// then GET the job they want. An unknown status is an error.
+func (s *Service) ListJobs(status string, limit int) ([]Job, error) {
+	switch status {
+	case "", JobQueued, JobRunning, JobDone, JobFailed, JobCancelled:
+	default:
+		return nil, fmt.Errorf("serve: unknown job status %q", status)
+	}
+	if limit <= 0 {
+		limit = defaultJobListLimit
+	}
+	if limit > maxJobListLimit {
+		limit = maxJobListLimit
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, min(limit, len(s.jobSeq)))
+	for i := len(s.jobSeq) - 1; i >= 0 && len(out) < limit; i-- {
+		j, ok := s.jobs[s.jobSeq[i]]
+		if !ok || (status != "" && j.snap.Status != status) {
+			continue
+		}
+		snap := j.snap
+		snap.Result = nil
+		out = append(out, snap)
+	}
+	return out, nil
 }
 
 // CancelJob cancels a queued or running job. Finished jobs are left

@@ -288,19 +288,20 @@ func TestHTTPPlanValidation(t *testing.T) {
 
 	good := `{"model":{"preset":"bert","section":"6"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9,"mcmc_iters":10,"rounds":1,"seed":1}}`
 	cases := []struct {
-		name     string
-		body     string
-		wantCode int
-		wantErr  string // error.code, "" for success
+		name       string
+		body       string
+		wantCode   int
+		wantErr    string // error.code, "" for success
+		wantDetail string // error.detail field group
 	}{
-		{"valid", good, http.StatusOK, ""},
-		{"malformed json", `{"model":`, http.StatusBadRequest, "bad_json"},
-		{"unknown field", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9},"fanciness":11}`, http.StatusBadRequest, "bad_json"},
-		{"unknown preset", `{"model":{"preset":"gpt5"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_model"},
-		{"bad section", `{"model":{"preset":"bert","section":"9.9"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_model"},
-		{"servers too small", `{"model":{"preset":"bert"},"options":{"servers":1,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_options"},
-		{"degree too small", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":0,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_options"},
-		{"no bandwidth", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":4}}`, http.StatusBadRequest, "bad_options"},
+		{"valid", good, http.StatusOK, "", ""},
+		{"malformed json", `{"model":`, http.StatusBadRequest, "bad_request", "body"},
+		{"unknown field", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9},"fanciness":11}`, http.StatusBadRequest, "bad_request", "body"},
+		{"unknown preset", `{"model":{"preset":"gpt5"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_request", "model"},
+		{"bad section", `{"model":{"preset":"bert","section":"9.9"},"options":{"servers":12,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_request", "model"},
+		{"servers too small", `{"model":{"preset":"bert"},"options":{"servers":1,"degree":4,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_request", "options"},
+		{"degree too small", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":0,"link_bandwidth":25e9}}`, http.StatusBadRequest, "bad_request", "options"},
+		{"no bandwidth", `{"model":{"preset":"bert"},"options":{"servers":12,"degree":4}}`, http.StatusBadRequest, "bad_request", "options"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -331,6 +332,9 @@ func TestHTTPPlanValidation(t *testing.T) {
 			if env.Error.Code != tc.wantErr {
 				t.Errorf("error code = %q, want %q (message %q)",
 					env.Error.Code, tc.wantErr, env.Error.Message)
+			}
+			if env.Error.Detail != tc.wantDetail {
+				t.Errorf("error detail = %q, want %q", env.Error.Detail, tc.wantDetail)
 			}
 		})
 	}
@@ -442,8 +446,8 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		}
 		r.Body.Close()
 		if got.Status == JobDone {
-			if got.Plan == nil || got.FinishedAt == nil {
-				t.Fatalf("done job missing plan/finish time: %+v", got)
+			if got.Kind != kindPlan || got.Result == nil || got.FinishedAt == nil {
+				t.Fatalf("done job missing kind/result/finish time: %+v", got)
 			}
 			break
 		}
@@ -646,11 +650,11 @@ func TestUnknownArchStructured400(t *testing.T) {
 		body     string
 		wantCode string
 	}{
-		{"compare bogus", http.MethodPost, ts.URL + "/v1/compare", compareBody("warpdrive"), "bad_arch"},
-		{"compare empty name", http.MethodPost, ts.URL + "/v1/compare", compareBody(""), "bad_arch"},
-		{"compare case sensitive", http.MethodPost, ts.URL + "/v1/compare", compareBody("topoopt"), "bad_arch"},
-		{"cost bogus", http.MethodGet, ts.URL + "/v1/cost?arch=warpdrive&servers=16&degree=4&bandwidth_gbps=100", "", "bad_arch"},
-		{"cost case sensitive", http.MethodGet, ts.URL + "/v1/cost?arch=fat-tree&servers=16&degree=4&bandwidth_gbps=100", "", "bad_arch"},
+		{"compare bogus", http.MethodPost, ts.URL + "/v1/compare", compareBody("warpdrive"), "unknown_arch"},
+		{"compare empty name", http.MethodPost, ts.URL + "/v1/compare", compareBody(""), "unknown_arch"},
+		{"compare case sensitive", http.MethodPost, ts.URL + "/v1/compare", compareBody("topoopt"), "unknown_arch"},
+		{"cost bogus", http.MethodGet, ts.URL + "/v1/cost?arch=warpdrive&servers=16&degree=4&bandwidth_gbps=100", "", "unknown_arch"},
+		{"cost case sensitive", http.MethodGet, ts.URL + "/v1/cost?arch=fat-tree&servers=16&degree=4&bandwidth_gbps=100", "", "unknown_arch"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -8,15 +8,17 @@ import (
 	"topoopt/internal/wal"
 )
 
-// WAL record kinds: the three cacheable result shapes, plus the same
+// WAL record kinds: the four cacheable result shapes, plus the same
 // names reused to tag journaled async jobs (a "plan" job record carries
-// a PlanRequest, a "fleet" job record a FleetSpec). Kinds namespace
-// fingerprints inside the store, mirroring the kind tags already mixed
-// into compare and fleet fingerprints.
+// a PlanRequest, a "fleet" job record a FleetSpec, a "sweep" job record
+// a sweepJournal). Kinds namespace fingerprints inside the store,
+// mirroring the kind tags already mixed into compare, fleet and sweep
+// fingerprints, and double as the Job envelope's Kind tag.
 const (
 	kindPlan    = "plan"
 	kindCompare = "compare"
 	kindFleet   = "fleet"
+	kindSweep   = "sweep"
 )
 
 // Store is the durable plan store: a typed adapter over internal/wal
@@ -57,6 +59,9 @@ func encodeResult(res any) (kind string, payload []byte, err error) {
 	case *topoopt.FleetResult:
 		kind = kindFleet
 		payload, err = json.Marshal(v)
+	case *topoopt.FleetSweepResult:
+		kind = kindSweep
+		payload, err = json.Marshal(v)
 	default:
 		err = fmt.Errorf("serve: unstorable result type %T", res)
 	}
@@ -86,6 +91,12 @@ func decodeResult(kind string, payload []byte) (any, error) {
 			return nil, err
 		}
 		return &fr, nil
+	case kindSweep:
+		var sr topoopt.FleetSweepResult
+		if err := json.Unmarshal(payload, &sr); err != nil {
+			return nil, err
+		}
+		return &sr, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown stored kind %q", kind)
 	}
@@ -178,6 +189,11 @@ func (s *Service) warmFromStore() {
 			var spec topoopt.FleetSpec
 			if json.Unmarshal(r.Payload, &spec) == nil {
 				s.SubmitFleet(spec)
+			}
+		case kindSweep:
+			var sj sweepJournal
+			if json.Unmarshal(r.Payload, &sj) == nil {
+				s.SubmitSweep(sj.Spec, sj.Replicas)
 			}
 		}
 	}

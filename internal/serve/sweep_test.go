@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"topoopt"
+)
+
+func postSweep(t *testing.T, url string, req SweepRequest) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// sweepBytes extracts the merged sweep payload from a 200 response so
+// comparisons ignore the cached flag.
+func sweepBytes(t *testing.T, raw []byte) (string, bool, []byte) {
+	t.Helper()
+	var sr SweepResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("decoding sweep response %s: %v", raw, err)
+	}
+	if sr.Sweep == nil {
+		t.Fatalf("no sweep in response: %s", raw)
+	}
+	b, err := json.Marshal(sr.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr.Fingerprint, sr.Cached, b
+}
+
+// TestHTTPSweepDeterministic is the API-level acceptance check: the same
+// (spec, K=64) sweep returns byte-identical merged distributions on
+// rerun (served from cache under the same fingerprint) and on a daemon
+// with a completely different search-thread budget.
+func TestHTTPSweepDeterministic(t *testing.T) {
+	const k = 64
+	req := SweepRequest{Spec: tinyFleetSpec(5), Replicas: k}
+
+	s1 := New(Config{Workers: 2, SearchThreads: 1})
+	defer s1.Close()
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+
+	code, raw := postSweep(t, ts1.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", code, raw)
+	}
+	fp1, cached, b1 := sweepBytes(t, raw)
+	if cached {
+		t.Error("first sweep cannot be cached")
+	}
+
+	code, raw = postSweep(t, ts1.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("repeat sweep status %d", code)
+	}
+	fp2, cached, b2 := sweepBytes(t, raw)
+	if fp2 != fp1 {
+		t.Errorf("repeat fingerprint %s != %s", fp2, fp1)
+	}
+	if !cached {
+		t.Error("repeat sweep should be a cache hit")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cached repeat returned different sweep bytes")
+	}
+
+	// A daemon with 16× the worker budget fans the replicas out wide;
+	// the merged result must not move by a byte.
+	s2 := New(Config{Workers: 2, SearchThreads: 16})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	code, raw = postSweep(t, ts2.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("wide sweep status %d", code)
+	}
+	fp3, _, b3 := sweepBytes(t, raw)
+	if fp3 != fp1 {
+		t.Errorf("fingerprint differs across daemons: %s != %s", fp3, fp1)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Error("sweep bytes depend on the daemon's search-thread budget")
+	}
+
+	// Replica count is part of the identity: K=8 is a different sweep.
+	small := req
+	small.Replicas = 8
+	code, raw = postSweep(t, ts1.URL, small)
+	if code != http.StatusOK {
+		t.Fatalf("K=8 sweep status %d", code)
+	}
+	if fp4, _, _ := sweepBytes(t, raw); fp4 == fp1 {
+		t.Error("replica count must be part of the sweep fingerprint")
+	}
+}
+
+// TestHTTPSweepAsync: "async": true rides the job machinery — 202 with a
+// kind="sweep" job whose result decodes as the merged SweepResult.
+func TestHTTPSweepAsync(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const k = 4
+	body, _ := json.Marshal(SweepRequest{Spec: tinyFleetSpec(9), Replicas: k, Async: true})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j Job
+	err = json.NewDecoder(resp.Body).Decode(&j)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || j.ID == "" {
+		t.Fatalf("async submit: status %d, job %+v", resp.StatusCode, j)
+	}
+	if j.Kind != kindSweep {
+		t.Errorf("job kind = %q, want %q", j.Kind, kindSweep)
+	}
+
+	done := pollJob(t, ts.URL, j.ID)
+	if done.Status != JobDone || done.Result == nil {
+		t.Fatalf("sweep job = %+v", done)
+	}
+	// Re-fetch with a typed view of the kind-tagged envelope: decoding
+	// Result as `any` would push the int64 replica seeds through float64.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var typed struct {
+		Kind   string                   `json:"kind"`
+		Result topoopt.FleetSweepResult `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&typed)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding sweep job result: %v", err)
+	}
+	sw := typed.Result
+	if typed.Kind != kindSweep || sw.Replicas != k || len(sw.Metrics) == 0 {
+		t.Errorf("sweep result = %+v, want kind %q with %d merged replicas", typed, kindSweep, k)
+	}
+
+	// The async result and the synchronous endpoint agree byte-for-byte
+	// (same fingerprint, same cache entry).
+	code, syncRaw := postSweep(t, ts.URL, SweepRequest{Spec: tinyFleetSpec(9), Replicas: k})
+	if code != http.StatusOK {
+		t.Fatalf("sync repeat status %d", code)
+	}
+	fp, cached, b := sweepBytes(t, syncRaw)
+	if fp != done.Fingerprint || !cached {
+		t.Errorf("sync repeat fp=%s cached=%v, want the async job's cache entry %s", fp, cached, done.Fingerprint)
+	}
+	canon, _ := json.Marshal(&sw)
+	if !bytes.Equal(canon, b) {
+		t.Error("async and sync sweep results differ")
+	}
+}
+
+// TestHTTPJobsList: GET /v1/jobs lists newest-first with results
+// stripped, honoring ?status= and ?limit=.
+func TestHTTPJobsList(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		_, j, _ := postFleet(t, ts.URL, tinyFleetSpec(seed))
+		pollJob(t, ts.URL, j.ID)
+		ids = append(ids, j.ID)
+	}
+
+	get := func(query string) JobList {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list status %d", resp.StatusCode)
+		}
+		var jl JobList
+		if err := json.NewDecoder(resp.Body).Decode(&jl); err != nil {
+			t.Fatal(err)
+		}
+		return jl
+	}
+
+	jl := get("")
+	if len(jl.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(jl.Jobs))
+	}
+	for i, j := range jl.Jobs {
+		if want := ids[len(ids)-1-i]; j.ID != want {
+			t.Errorf("jobs[%d] = %s, want %s (newest first)", i, j.ID, want)
+		}
+		if j.Result != nil {
+			t.Errorf("jobs[%d] carries a result payload; lists must strip them", i)
+		}
+		if j.Kind != kindFleet {
+			t.Errorf("jobs[%d] kind = %q, want %q", i, j.Kind, kindFleet)
+		}
+	}
+
+	if jl := get("?limit=2"); len(jl.Jobs) != 2 {
+		t.Errorf("limit=2 listed %d jobs", len(jl.Jobs))
+	}
+	if jl := get("?status=done"); len(jl.Jobs) != 3 {
+		t.Errorf("status=done listed %d jobs, want 3", len(jl.Jobs))
+	}
+	if jl := get("?status=running"); len(jl.Jobs) != 0 {
+		t.Errorf("status=running listed %d jobs, want 0", len(jl.Jobs))
+	}
+}

@@ -14,25 +14,35 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: percentile of empty slice")
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted slice: no copy,
+// no sort, no allocation — for callers on a hot path that manage their
+// own scratch buffer. Panics on empty input.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty slice")
+	}
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0]
+	if len(sorted) == 1 {
+		return sorted[0]
 	}
-	rank := p / 100 * float64(len(s)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Mean returns the arithmetic mean. Panics on empty input.

@@ -38,6 +38,9 @@ type (
 	FleetResult = fleet.Result
 	// FleetJobResult is one job's lifetime within a FleetResult.
 	FleetJobResult = fleet.JobResult
+	// FleetSweepResult is a merged K-replica Monte Carlo sweep: per-metric
+	// distributions (p50/p90/p99, mean with 95% CI) across seed-replicas.
+	FleetSweepResult = fleet.SweepResult
 )
 
 // RunFleet executes a fleet simulation. The result is deterministic in
@@ -45,6 +48,20 @@ type (
 // every embedded strategy search.
 func RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
 	return fleet.Run(ctx, spec)
+}
+
+// MaxFleetSweepReplicas bounds the replica count of one sweep.
+const MaxFleetSweepReplicas = fleet.MaxSweepReplicas
+
+// RunFleetSweep executes a K-replica Monte Carlo sweep of a fleet spec:
+// replica i runs under a splitmix64-derived seed (replica 0 keeps the
+// root seed, so K=1 reproduces RunFleet exactly), spec.SearchWorkers
+// replicas run concurrently, and the merged distributions are
+// byte-stable at any worker count. progress, when non-nil, is called
+// after each replica completes with (done, total) and may be called
+// concurrently.
+func RunFleetSweep(ctx context.Context, spec FleetSpec, replicas int, progress func(done, total int)) (*FleetSweepResult, error) {
+	return fleet.Sweep(ctx, spec, replicas, progress)
 }
 
 // FleetScenarios lists the built-in fleet scenario presets.
