@@ -25,7 +25,7 @@ SHELL := /bin/bash
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
 	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
-	fleet-benchcheck sweep-bench bench-smoke bench-history profile-serve \
+	fleet-benchcheck sweep-bench warm-bench bench-smoke bench-history profile-serve \
 	profile-fleet profile-smoke chaos cover lint ci
 
 tier1: fmt vet build test
@@ -69,11 +69,11 @@ serve-benchcheck:
 # path is two map lookups per architecture on top of the searches, so the
 # recorded number is the guard that registry dispatch stays free.
 flexnet-bench:
-	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkWarmReplan|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -out BENCH_flexnet.json
 
 flexnet-benchcheck:
-	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkWarmReplan|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -check BENCH_flexnet.json $(BENCHDIFF_FLAGS)
 
 # The fleet suite records the cluster-scale simulator: two full scenario
@@ -99,10 +99,25 @@ sweep-bench: fleet-bench
 	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite fleet \
 		-import BENCH_cluster.json -label '$(HISTORY_LABEL)'
 
+# `make warm-bench` is the PR-time recorder for the flexnet suite now
+# that it includes the incremental-replanning benchmark
+# (BenchmarkWarmReplan: warm-started near-miss search vs cold, same
+# fabric family — the recorded gap is the ≥2x warm speedup the issue
+# pins). Runs the suite once, records it into BENCH_flexnet.json, then
+# copies that recording into the BENCH_HISTORY.json ledger under
+# HISTORY_LABEL.
+warm-bench: flexnet-bench
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite flexnet \
+		-import BENCH_flexnet.json -label '$(HISTORY_LABEL)'
+
 # Short-benchtime pass over every recorded suite. Warn-only: CI runners
 # are noisy and 0.2s samples are for catching order-of-magnitude
-# regressions, not 1.3x ones.
+# regressions, not 1.3x ones. The warm-quality gate runs first and is
+# NOT warn-only: "warm at equal budget never loses to cold" is a
+# correctness property of the warm-start seam, not a timing number, so
+# it must hard-fail even on noisy runners.
 bench-smoke:
+	$(GO) test ./internal/flexnet -run TestMCMCWarmPatienceEqualBudgetQuality
 	$(MAKE) BENCHTIME=0.2s BENCHDIFF_FLAGS=-warn-only benchcheck serve-benchcheck flexnet-benchcheck fleet-benchcheck
 
 # Appends one dated entry per suite to the BENCH_HISTORY.json trajectory
@@ -116,7 +131,7 @@ bench-history:
 		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite netsim -label '$(HISTORY_LABEL)'
 	$(GO) test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite serve -label '$(HISTORY_LABEL)'
-	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
+	$(GO) test ./internal/flexnet . -run '^$$' -bench 'BenchmarkMCMCSearch|^BenchmarkWarmReplan|^BenchmarkCompare$$' -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite flexnet -label '$(HISTORY_LABEL)'
 	$(GO) test ./internal/fleet -run '^$$' -bench BenchmarkFleet -benchmem -benchtime=$(BENCHTIME) \
 		| $(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite fleet -label '$(HISTORY_LABEL)'

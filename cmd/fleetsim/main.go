@@ -183,11 +183,11 @@ func run(ctx context.Context, cfg simConfig, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr,
 			"fleetsim: %d jobs on %s/%s/%s  makespan %.0fs  mean JCT %.1fs (p50 %.1f, p95 %.1f)  "+
 				"mean queue %.1fs  slowdown %.2fx  util %.1f%%  failures %d (replans %d, restarts %d)  "+
-				"searches %d (%d warm)\n",
+				"searches %d (%d warm, %d/%d index hits)\n",
 			s.Jobs, res.Arch, res.Policy, res.Provisioning, s.MakespanS,
 			s.MeanJCTS, s.P50JCTS, s.P95JCTS, s.MeanQueueDelayS, s.MeanSlowdown,
 			100*s.MeanUtilization, s.Failures, s.Replans, s.Restarts,
-			s.Searches, s.WarmStarts)
+			s.Searches, s.WarmStarts, s.WarmHits, s.WarmHits+s.WarmMisses)
 	}
 	return nil
 }

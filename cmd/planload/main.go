@@ -17,6 +17,13 @@
 // optimization and the rest coalesce onto it or hit the cache, which is
 // the serving hot path the BenchmarkServe* suite records.
 //
+// With -warm-mix P, fraction P of the requests are near-miss
+// perturbations of the base population — same model and server count,
+// far-offset seeds — so they miss the exact-fingerprint cache but sit in
+// the same similarity bucket, exercising the server's warm-start path.
+// Successful plan latencies are then additionally reported per serving
+// class (exact-hit / warm / cold).
+//
 // With -sweep K the load targets POST /v1/sweep instead: each request
 // is a K-replica Monte Carlo fleet sweep of the -scenario preset,
 // cycling root seeds the same way. Sweeps are fingerprinted and cached
@@ -60,6 +67,7 @@ func main() {
 		rounds    = flag.Int("rounds", 1, "alternating-optimization rounds")
 		parallel  = flag.Int("parallel", 0, "parallel MCMC chains per request (0 = server default of 1)")
 		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
+		warmMix   = flag.Float64("warm-mix", 0, "fraction of plan requests fired as near-miss perturbations (same model and servers, offset seed) that exercise the server's similarity warm starts")
 		retries   = flag.Int("retries", 0, "retries per failed request (plan requests are idempotent)")
 		backoff   = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
 		sweep     = flag.Int("sweep", 0, "fire K-replica POST /v1/sweep requests instead of plans")
@@ -72,20 +80,36 @@ func main() {
 	if *retries < 0 {
 		fatal(fmt.Errorf("-retries must be non-negative"))
 	}
+	if *warmMix < 0 || *warmMix > 1 {
+		fatal(fmt.Errorf("-warm-mix must be in [0, 1]"))
+	}
+	if *warmMix > 0 && *sweep > 0 {
+		fatal(fmt.Errorf("-warm-mix applies to plan loads only"))
+	}
 
 	endpoint, path := "plan", "/v1/plan"
-	var bodies [][]byte
+	var bodies, warmBodies [][]byte
 	var err error
 	if *sweep > 0 {
 		endpoint, path = "sweep", "/v1/sweep"
 		bodies, err = sweepBodies(*scenario, *sweep, *seeds)
 	} else {
-		bodies, err = requestBodies(loadSpec{
+		spec := loadSpec{
 			Model: *modelName, Section: *section,
 			Servers: *servers, Degree: *degree, BandwidthGbps: *bandwidth,
 			MCMCIters: *mcmc, Rounds: *rounds, Parallelism: *parallel,
 			Seeds: *seeds,
-		})
+		}
+		bodies, err = requestBodies(spec)
+		if err == nil && *warmMix > 0 {
+			// Near-miss population: same model and server count (the
+			// similarity index's hard-match key) at far-away seeds, so each
+			// is an exact-fingerprint miss the server can warm-start from
+			// whatever the base population has already cached.
+			warm := spec
+			warm.SeedBase = 10000
+			warmBodies, err = requestBodies(warm)
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -97,6 +121,10 @@ func main() {
 		cached   int
 		tally    = newTally()
 		hist     = newLatHist()
+		// classes buckets successful plan latencies by how the request was
+		// served: "exact-hit" (cache), "warm" (near-miss perturbation) or
+		// "cold" (base request, full search). Only populated with -warm-mix.
+		classes = map[string][]float64{}
 	)
 	retrier := clientretry.New(clientretry.Policy{
 		MaxRetries: *retries, Base: *backoff, Seed: 1,
@@ -111,6 +139,10 @@ func main() {
 			defer wg.Done()
 			for i := range work {
 				body := bodies[i%len(bodies)]
+				isWarm := false
+				if len(warmBodies) > 0 && warmPick(i, *warmMix) {
+					body, isWarm = warmBodies[i%len(warmBodies)], true
+				}
 				t0 := time.Now()
 				resp, out, err := retrier.Do(client, true, func() (*http.Request, error) {
 					req, err := http.NewRequest(http.MethodPost, *addr+path, bytes.NewReader(body))
@@ -136,9 +168,25 @@ func main() {
 					Cached bool `json:"cached"`
 				}
 				if resp.StatusCode == http.StatusOK &&
-					json.NewDecoder(resp.Body).Decode(&cr) == nil && cr.Cached {
+					json.NewDecoder(resp.Body).Decode(&cr) == nil {
 					mu.Lock()
-					cached++
+					if cr.Cached {
+						cached++
+					}
+					if len(warmBodies) > 0 {
+						// Serving class: a cached response is an exact hit
+						// regardless of which population fired it; misses
+						// split by population (warm = near-miss perturbation
+						// the server can similarity-seed, cold = base).
+						class := "cold"
+						switch {
+						case cr.Cached:
+							class = "exact-hit"
+						case isWarm:
+							class = "warm"
+						}
+						classes[class] = append(classes[class], lat)
+					}
 					mu.Unlock()
 				}
 				io.Copy(io.Discard, resp.Body)
@@ -164,6 +212,7 @@ func main() {
 		fmt.Printf("  cache-hit responses: %d\n", cached)
 	}
 	fmt.Print(hist.report("  "))
+	fmt.Print(classReport("  ", classes))
 
 	resp, err := client.Get(*addr + "/v1/metrics")
 	if err != nil {
@@ -174,9 +223,9 @@ func main() {
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		fatal(fmt.Errorf("decoding server metrics: %w", err))
 	}
-	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d shed=%d warmed=%d\n",
+	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d shed=%d warmed=%d warm-starts=%d (improved %d) sim-index=%d\n",
 		m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity,
-		m.Shed, m.WarmedEntries)
+		m.Shed, m.WarmedEntries, m.WarmStarts, m.WarmStartImproved, m.SimIndexEntries)
 	if m.Latency.Count > 0 {
 		fmt.Printf("server latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
 			m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
@@ -292,6 +341,34 @@ func (h *latHist) report(prefix string) string {
 	return b.String()
 }
 
+// warmPick deterministically selects which request indices fire the
+// near-miss population at mix fraction p: index i is picked exactly when
+// the running count ⌊(i+1)·p⌋ advances, spreading picks evenly over the
+// run (Bresenham-style) with no randomness to blur repeated loads.
+func warmPick(i int, p float64) bool {
+	return int(float64(i+1)*p) > int(float64(i)*p)
+}
+
+// classClasses fixes the serving-class report order.
+var classClasses = []string{"exact-hit", "warm", "cold"}
+
+// classReport renders one quantile line per populated serving class.
+// Empty without -warm-mix (the map is never fed).
+func classReport(prefix string, classes map[string][]float64) string {
+	var b bytes.Buffer
+	for _, class := range classClasses {
+		xs := classes[class]
+		if len(xs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%slatency[plan/%s]: n=%d p50=%.4gs p90=%.4gs p99=%.4gs max=%.4gs\n",
+			prefix, class, len(xs),
+			stats.Percentile(xs, 50), stats.Percentile(xs, 90),
+			stats.Percentile(xs, 99), stats.Max(xs))
+	}
+	return b.String()
+}
+
 // loadSpec describes the request population one load run fires.
 type loadSpec struct {
 	Model, Section    string
@@ -300,6 +377,10 @@ type loadSpec struct {
 	MCMCIters, Rounds int
 	Parallelism       int
 	Seeds             int
+	// SeedBase offsets every seed; the -warm-mix near-miss population uses
+	// a far-away base so it never collides with the base population's
+	// fingerprints while staying in the same similarity bucket.
+	SeedBase int
 }
 
 // requestBodies pre-marshals one plan request per seed. Splitting this
@@ -313,7 +394,7 @@ func requestBodies(s loadSpec) ([][]byte, error) {
 			Options: topoopt.Options{
 				Servers: s.Servers, Degree: s.Degree, LinkBandwidth: s.BandwidthGbps * 1e9,
 				MCMCIters: s.MCMCIters, Rounds: s.Rounds, Parallelism: s.Parallelism,
-				Seed: int64(i + 1),
+				Seed: int64(s.SeedBase + i + 1),
 			},
 		}
 		b, err := json.Marshal(req)

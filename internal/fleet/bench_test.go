@@ -125,13 +125,13 @@ func BenchmarkFleetEvalCacheHit(b *testing.B) {
 	}
 	ctx := context.Background()
 	fam, _ := ParseFamily("Recommendation")
-	if _, err := ev.evaluate(ctx, fam, 8, sp.Degree, nil); err != nil {
+	if _, err := ev.evaluate(ctx, fam, 8, sp.Degree); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.evaluate(ctx, fam, 8, sp.Degree, nil); err != nil {
+		if _, err := ev.evaluate(ctx, fam, 8, sp.Degree); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -364,6 +364,8 @@ func (en *Engine) Run(ctx context.Context) (*Result, error) {
 	en.res.Summary.Failures = en.failures
 	en.res.Summary.Searches = en.ev.searches
 	en.res.Summary.WarmStarts = en.ev.warmStarts
+	en.res.Summary.WarmHits = en.ev.warmHits
+	en.res.Summary.WarmMisses = en.ev.warmMisses
 	en.jcts = summarize(&en.res, en.spec.Servers, en.jcts)
 	return &en.res, nil
 }
@@ -471,7 +473,7 @@ func (en *Engine) estimate(ctx context.Context, i int) float64 {
 	if q.arr.fixed > 0 {
 		return q.arr.fixed
 	}
-	out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree, nil)
+	out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree)
 	if err != nil {
 		en.evalErr = err
 		return inf
@@ -570,7 +572,7 @@ func (en *Engine) place(ctx context.Context, now float64, qi int, servers []int)
 	var iterS, baseIterS float64
 	var strat *parallel.Strategy
 	if q.arr.iters > 0 {
-		out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree, nil)
+		out, err := en.ev.evaluate(ctx, q.arr.family, q.arr.workers, en.spec.Degree)
 		if err != nil {
 			en.evalErr = err
 			return
@@ -632,7 +634,7 @@ func (en *Engine) failure(ctx context.Context, t float64) {
 	rj := &en.running[id]
 
 	if en.spec.Failures.Mode == FailReplan {
-		out, err := en.ev.degrade(ctx, rj.arr.family, rj.arr.workers, rj.degree, rj.strategy)
+		out, err := en.ev.degrade(ctx, rj.arr.family, rj.arr.workers, rj.degree)
 		if err == nil {
 			en.replan(t, rj, out)
 			return

@@ -32,10 +32,14 @@ type evalOut struct {
 }
 
 // evaluator runs and memoizes per-shard evaluations. Jobs of the same
-// family and size share one search; a job family that has been planned
-// before warm-starts its degraded replans from the prior strategy. The
-// cache is keyed by struct and only ever read by key — no map iteration
-// can leak ordering into results.
+// family and size share one search, and every static-fabric search first
+// probes a virtual similarity index — the fleet sibling of the serving
+// layer's plan-similarity index — for a converged strategy of the same
+// (family, k) at the nearest other degree to warm-start from: degraded
+// replans seed from the healthy plan, and fresh placements after a
+// failure storm seed from their degraded cousins. The cache is keyed by
+// struct and only ever read by key — no map iteration can leak ordering
+// into results.
 //
 // The cache outlives Engine.Reset (evaluations are pure under the spec),
 // but the Searches/WarmStarts accounting must not: a replayed lifetime
@@ -59,6 +63,8 @@ type evaluator struct {
 	seen       map[evalKey]struct{} // keys charged this run
 	searches   int                  // searches a fresh run would execute
 	warmStarts int                  // searches seeded with a prior plan's strategy
+	warmHits   int                  // similarity probes that found a seed
+	warmMisses int                  // similarity probes that found nothing
 }
 
 // failedEval is one memoized failure. warmChargeable records whether the
@@ -99,25 +105,69 @@ func (e *evaluator) noteFailure(ctx context.Context, key evalKey, err error, war
 func (e *evaluator) beginRun() {
 	e.searches = 0
 	e.warmStarts = 0
+	e.warmHits = 0
+	e.warmMisses = 0
 	clear(e.seen)
 }
 
+// neighborWarm is the virtual similarity index: the converged strategy
+// of the same (family, k) at the nearest other degree this run has
+// already charged, probing degree+d before degree-d at each distance (a
+// healthier fabric's plan is the better seed). Only keys in `seen` are
+// eligible — eligibility must evolve identically across a Reset replay —
+// and only cache entries that carry a strategy (static fabrics) qualify.
+func (e *evaluator) neighborWarm(fam trace.Family, k, degree int) *parallel.Strategy {
+	for d := 1; degree+d <= e.spec.Degree || degree-d >= 1; d++ {
+		for _, nd := range []int{degree + d, degree - d} {
+			if nd < 1 || nd > e.spec.Degree || nd == degree {
+				continue
+			}
+			key := evalKey{family: fam, k: k, degree: nd}
+			if _, ok := e.seen[key]; !ok {
+				continue
+			}
+			if out, ok := e.cache[key]; ok && out.strategy != nil {
+				return out.strategy
+			}
+		}
+	}
+	return nil
+}
+
+// chargeWarm probes the similarity index and charges this run's warm
+// accounting: a hit counts a warm start (the caller seeds the search with
+// the returned strategy), a miss counts a cold search. Iterator backends
+// re-derive topology per call and have no static fabric to warm-start,
+// so they charge nothing — mirroring the historical accounting.
+func (e *evaluator) chargeWarm(fam trace.Family, k, degree int) *parallel.Strategy {
+	if e.isIterator {
+		return nil
+	}
+	if w := e.neighborWarm(fam, k, degree); w != nil {
+		e.warmHits++
+		e.warmStarts++
+		return w
+	}
+	e.warmMisses++
+	return nil
+}
+
 // evaluate returns the iteration time of a k-worker shard of the given
-// family at the given degree, searching (and caching) on a miss. warm,
-// when non-nil, seeds the strategy search — the degraded-replan path
-// passes the job's current strategy so the search resumes from a
-// known-good point instead of from scratch.
-func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree int, warm *parallel.Strategy) (evalOut, error) {
+// family at the given degree, searching (and caching) on a miss. Misses
+// seed their search from the similarity index's nearest neighbor (see
+// neighborWarm) — the degraded-replan path resumes from the healthy
+// plan instead of from scratch.
+func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree int) (evalOut, error) {
 	key := evalKey{family: fam, k: k, degree: degree}
 	if out, ok := e.cache[key]; ok {
 		if _, charged := e.seen[key]; !charged {
 			// First touch this run of a key warmed by a previous run: a
-			// fresh engine would have searched here, so the replay charges
-			// it too — byte-identical Summary across Reset.
+			// fresh engine would have searched (and probed the index) here,
+			// so the replay charges it too — byte-identical Summary across
+			// Reset. Charged before the key joins `seen`, so a key never
+			// probes itself (the probe starts at distance 1 regardless).
 			e.searches++
-			if warm != nil && !e.isIterator {
-				e.warmStarts++
-			}
+			e.chargeWarm(fam, k, degree)
 			e.seen[key] = struct{}{}
 		}
 		return out, nil
@@ -127,8 +177,8 @@ func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree in
 		// touch; the memoized replay charges identically and returns the
 		// same deterministic error without burning the search.
 		e.searches++
-		if f.warmChargeable && warm != nil && !e.isIterator {
-			e.warmStarts++
+		if f.warmChargeable {
+			e.chargeWarm(fam, k, degree)
 		}
 		return evalOut{}, f.err
 	}
@@ -161,9 +211,11 @@ func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree in
 			Iters: e.spec.MCMCIters, Seed: e.spec.Seed,
 			Parallelism: e.spec.Parallelism, Workers: e.spec.SearchWorkers,
 		}
-		if warm != nil {
+		// Probe after Build succeeds: a fabric that cannot be built fails
+		// before the warm-start point, and the replay of that failure must
+		// charge the same (zero) warm accounting.
+		if warm := e.chargeWarm(fam, k, degree); warm != nil {
 			mc.Warm = []parallel.Strategy{*warm}
-			e.warmStarts++
 		}
 		st, res, err := flexnet.SearchOnFabricContext(ctx, m, fab, k, 0, mc, e.spec.GPU)
 		if err != nil {
@@ -190,13 +242,15 @@ func (e *evaluator) evaluate(ctx context.Context, fam trace.Family, k, degree in
 // the engine falls back to a restart.
 var errShardTooDegraded = errors.New("fleet: shard has no interface left to degrade")
 
-// degrade evaluates a shard one interface down, warm-started from the
-// job's current strategy. Backends that cannot build the degraded fabric
-// (e.g. a 1-regular expander that would disconnect) surface an error,
-// which the engine also treats as a forced restart.
-func (e *evaluator) degrade(ctx context.Context, fam trace.Family, k, degree int, warm *parallel.Strategy) (evalOut, error) {
+// degrade evaluates a shard one interface down, warm-started (via the
+// similarity index) from the nearest converged plan — in the common case
+// the job's own healthy strategy one degree up. Backends that cannot
+// build the degraded fabric (e.g. a 1-regular expander that would
+// disconnect) surface an error, which the engine also treats as a forced
+// restart.
+func (e *evaluator) degrade(ctx context.Context, fam trace.Family, k, degree int) (evalOut, error) {
 	if degree <= 1 {
 		return evalOut{}, errShardTooDegraded
 	}
-	return e.evaluate(ctx, fam, k, degree-1, warm)
+	return e.evaluate(ctx, fam, k, degree-1)
 }

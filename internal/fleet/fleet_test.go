@@ -157,6 +157,21 @@ func TestFleetReplanDegradesAndWarmStarts(t *testing.T) {
 	if res.Summary.WarmStarts == 0 {
 		t.Error("replans ran but no search was warm-started")
 	}
+	// The warm seeds come from the evaluator's similarity index: every
+	// warm start is an index hit (static-fabric backends probe on every
+	// charged search, so hits + misses covers them all), and a degraded
+	// replan must find its healthy cousin — hits track the storm.
+	if res.Summary.WarmHits != res.Summary.WarmStarts {
+		t.Errorf("warm hits %d != warm starts %d (static backend: every warm start is an index hit)",
+			res.Summary.WarmHits, res.Summary.WarmStarts)
+	}
+	if res.Summary.WarmHits == 0 {
+		t.Error("failure storm probed the similarity index without a single hit")
+	}
+	if got := res.Summary.WarmHits + res.Summary.WarmMisses; got != res.Summary.Searches {
+		t.Errorf("probes (%d) != searches (%d): every charged static-fabric search must probe exactly once",
+			got, res.Summary.Searches)
+	}
 	for _, j := range res.Jobs {
 		if j.Replans > 0 && j.Slowdown < 1 {
 			t.Errorf("job %d replanned %d times yet has slowdown %g < 1", j.ID, j.Replans, j.Slowdown)

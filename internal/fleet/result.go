@@ -63,6 +63,12 @@ type Summary struct {
 	// misses); WarmStarts how many were seeded from a prior plan.
 	Searches   int `json:"searches"`
 	WarmStarts int `json:"warm_starts,omitempty"`
+	// WarmHits / WarmMisses break down the similarity-index probes every
+	// static-fabric search makes: a hit found a converged strategy of the
+	// same (family, size) at a nearby degree to seed from (WarmHits ==
+	// WarmStarts for such backends), a miss searched cold.
+	WarmHits   int `json:"warm_hits,omitempty"`
+	WarmMisses int `json:"warm_misses,omitempty"`
 }
 
 // Result is a full fleet run. It contains only slices and scalars — no

@@ -39,6 +39,24 @@ type CoOptConfig struct {
 	// restarts from zero at each round boundary; observers that want a
 	// cumulative count across rounds accumulate deltas themselves.
 	Progress func(done, total int)
+	// Warm seeds every round's strategy search with extra starting
+	// candidates (MCMCConfig.Warm): a near-miss service request passes
+	// its nearest cached neighbor's strategy here. Empty reproduces the
+	// cold search exactly.
+	Warm []parallel.Strategy
+	// Patience is MCMCConfig.Patience for every round's search: > 0
+	// stops a round once that many consecutive epoch barriers pass
+	// without improvement. Zero never exits early.
+	Patience int
+	// OnWarmStart is MCMCConfig.OnWarmStart, fired from the first round
+	// only — later rounds re-seed from the alternation, so round 0 is
+	// the request-level warm-start verdict telemetry wants.
+	OnWarmStart func(adopted bool)
+	// OnBest is MCMCConfig.OnBest for every round's search. Costs are
+	// strictly decreasing within one round but can jump between rounds
+	// (each round estimates on its own candidate fabric); anytime
+	// consumers that need a monotone stream enforce it at the sink.
+	OnBest func(s parallel.Strategy, cost float64)
 }
 
 // CoOptResult is the converged strategy + topology pair.
@@ -103,21 +121,26 @@ func CoOptimizeContext(ctx context.Context, m *model.Model, cfg CoOptConfig) (*C
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		curFab := best.Fabric
-		eval := func(s parallel.Strategy) float64 {
-			d, err := traffic.FromStrategy(m, s, batch)
-			if err != nil {
-				return inf
-			}
-			return EstimateIteration(curFab, d, s.MaxComputeTime(m, cfg.GPU, batch))
+		// Incremental evaluation: MCMC proposals differ from their chain's
+		// incumbent in one or two layers, so the delta evaluator patches
+		// link loads instead of rebuilding demand + routing per proposal.
+		// Bit-identical to the closure it replaced (see DeltaEval).
+		de := NewDeltaEval(m, best.Fabric, batch, cfg.GPU)
+		var onWarm func(bool)
+		if round == 0 {
+			onWarm = cfg.OnWarmStart
 		}
-		st, _ := MCMCSearch(m, cfg.N, batch, eval, MCMCConfig{
+		st, _ := MCMCSearch(m, cfg.N, batch, de.Eval, MCMCConfig{
 			Iters:       cfg.MCMCIters,
 			Seed:        cfg.Seed + int64(round),
 			Ctx:         ctx,
 			Parallelism: cfg.Parallelism,
 			Workers:     cfg.SearchWorkers,
 			Progress:    cfg.Progress,
+			Warm:        cfg.Warm,
+			Patience:    cfg.Patience,
+			OnWarmStart: onWarm,
+			OnBest:      cfg.OnBest,
 		})
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -171,15 +194,9 @@ func SearchOnFabricContext(ctx context.Context, m *model.Model, fab *Fabric, n, 
 	if batch <= 0 {
 		batch = m.BatchPerGPU
 	}
-	eval := func(s parallel.Strategy) float64 {
-		d, err := traffic.FromStrategy(m, s, batch)
-		if err != nil {
-			return inf
-		}
-		return EstimateIteration(fab, d, s.MaxComputeTime(m, gpu, batch))
-	}
+	de := NewDeltaEval(m, fab, batch, gpu)
 	mc.Ctx = ctx
-	st, _ := MCMCSearch(m, n, batch, eval, mc)
+	st, _ := MCMCSearch(m, n, batch, de.Eval, mc)
 	if err := ctx.Err(); err != nil {
 		return st, IterationResult{}, err
 	}

@@ -88,6 +88,29 @@ type MCMCConfig struct {
 	// (model, n) pair are ignored; an empty slice reproduces the original
 	// search proposal-for-proposal.
 	Warm []parallel.Strategy
+	// Patience, when > 0, stops the search once that many consecutive
+	// epoch barriers pass without the global best improving — the early
+	// exit that makes warm-started replans cheap: a search seeded at a
+	// near-optimal point converges (stops proposing improvements) within
+	// a few epochs and pays nothing for the rest of its budget. The
+	// barrier schedule is fixed by (Iters, Parallelism), so early exit is
+	// exactly as deterministic as the full run. Zero (the default) never
+	// exits early and is byte-identical to the historical search.
+	Patience int
+	// OnWarmStart, when non-nil, is called once, before any chain runs,
+	// whenever Warm contained at least one structurally fitting candidate.
+	// adopted reports whether a warm candidate strictly beat the canonical
+	// hybrid/DP starts and became the shared starting point. Purely
+	// observational (telemetry counters).
+	OnWarmStart func(adopted bool)
+	// OnBest, when non-nil, receives the search's running global best:
+	// once before any chain runs (the winning canonical or warm start)
+	// and again at every epoch barrier where the global best improved.
+	// Costs are therefore strictly decreasing across calls. The strategy
+	// is a private clone; the callback runs on the barrier goroutine
+	// while no chain executes, so it may touch shared state. Purely
+	// observational: results are identical with or without it.
+	OnBest func(s parallel.Strategy, cost float64)
 }
 
 // warmFits reports whether a warm-start candidate is structurally valid
@@ -226,10 +249,12 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 	// Warm-start candidates compete with the canonical starts on strictly
 	// better cost, so with no (or unhelpful) candidates the search below is
 	// proposal-for-proposal identical to the cold search.
+	warmConsidered, warmAdopted := false, false
 	for _, w := range cfg.Warm {
 		if !warmFits(w, m, n) {
 			continue
 		}
+		warmConsidered = true
 		key := w.Fingerprint()
 		c, ok := store.get(key)
 		if !ok {
@@ -238,7 +263,14 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 		}
 		if c < bestCost {
 			best, bestCost = w.Clone(), c
+			warmAdopted = true
 		}
+	}
+	if warmConsidered && cfg.OnWarmStart != nil {
+		cfg.OnWarmStart(warmAdopted)
+	}
+	if cfg.OnBest != nil {
+		cfg.OnBest(best.Clone(), bestCost)
 	}
 
 	shardable := m.ShardableLayers()
@@ -276,6 +308,11 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 
 	run := func(c *mcmcChain) { c.runEpoch(n, shardable, eval, store, cfg) }
 	active := make([]*mcmcChain, 0, k)
+	// globalBest tracks the best cost seen across barriers for the
+	// patience early exit and the OnBest stream; barren counts barriers
+	// without improvement.
+	globalBest := bestCost
+	barren := 0
 	for {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			break
@@ -309,12 +346,24 @@ func MCMCSearch(m *model.Model, n, batchPerGPU int, eval Evaluator, cfg MCMCConf
 				c.best, c.bestCost = g.best.Clone(), g.bestCost
 			}
 		}
+		if g.bestCost < globalBest {
+			globalBest = g.bestCost
+			barren = 0
+			if cfg.OnBest != nil {
+				cfg.OnBest(g.best.Clone(), g.bestCost)
+			}
+		} else {
+			barren++
+		}
 		if cfg.Progress != nil {
 			done := 0
 			for _, c := range chains {
 				done += c.done
 			}
 			cfg.Progress(done, cfg.Iters)
+		}
+		if cfg.Patience > 0 && barren >= cfg.Patience {
+			break
 		}
 	}
 

@@ -52,3 +52,41 @@ func BenchmarkMCMCSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWarmReplan is the incremental-replanning headline `make
+// warm-bench` records: the same near-miss replan run cold (from-scratch
+// search, full budget, closure evaluator — the pre-incremental service
+// path) and warm (similarity-index neighbor via MCMCConfig.Warm, the
+// patience early exit, and the delta evaluator). The acceptance bar is
+// warm ≥2x cheaper at equal budget with matched-or-better cost — pinned
+// functionally by TestMCMCWarmPatienceEqualBudgetQuality, measured here.
+func BenchmarkWarmReplan(b *testing.B) {
+	m := model.DLRMPreset(model.Sec53)
+	n := 32
+	fab := NewSwitchFabric(topo.IdealSwitch(n, 400e9))
+	eval := func(s parallel.Strategy) float64 {
+		d, err := traffic.FromStrategy(m, s, m.BatchPerGPU)
+		if err != nil {
+			return inf
+		}
+		return EstimateIteration(fab, d, s.MaxComputeTime(m, model.A100, m.BatchPerGPU))
+	}
+	// The cached neighbor a near-miss request warm-starts from.
+	neighbor, _ := MCMCSearch(m, n, 0, eval, MCMCConfig{Iters: 400, Seed: 99})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MCMCSearch(m, n, 0, eval, MCMCConfig{Iters: 400, Seed: 1})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			de := NewDeltaEval(m, fab, m.BatchPerGPU, model.A100)
+			MCMCSearch(m, n, 0, de.Eval, MCMCConfig{
+				Iters: 400, Seed: 1,
+				Warm: []parallel.Strategy{neighbor}, Patience: 3,
+			})
+		}
+	})
+}

@@ -9,6 +9,11 @@ type planCache struct {
 	max int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
+	// onEvict, when set, is called with each key the LRU bound pushes out
+	// (not on overwrites). The similarity index hooks it so index entries
+	// can never outlive the plan they point at. Runs under the same lock
+	// as every other cache call (the Service mutex).
+	onEvict func(key string)
 }
 
 type cacheEntry struct {
@@ -39,7 +44,11 @@ func (c *planCache) add(key string, val any) {
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+		k := oldest.Value.(*cacheEntry).key
+		delete(c.m, k)
+		if c.onEvict != nil {
+			c.onEvict(k)
+		}
 	}
 }
 

@@ -244,7 +244,7 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	fp := req.Fingerprint()
 	tr.End()
 	start := time.Now()
-	plan, fp, cached, err := s.plan(ctx, req.Options, fp, resolved(m), nil, tr)
+	plan, fp, cached, err := s.plan(ctx, req, fp, resolved(m), nil, tr)
 	if err != nil {
 		aerr := s.serviceError(err)
 		tr.Finish(fp, false, aerr.Status)

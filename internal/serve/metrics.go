@@ -38,7 +38,14 @@ type metrics struct {
 	// by the engine's epoch barriers (Options.Progress). Rate over time
 	// is the daemon's search throughput.
 	proposals atomic.Int64
-	requests  map[string]*atomic.Int64 // fixed keys; see endpointNames
+	// warmStarts counts searches seeded from the plan-similarity index;
+	// warmImproved counts the subset whose seed strictly beat the
+	// canonical start states (on real fabrics the canonical hybrid is
+	// usually already optimal, so the win is the patience time saving and
+	// warmImproved staying near zero is expected, not a bug).
+	warmStarts atomic.Int64
+	warmWins   atomic.Int64
+	requests   map[string]*atomic.Int64 // fixed keys; see endpointNames
 
 	mu       sync.Mutex // guards the rings below, nothing else
 	lat      []float64
@@ -71,6 +78,8 @@ func (m *metrics) optimizedDone() { m.optimized.Add(1) }
 func (m *metrics) queueFullDrop() { m.queueFull.Add(1) }
 func (m *metrics) shedDrop()      { m.shed.Add(1) }
 func (m *metrics) storeError()    { m.storeErrs.Add(1) }
+func (m *metrics) warmStart()     { m.warmStarts.Add(1) }
+func (m *metrics) warmImproved()  { m.warmWins.Add(1) }
 
 // addProposals folds an epoch's worth of consumed MCMC proposals into
 // the throughput counter.
@@ -167,6 +176,14 @@ type MetricsSnapshot struct {
 	// reported by the engine's epoch barriers.
 	MCMCProposals int64 `json:"mcmc_proposals"`
 
+	// WarmStarts counts searches seeded from the plan-similarity index;
+	// WarmStartImproved is the subset whose seed strictly beat the
+	// canonical start states. SimIndexEntries gauges the index size
+	// (always ≤ CacheEntries: index entries die with their cached plan).
+	WarmStarts        int64 `json:"warm_starts"`
+	WarmStartImproved int64 `json:"warm_start_improved"`
+	SimIndexEntries   int   `json:"sim_index_entries"`
+
 	// Stages holds per-stage latency quantiles (decode, admission, cache,
 	// queue, search, persist, encode) over recent traced requests.
 	Stages map[string]telemetry.StageSummary `json:"stages,omitempty"`
@@ -176,15 +193,17 @@ type MetricsSnapshot struct {
 // summaries are filled in by the Service, which owns those structures.
 func (m *metrics) snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:      make(map[string]int64, len(m.requests)),
-		CacheHits:     m.hits.Load(),
-		CacheMisses:   m.misses.Load(),
-		Coalesced:     m.coalesced.Load(),
-		Optimizations: m.optimized.Load(),
-		QueueFull:     m.queueFull.Load(),
-		Shed:          m.shed.Load(),
-		StoreErrors:   m.storeErrs.Load(),
-		MCMCProposals: m.proposals.Load(),
+		Requests:          make(map[string]int64, len(m.requests)),
+		CacheHits:         m.hits.Load(),
+		CacheMisses:       m.misses.Load(),
+		Coalesced:         m.coalesced.Load(),
+		Optimizations:     m.optimized.Load(),
+		QueueFull:         m.queueFull.Load(),
+		Shed:              m.shed.Load(),
+		StoreErrors:       m.storeErrs.Load(),
+		MCMCProposals:     m.proposals.Load(),
+		WarmStarts:        m.warmStarts.Load(),
+		WarmStartImproved: m.warmWins.Load(),
 	}
 	for k, c := range m.requests {
 		if v := c.Load(); v > 0 {

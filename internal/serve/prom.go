@@ -42,6 +42,8 @@ func WriteMetricsText(w io.Writer, snap MetricsSnapshot) error {
 	counter("topoopt_shed_total", "Requests shed by the admission controller.", snap.Shed)
 	counter("topoopt_store_errors_total", "Durable-store append or replay failures.", snap.StoreErrors)
 	counter("topoopt_mcmc_proposals_total", "MCMC proposals consumed across all searches.", snap.MCMCProposals)
+	counter("topoopt_warm_start_total", "Searches seeded from the plan-similarity index.", snap.WarmStarts)
+	counter("topoopt_warm_start_improved_total", "Warm-started searches whose seed strictly beat the canonical start states.", snap.WarmStartImproved)
 
 	gauge("topoopt_cache_entries", "Plan-cache entries resident.", float64(snap.CacheEntries))
 	gauge("topoopt_in_flight", "Computations currently in flight.", float64(snap.InFlight))
@@ -49,6 +51,7 @@ func WriteMetricsText(w io.Writer, snap MetricsSnapshot) error {
 	gauge("topoopt_queue_capacity", "Work-queue capacity.", float64(snap.QueueCapacity))
 	gauge("topoopt_jobs_tracked", "Async jobs tracked.", float64(snap.JobsTracked))
 	gauge("topoopt_warmed_entries", "Cache entries replayed from the durable store on boot.", float64(snap.WarmedEntries))
+	gauge("topoopt_sim_index_entries", "Plans indexed for similarity warm starts.", float64(snap.SimIndexEntries))
 	draining := 0.0
 	if snap.Draining {
 		draining = 1

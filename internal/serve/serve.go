@@ -190,6 +190,14 @@ type Service struct {
 	draining bool // admission stopped; in-flight work finishing
 	warmed   int  // cache entries replayed from the store on boot
 	cache    *planCache
+	// sim is the plan-similarity index over the cached plans: near-miss
+	// requests warm-start their search from the nearest indexed neighbor.
+	// Entries track the LRU (added on completion and WAL replay, removed
+	// by the cache's eviction hook), all under mu.
+	sim *simIndex
+	// partials holds the anytime snapshot of every running plan flight,
+	// keyed by fingerprint; GET /v1/jobs/{id} serves them as `partial`.
+	partials map[string]*partialState
 	flights  map[string]*flight
 	compares map[string]*compareFlight
 	jobs     map[string]*job
@@ -247,6 +255,13 @@ func New(cfg Config) *Service {
 			return topoopt.OptimizeContext(ctx, m, o)
 		}
 	}
+	sim := newSimIndex()
+	cache := newPlanCache(cfg.CacheEntries)
+	// An evicted plan must leave the similarity index with it — a warm
+	// start needs the neighbor's strategy, which only the cache holds.
+	// Eviction runs under Service.mu (cache.add is only called there), the
+	// same lock guarding sim.
+	cache.onEvict = sim.remove
 	s := &Service{
 		cfg:      cfg,
 		optimize: cfg.Optimize,
@@ -254,7 +269,9 @@ func New(cfg Config) *Service {
 		store:    cfg.Store,
 		tel:      telemetry.NewRegistry(0),
 		queue:    make(chan func(), cfg.QueueLen),
-		cache:    newPlanCache(cfg.CacheEntries),
+		cache:    cache,
+		sim:      sim,
+		partials: make(map[string]*partialState),
 		flights:  make(map[string]*flight),
 		compares: make(map[string]*compareFlight),
 		jobs:     make(map[string]*job),
@@ -403,7 +420,7 @@ func (s *Service) awaitIdle(ctx context.Context) bool {
 // caller's wait; the underlying optimization keeps running while any other
 // request still waits on it.
 func (s *Service) Plan(ctx context.Context, req PlanRequest) (*topoopt.Plan, string, bool, error) {
-	return s.plan(ctx, req.Options, req.Fingerprint(), func() (*topoopt.Model, error) {
+	return s.plan(ctx, req, req.Fingerprint(), func() (*topoopt.Model, error) {
 		m, err := req.Model.Resolve()
 		if err == nil {
 			err = req.Options.Validate()
@@ -428,13 +445,13 @@ func resolved(m *topoopt.Model) func() (*topoopt.Model, error) {
 // breakdown — cache lookup, admission, queue wait and search time, the
 // latter two clipped to this waiter's own wait window so coalesced
 // joiners never claim time they did not spend waiting.
-func (s *Service) plan(ctx context.Context, o topoopt.Options, fp string, resolve func() (*topoopt.Model, error), onStart func(), tr *telemetry.Trace) (*topoopt.Plan, string, bool, error) {
+func (s *Service) plan(ctx context.Context, req PlanRequest, fp string, resolve func() (*topoopt.Model, error), onStart func(), tr *telemetry.Trace) (*topoopt.Plan, string, bool, error) {
 	res, hit, err := s.execute(ctx, fp, func() (flightRun, error) {
 		m, rerr := resolve()
 		if rerr != nil {
 			return nil, rerr
 		}
-		return s.planRun(m, o), nil
+		return s.planRun(m, req, fp), nil
 	}, onStart, tr)
 	if err != nil {
 		return nil, fp, hit, err
@@ -512,6 +529,7 @@ func (s *Service) traceWait(tr *telemetry.Trace, f *flight, joined time.Time) {
 		tr.Add(telemetry.StageSearch, overlap(started, finished, joined, woke))
 	}
 	tr.SetSearchProgress(f.prog.Load())
+	tr.SetWarm(f.prog.Warm())
 }
 
 // overlap returns the length of [a0, a1] ∩ [b0, b1]. A zero a0 means the
@@ -533,15 +551,107 @@ func overlap(a0, a1, b0, b1 time.Time) time.Duration {
 	return 0
 }
 
-// planRun adapts the optimizer to the generic flight runner.
-func (s *Service) planRun(m *topoopt.Model, o topoopt.Options) flightRun {
+// planRun adapts the optimizer to the generic flight runner, layering the
+// incremental-replanning machinery around the call:
+//
+//   - Warm start: a near-miss request (exact-fingerprint cache miss, but a
+//     same-model-same-servers neighbor is indexed) seeds its search with
+//     the neighbor's converged strategy and the patience early exit. The
+//     optimizer adopts the seed only when it strictly beats the canonical
+//     starts under this request's own evaluation, so the result is never
+//     worse than cold — just reached with a fraction of the evaluations.
+//   - Anytime streaming: the search's best-so-far is published into the
+//     service's partial slot at every improvement, so async jobs expose a
+//     monotonically improving `partial` result while running.
+//   - Indexing: the completed plan joins the similarity index, becoming a
+//     warm-start donor for future near-misses.
+func (s *Service) planRun(m *topoopt.Model, req PlanRequest, fp string) flightRun {
+	creq := PlanRequest{Model: req.Model.Canonical(), Options: req.Options.Canonical()}
 	return func(ctx context.Context) (any, error) {
+		o := req.Options
+		if warm, ok := s.simNeighbor(creq, fp); ok {
+			o.WarmStart = []topoopt.Strategy{warm}
+			o.Patience = warmPatience
+			o.OnWarmStart = func(adopted bool) {
+				if adopted {
+					s.met.warmImproved()
+				}
+			}
+			s.met.warmStart()
+			// Mark the flight's progress sink so every waiter's trace (and
+			// /debug/requests) records that this search ran warm.
+			telemetry.ProgressFromContext(ctx).MarkWarm()
+		}
+		ps := s.beginPartial(fp)
+		defer s.endPartial(fp, ps)
+		o.OnBest = ps.publish
 		p, err := s.optimize(ctx, m, o)
 		if err != nil {
 			return nil, err
 		}
+		s.simAdd(fp, creq)
 		return p, nil
 	}
+}
+
+// simNeighbor returns the converged strategy of creq's nearest indexed
+// neighbor (excluding the request's own fingerprint), if the neighbor's
+// plan is still cached. Index and cache are consulted atomically under
+// the service lock; an index entry whose plan has just been evicted (or
+// was indexed from the WAL before the cache replay reached it) is simply
+// skipped — warm starts are an optimization, never a dependency.
+func (s *Service) simNeighbor(creq PlanRequest, selfFp string) (topoopt.Strategy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nfp, ok := s.sim.nearest(creq, selfFp)
+	if !ok {
+		return topoopt.Strategy{}, false
+	}
+	v, ok := s.cache.get(nfp)
+	if !ok {
+		return topoopt.Strategy{}, false
+	}
+	p, ok := v.(*topoopt.Plan)
+	if !ok || p == nil {
+		return topoopt.Strategy{}, false
+	}
+	return p.Strategy, true
+}
+
+// simAdd indexes a completed plan's canonical request under its
+// fingerprint.
+func (s *Service) simAdd(fp string, creq PlanRequest) {
+	s.mu.Lock()
+	s.sim.add(fp, creq)
+	s.mu.Unlock()
+}
+
+// simRequest returns the canonical request indexed under fp, if any —
+// the persist path uses it to write the request into the WAL alongside
+// the plan.
+func (s *Service) simRequest(fp string) (PlanRequest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim.request(fp)
+}
+
+// beginPartial registers the anytime slot a starting plan flight streams
+// its best-so-far into; endPartial retires it when the flight completes
+// (the final result supersedes any partial).
+func (s *Service) beginPartial(fp string) *partialState {
+	ps := &partialState{}
+	s.mu.Lock()
+	s.partials[fp] = ps
+	s.mu.Unlock()
+	return ps
+}
+
+func (s *Service) endPartial(fp string, ps *partialState) {
+	s.mu.Lock()
+	if s.partials[fp] == ps {
+		delete(s.partials, fp)
+	}
+	s.mu.Unlock()
 }
 
 // waitFlight blocks until the flight completes, the caller's ctx is
@@ -1002,14 +1112,19 @@ const (
 // for "sweep" — so callers dispatch on the tag instead of probing
 // per-kind optional fields.
 type Job struct {
-	ID          string     `json:"id"`
-	Kind        string     `json:"kind"`
-	Status      string     `json:"status"`
-	Fingerprint string     `json:"fingerprint,omitempty"`
-	Result      any        `json:"result,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	CreatedAt   time.Time  `json:"created_at"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Status      string `json:"status"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Result      any    `json:"result,omitempty"`
+	// Partial is the anytime snapshot of a running plan job: the best
+	// strategy the search has found so far, improving monotonically across
+	// polls. Only set while Status is "running" and Kind is "plan"; the
+	// final Result supersedes it.
+	Partial    *PartialPlan `json:"partial,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	CreatedAt  time.Time    `json:"created_at"`
+	FinishedAt *time.Time   `json:"finished_at,omitempty"`
 }
 
 type job struct {
@@ -1039,7 +1154,8 @@ func (s *Service) submitJob(m *topoopt.Model, req PlanRequest) (Job, error) {
 		Model:   req.Model.Canonical(),
 		Options: req.Options.Canonical(),
 	})
-	return s.submitAsync(req.Fingerprint(), s.planRun(m, req.Options), kindPlan, journal)
+	fp := req.Fingerprint()
+	return s.submitAsync(fp, s.planRun(m, req, fp), kindPlan, journal)
 }
 
 // FleetRequest is the wire request of POST /v1/fleet.
@@ -1300,7 +1416,10 @@ func (s *Service) shutdownErr(werr error) bool {
 	return werr != nil && (errors.Is(werr, ErrClosed) || s.baseCtx.Err() != nil)
 }
 
-// GetJob returns a snapshot of the job, if tracked.
+// GetJob returns a snapshot of the job, if tracked. A running plan job
+// carries the search's current best as Partial (when the search has
+// streamed at least one improvement), so pollers can act on a good-enough
+// plan before the full budget is spent.
 func (s *Service) GetJob(id string) (Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1308,7 +1427,15 @@ func (s *Service) GetJob(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return j.snap, true
+	snap := j.snap
+	if snap.Status == JobRunning && snap.Kind == kindPlan {
+		if ps, ok := s.partials[snap.Fingerprint]; ok {
+			if pp, ok := ps.snapshot(); ok {
+				snap.Partial = &pp
+			}
+		}
+	}
+	return snap, true
 }
 
 // Job-listing bounds: callers page with limit; the hard cap keeps one
@@ -1416,6 +1543,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.Stages = s.tel.StageSummaries()
 	s.mu.Lock()
 	snap.CacheEntries = s.cache.len()
+	snap.SimIndexEntries = s.sim.len()
 	snap.InFlight = len(s.flights) + len(s.compares)
 	snap.JobsTracked = len(s.jobs)
 	snap.WarmedEntries = s.warmed

@@ -68,6 +68,33 @@ func encodeResult(res any) (kind string, payload []byte, err error) {
 	return kind, payload, err
 }
 
+// storedPlan is the durable form of a plan record: the plan plus the
+// canonical request that produced it, so a restart rebuilds the
+// plan-similarity index (not just the exact-fingerprint LRU) from the
+// WAL and near-miss requests warm-start across daemon restarts. Request
+// is optional: records written before the index existed are bare Plan
+// JSON, and decodeStored falls back to that shape.
+type storedPlan struct {
+	Request *PlanRequest  `json:"request,omitempty"`
+	Plan    *topoopt.Plan `json:"plan"`
+}
+
+// decodeStored reverses persist for OpPut records: the cache value plus,
+// for plan records that carry one, the canonical request to re-index.
+func decodeStored(kind string, payload []byte) (any, *PlanRequest, error) {
+	if kind == kindPlan {
+		var sp storedPlan
+		// A wrapped record has a non-nil "plan" member; legacy records are
+		// the bare Plan JSON (whose fields don't collide with the wrapper,
+		// so sp.Plan stays nil) and take the fallback path below.
+		if err := json.Unmarshal(payload, &sp); err == nil && sp.Plan != nil {
+			return sp.Plan, sp.Request, nil
+		}
+	}
+	v, err := decodeResult(kind, payload)
+	return v, nil, err
+}
+
 // decodeResult reverses encodeResult, reconstructing exactly the types
 // the in-memory cache holds so a warmed entry is indistinguishable from
 // a freshly computed one.
@@ -110,6 +137,16 @@ func (s *Service) persist(fp string, res any) {
 		return
 	}
 	kind, payload, err := encodeResult(res)
+	if err == nil && kind == kindPlan {
+		// Wrap plans with their canonical request (known for every plan the
+		// service itself computed — it was indexed on completion) so the
+		// similarity index rebuilds from the WAL on the next boot.
+		if creq, ok := s.simRequest(fp); ok {
+			if b, merr := json.Marshal(storedPlan{Request: &creq, Plan: res.(*topoopt.Plan)}); merr == nil {
+				payload = b
+			}
+		}
+	}
 	if err == nil {
 		err = s.store.wal.Append(wal.Record{Op: wal.OpPut, Kind: kind, Fp: fp, Payload: payload})
 	}
@@ -161,13 +198,18 @@ func (s *Service) warmFromStore() {
 	for _, r := range s.store.wal.Records() {
 		switch r.Op {
 		case wal.OpPut:
-			v, err := decodeResult(r.Kind, r.Payload)
+			v, req, err := decodeStored(r.Kind, r.Payload)
 			if err != nil {
 				s.met.storeError()
 				continue
 			}
 			s.mu.Lock()
 			s.cache.add(r.Fp, v)
+			if req != nil {
+				// Restart-warm similarity: the replayed plan re-joins the
+				// index, so near-miss requests warm-start across restarts.
+				s.sim.add(r.Fp, *req)
+			}
 			s.warmed++
 			s.mu.Unlock()
 		case wal.OpJob:

@@ -14,6 +14,26 @@ import (
 type Progress struct {
 	done  atomic.Int64
 	total atomic.Int64
+	// warm flips when the search is seeded from the plan-similarity index,
+	// so every waiter's trace records that its result came from a
+	// warm-started search.
+	warm atomic.Bool
+}
+
+// MarkWarm flags the flight's search as warm-started.
+func (p *Progress) MarkWarm() {
+	if p == nil {
+		return
+	}
+	p.warm.Store(true)
+}
+
+// Warm reports whether MarkWarm was called.
+func (p *Progress) Warm() bool {
+	if p == nil {
+		return false
+	}
+	return p.warm.Load()
 }
 
 // Set stores the current (done, total) pair.

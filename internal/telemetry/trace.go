@@ -79,6 +79,7 @@ type Trace struct {
 	durs        [NumStages]time.Duration
 	searchDone  int64
 	searchTotal int64
+	warm        bool
 }
 
 // Start opens a stage at now, closing any stage still open.
@@ -118,6 +119,15 @@ func (t *Trace) SetSearchProgress(done, total int64) {
 		return
 	}
 	t.searchDone, t.searchTotal = done, total
+}
+
+// SetWarm marks that the search this request rode on was warm-started
+// from the plan-similarity index.
+func (t *Trace) SetWarm(warm bool) {
+	if t == nil {
+		return
+	}
+	t.warm = warm
 }
 
 // Elapsed is the wall time since the trace began.
@@ -252,6 +262,7 @@ type record struct {
 	durs        [NumStages]time.Duration
 	searchDone  int64
 	searchTotal int64
+	warm        bool
 }
 
 // publish copies a finished trace into the ring and its stage durations
@@ -268,6 +279,7 @@ func (r *Registry) publish(t *Trace, fingerprint string, cached bool, status int
 	rec.total = total
 	rec.durs = t.durs
 	rec.searchDone, rec.searchTotal = t.searchDone, t.searchTotal
+	rec.warm = t.warm
 	r.pos++
 	if r.pos == len(r.ring) {
 		r.pos, r.filled = 0, true
@@ -300,6 +312,9 @@ type Record struct {
 	Stages          []StageSpan `json:"stages"`
 	SearchDone      int64       `json:"search_done,omitempty"`
 	SearchTotal     int64       `json:"search_total,omitempty"`
+	// Warm marks requests whose search was warm-started from the
+	// plan-similarity index.
+	Warm bool `json:"warm,omitempty"`
 }
 
 // Requests snapshots the ring, newest first. The copies are detached:
@@ -327,6 +342,7 @@ func (r *Registry) Requests() []Record {
 			TotalSeconds: rec.total.Seconds(),
 			SearchDone:   rec.searchDone,
 			SearchTotal:  rec.searchTotal,
+			Warm:         rec.warm,
 		}
 		for s := Stage(0); s < NumStages; s++ {
 			if d := rec.durs[s]; d > 0 {

@@ -112,6 +112,28 @@ type Options struct {
 	// so, like SearchWorkers, it is server-side instrumentation excluded
 	// from the wire format and the fingerprint.
 	Progress func(done, total int) `json:"-"`
+	// WarmStart seeds every strategy-search round with extra starting
+	// candidates (flexnet's MCMCConfig.Warm). The planning service fills
+	// it from its plan-similarity index when a near-miss request has a
+	// cached neighbor. Server-side: excluded from the wire format and the
+	// fingerprint — a warm start changes how fast the search converges,
+	// not what request it answers.
+	WarmStart []Strategy `json:"-"`
+	// Patience, when > 0, lets each search round stop after that many
+	// consecutive improvement-free epoch barriers (flexnet's
+	// MCMCConfig.Patience). Server-side, set together with WarmStart: a
+	// search seeded near an optimum converges within a few epochs and
+	// skips the rest of its budget.
+	Patience int `json:"-"`
+	// OnWarmStart, when non-nil, reports whether a WarmStart candidate
+	// won the search's starting point (telemetry). Server-side.
+	OnWarmStart func(adopted bool) `json:"-"`
+	// OnBest, when non-nil, streams the search's running best strategy
+	// and estimated cost from every round's epoch barriers — the anytime
+	// seam the async jobs API uses to publish partial plans. Costs can
+	// jump between rounds (each round estimates on its own candidate
+	// fabric); monotonicity is enforced by the consumer. Server-side.
+	OnBest func(s Strategy, cost float64) `json:"-"`
 }
 
 // Validate checks that the options describe a feasible deployment. It is
@@ -229,7 +251,8 @@ func OptimizeContext(ctx context.Context, m *Model, o Options) (*Plan, error) {
 		Batch: o.BatchPerGPU, Rounds: o.Rounds, MCMCIters: o.MCMCIters,
 		Seed: o.Seed, PrimeOnly: o.PrimeOnly, GPU: o.GPU,
 		Parallelism: o.Parallelism, SearchWorkers: o.SearchWorkers,
-		Progress: o.Progress,
+		Progress: o.Progress, Warm: o.WarmStart, Patience: o.Patience,
+		OnWarmStart: o.OnWarmStart, OnBest: o.OnBest,
 	})
 	if err != nil {
 		return nil, err
