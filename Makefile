@@ -25,8 +25,8 @@ SHELL := /bin/bash
 # the test step additionally pins them as an explicit guarantee.
 .PHONY: tier1 fmt vet build test race bench benchcheck serve-bench \
 	serve-benchcheck flexnet-bench flexnet-benchcheck fleet-bench \
-	fleet-benchcheck sweep-bench warm-bench bench-smoke bench-history profile-serve \
-	profile-fleet profile-smoke chaos cover lint ci
+	fleet-benchcheck sweep-bench warm-bench slo-bench bench-smoke bench-history profile-serve \
+	profile-fleet profile-smoke chaos cover lint slo-smoke cluster-smoke ci
 
 tier1: fmt vet build test
 
@@ -109,6 +109,31 @@ sweep-bench: fleet-bench
 warm-bench: flexnet-bench
 	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite flexnet \
 		-import BENCH_flexnet.json -label '$(HISTORY_LABEL)'
+
+# `make slo-bench` is the PR-time recorder for the serve suite now that
+# it includes the open-loop SLO benchmark (BenchmarkServeOpenLoopSLO:
+# Poisson arrivals at a fixed offered rate against an in-process daemon,
+# ns/op = the run's overall p99 — the serving-tail trajectory the SLO
+# harness gates on). Runs the suite once, records it into
+# BENCH_serve.json, then copies that recording into the
+# BENCH_HISTORY.json ledger under HISTORY_LABEL.
+slo-bench: serve-bench
+	$(GO) run ./cmd/benchdiff -history BENCH_HISTORY.json -suite serve \
+		-import BENCH_serve.json -label '$(HISTORY_LABEL)'
+
+# Sustained-load SLO gate against one real daemon: open-loop Poisson
+# arrivals (fire-and-forget, so a saturated server faces the full
+# offered rate), time-bucketed p50/p99/p999, pass/fail on a p99 target
+# and a zero-error budget. Exits nonzero on a failed gate.
+slo-smoke:
+	bash scripts/slo_smoke.sh
+
+# Three real daemons joined by the consistent-hash peer ring: asserts
+# byte-identical plans regardless of entry peer (planload
+# -verify-identical) and a zero-error open-loop run round-robined across
+# all members under the same SLO gate.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Short-benchtime pass over every recorded suite. Warn-only: CI runners
 # are noisy and 0.2s samples are for catching order-of-magnitude
@@ -197,8 +222,12 @@ chaos:
 # sit below current coverage with headroom for refactors; raise them as
 # the packages grow. internal/telemetry is floored high because its whole
 # job is observability — an untested trace or exposition path means the
-# operator's view of the daemon silently lies.
-COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80 internal/wal:85 internal/telemetry:85
+# operator's view of the daemon silently lies. internal/shard is floored
+# high because ring ownership is a pure deterministic function the whole
+# sharded cluster agrees through — an untested arc is a silent
+# split-brain — and internal/slo because the SLO gate's own arithmetic
+# must not be the thing that lies about a regression.
+COVER_FLOORS := internal/arch:80 internal/cost:90 internal/cluster:80 internal/fleet:80 internal/wal:85 internal/telemetry:85 internal/shard:90 internal/slo:85
 
 cover:
 	@set -e; for spec in $(COVER_FLOORS); do \
@@ -227,4 +256,4 @@ lint:
 	fi
 
 # The exact job list of .github/workflows/ci.yml, runnable locally.
-ci: tier1 race chaos cover lint bench-smoke profile-smoke
+ci: tier1 race chaos cover lint bench-smoke profile-smoke slo-smoke cluster-smoke

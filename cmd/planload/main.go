@@ -1,38 +1,43 @@
-// Command planload is a load generator for topooptd: it fires concurrent
-// POST /v1/plan requests, optionally spreading them over several seeds to
-// control the cache hit ratio, and reports client-side latency quantiles
-// (p50/p90/p99/max, broken down per endpoint and per outcome class so
-// retry/backoff time never skews the success numbers), an error taxonomy
-// (connect / timeout / 4xx / 5xx / retry-exhausted) plus the server's
-// own /v1/metrics counters afterwards.
+// Command planload is the load generator and SLO harness for topooptd.
 //
-// Usage:
+// Closed-loop mode (the default) fires -n concurrent POST /v1/plan
+// requests from -c workers, optionally spreading them over several
+// seeds to control the cache hit ratio, and reports client-side latency
+// quantiles (p50/p90/p99/max, broken down per endpoint and per outcome
+// class so retry/backoff time never skews the success numbers), an
+// error taxonomy (connect / timeout / 4xx / 5xx / retry-exhausted)
+// plus the server's own /v1/metrics counters afterwards.
 //
-//	planload -addr http://localhost:7070 -n 200 -c 16 \
-//	         -model bert -section 6 -servers 12 -degree 4 \
-//	         -bandwidth 25 -mcmc 30 -rounds 1 -seeds 4 \
-//	         -retries 3 -backoff 100ms
+// Open-loop mode (-open-loop -rate R -duration D) offers requests on a
+// seeded Poisson arrival schedule that never waits for responses, so a
+// saturated server faces the full offered rate instead of a politely
+// self-throttling worker pool. The run reports time-bucketed
+// p50/p99/p999 latencies and can be gated (-slo-p99, -max-errors):
+// a failed gate exits nonzero, which is what `make slo-smoke` keys on.
 //
-// With -seeds 1 every request is identical: the first one pays for the
-// optimization and the rest coalesce onto it or hit the cache, which is
-// the serving hot path the BenchmarkServe* suite records.
+// Saturation mode (-saturate -rate-min A -rate-max B) binary-searches
+// the highest offered rate that still meets the gate, probing the
+// bracket ends first and then bisecting -sat-iters times; the reported
+// rate is always one the server was measured to sustain.
 //
-// With -warm-mix P, fraction P of the requests are near-miss
-// perturbations of the base population — same model and server count,
-// far-offset seeds — so they miss the exact-fingerprint cache but sit in
-// the same similarity bucket, exercising the server's warm-start path.
-// Successful plan latencies are then additionally reported per serving
-// class (exact-hit / warm / cold).
+// -addr accepts a comma-separated list of daemons: requests round-robin
+// across them, which is how a sharded topooptd cluster is loaded (any
+// member accepts any request and forwards to the owner).
+// -verify-identical POSTs one identical request to every listed daemon
+// and requires the plan payloads to be byte-identical regardless of
+// entry peer — the sharding correctness invariant.
 //
-// With -sweep K the load targets POST /v1/sweep instead: each request
-// is a K-replica Monte Carlo fleet sweep of the -scenario preset,
-// cycling root seeds the same way. Sweeps are fingerprinted and cached
-// like plans, so the same retry/latency/cache accounting applies.
+// -json emits the open-loop report (or saturation report) as JSON;
+// -bench appends `go test -bench`-style lines so the benchdiff ledger
+// can ingest an SLO trajectory with the machinery it already has.
 //
 // Plan requests are idempotent (fingerprint-keyed and cached server
 // side), so -retries re-sends failed requests with capped exponential
-// backoff, honoring the server's Retry-After backpressure hints
-// (internal/clientretry).
+// backoff, honoring the server's Retry-After backpressure hints. The
+// request path reads full response bodies inside the retry loop
+// (clientretry.DoRead), so a connection torn down mid-body — a peer
+// restarting under load — is retried like any connect failure instead
+// of surfacing as a lost request.
 package main
 
 import (
@@ -44,64 +49,162 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"topoopt"
 	"topoopt/internal/clientretry"
 	"topoopt/internal/serve"
+	"topoopt/internal/slo"
 	"topoopt/internal/stats"
 )
 
-func main() {
-	var (
-		addr      = flag.String("addr", "http://localhost:7070", "topooptd base URL")
-		n         = flag.Int("n", 100, "total requests")
-		c         = flag.Int("c", 8, "concurrent clients")
-		modelName = flag.String("model", "bert", "workload preset")
-		section   = flag.String("section", "6", "preset section: 5.3, 5.6 or 6")
-		servers   = flag.Int("servers", 12, "servers (n)")
-		degree    = flag.Int("degree", 4, "interfaces per server (d)")
-		bandwidth = flag.Float64("bandwidth", 25, "per-interface bandwidth in Gbps")
-		mcmc      = flag.Int("mcmc", 30, "MCMC iterations per round (total across chains)")
-		rounds    = flag.Int("rounds", 1, "alternating-optimization rounds")
-		parallel  = flag.Int("parallel", 0, "parallel MCMC chains per request (0 = server default of 1)")
-		seeds     = flag.Int("seeds", 1, "distinct seeds to cycle through (1 = all identical)")
-		warmMix   = flag.Float64("warm-mix", 0, "fraction of plan requests fired as near-miss perturbations (same model and servers, offset seed) that exercise the server's similarity warm starts")
-		retries   = flag.Int("retries", 0, "retries per failed request (plan requests are idempotent)")
-		backoff   = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
-		sweep     = flag.Int("sweep", 0, "fire K-replica POST /v1/sweep requests instead of plans")
-		scenario  = flag.String("scenario", "steady", "fleet scenario preset for -sweep requests")
-	)
-	flag.Parse()
-	if *n <= 0 || *c <= 0 || *seeds <= 0 {
-		fatal(fmt.Errorf("-n, -c and -seeds must be positive"))
-	}
-	if *retries < 0 {
-		fatal(fmt.Errorf("-retries must be non-negative"))
-	}
-	if *warmMix < 0 || *warmMix > 1 {
-		fatal(fmt.Errorf("-warm-mix must be in [0, 1]"))
-	}
-	if *warmMix > 0 && *sweep > 0 {
-		fatal(fmt.Errorf("-warm-mix applies to plan loads only"))
+// runConfig is the parsed flag surface of one planload invocation.
+type runConfig struct {
+	Addrs []string
+
+	N, C      int
+	Model     string
+	Section   string
+	Servers   int
+	Degree    int
+	Bandwidth float64
+	MCMC      int
+	Rounds    int
+	Parallel  int
+	Seeds     int
+	WarmMix   float64
+	Retries   int
+	Backoff   time.Duration
+	Sweep     int
+	Scenario  string
+
+	OpenLoop  bool
+	Rate      float64
+	Duration  time.Duration
+	Bucket    time.Duration
+	Seed      int64
+	SLOP99    time.Duration
+	MaxErrors int
+
+	Saturate bool
+	RateMin  float64
+	RateMax  float64
+	SatIters int
+
+	JSONOut     bool
+	Bench       bool
+	BenchPrefix string
+	Verify      bool
+}
+
+func parseFlags(args []string) (runConfig, error) {
+	var cfg runConfig
+	fs := flag.NewFlagSet("planload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:7070", "topooptd base URL, or a comma-separated list to round-robin across a sharded cluster")
+	fs.IntVar(&cfg.N, "n", 100, "total requests (closed-loop mode)")
+	fs.IntVar(&cfg.C, "c", 8, "concurrent clients (closed-loop mode)")
+	fs.StringVar(&cfg.Model, "model", "bert", "workload preset")
+	fs.StringVar(&cfg.Section, "section", "6", "preset section: 5.3, 5.6 or 6")
+	fs.IntVar(&cfg.Servers, "servers", 12, "servers (n)")
+	fs.IntVar(&cfg.Degree, "degree", 4, "interfaces per server (d)")
+	fs.Float64Var(&cfg.Bandwidth, "bandwidth", 25, "per-interface bandwidth in Gbps")
+	fs.IntVar(&cfg.MCMC, "mcmc", 30, "MCMC iterations per round (total across chains)")
+	fs.IntVar(&cfg.Rounds, "rounds", 1, "alternating-optimization rounds")
+	fs.IntVar(&cfg.Parallel, "parallel", 0, "parallel MCMC chains per request (0 = server default of 1)")
+	fs.IntVar(&cfg.Seeds, "seeds", 1, "distinct seeds to cycle through (1 = all identical)")
+	fs.Float64Var(&cfg.WarmMix, "warm-mix", 0, "fraction of plan requests fired as near-miss perturbations (same model and servers, offset seed) that exercise the server's similarity warm starts")
+	fs.IntVar(&cfg.Retries, "retries", 0, "retries per failed request (plan requests are idempotent)")
+	fs.DurationVar(&cfg.Backoff, "backoff", 100*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+	fs.IntVar(&cfg.Sweep, "sweep", 0, "fire K-replica POST /v1/sweep requests instead of plans")
+	fs.StringVar(&cfg.Scenario, "scenario", "steady", "fleet scenario preset for -sweep requests")
+
+	fs.BoolVar(&cfg.OpenLoop, "open-loop", false, "offer requests on a Poisson schedule at -rate instead of the closed worker pool")
+	fs.Float64Var(&cfg.Rate, "rate", 0, "offered arrival rate in req/s (open-loop mode)")
+	fs.DurationVar(&cfg.Duration, "duration", 10*time.Second, "open-loop run duration")
+	fs.DurationVar(&cfg.Bucket, "bucket", time.Second, "open-loop latency bucketing period")
+	fs.Int64Var(&cfg.Seed, "slo-seed", 1, "arrival-schedule seed (deterministic per (rate, duration, seed))")
+	fs.DurationVar(&cfg.SLOP99, "slo-p99", 0, "SLO gate: fail (exit 1) when overall p99 exceeds this (0 = no latency gate)")
+	fs.IntVar(&cfg.MaxErrors, "max-errors", -1, "SLO gate: fail when errors exceed this (-1 = no error gate)")
+
+	fs.BoolVar(&cfg.Saturate, "saturate", false, "binary-search the highest rate meeting the SLO gate")
+	fs.Float64Var(&cfg.RateMin, "rate-min", 1, "saturation search bracket minimum (req/s)")
+	fs.Float64Var(&cfg.RateMax, "rate-max", 500, "saturation search bracket maximum (req/s)")
+	fs.IntVar(&cfg.SatIters, "sat-iters", 5, "saturation search bisection steps after the bracket probes")
+
+	fs.BoolVar(&cfg.JSONOut, "json", false, "emit the open-loop/saturation report as JSON")
+	fs.BoolVar(&cfg.Bench, "bench", false, "append go-test-bench-style lines for the benchdiff ledger")
+	fs.StringVar(&cfg.BenchPrefix, "bench-prefix", "ServeSLO", "benchmark name prefix for -bench lines")
+	fs.BoolVar(&cfg.Verify, "verify-identical", false, "POST one identical request to every -addr and require byte-identical plans")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
 	}
 
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimRight(strings.TrimSpace(a), "/")
+		if a == "" {
+			return cfg, fmt.Errorf("-addr has an empty entry")
+		}
+		cfg.Addrs = append(cfg.Addrs, a)
+	}
+	if cfg.N <= 0 || cfg.C <= 0 || cfg.Seeds <= 0 {
+		return cfg, fmt.Errorf("-n, -c and -seeds must be positive")
+	}
+	if cfg.Retries < 0 {
+		return cfg, fmt.Errorf("-retries must be non-negative")
+	}
+	if cfg.WarmMix < 0 || cfg.WarmMix > 1 {
+		return cfg, fmt.Errorf("-warm-mix must be in [0, 1]")
+	}
+	if cfg.WarmMix > 0 && cfg.Sweep > 0 {
+		return cfg, fmt.Errorf("-warm-mix applies to plan loads only")
+	}
+	if cfg.OpenLoop && cfg.Saturate {
+		return cfg, fmt.Errorf("-open-loop and -saturate are exclusive (saturation runs its own open-loop probes)")
+	}
+	if cfg.OpenLoop && cfg.Rate <= 0 {
+		return cfg, fmt.Errorf("-open-loop requires a positive -rate")
+	}
+	if cfg.Saturate && (cfg.RateMin <= 0 || cfg.RateMax <= cfg.RateMin) {
+		return cfg, fmt.Errorf("-saturate requires 0 < -rate-min < -rate-max")
+	}
+	if cfg.Verify && len(cfg.Addrs) < 2 {
+		return cfg, fmt.Errorf("-verify-identical needs at least two -addr entries")
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	code, err := run(cfg, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	os.Exit(code)
+}
+
+// run executes one planload invocation and returns the process exit
+// code (1 on a failed SLO gate or identity check, 0 otherwise).
+func run(cfg runConfig, out io.Writer) (int, error) {
 	endpoint, path := "plan", "/v1/plan"
 	var bodies, warmBodies [][]byte
 	var err error
-	if *sweep > 0 {
+	if cfg.Sweep > 0 {
 		endpoint, path = "sweep", "/v1/sweep"
-		bodies, err = sweepBodies(*scenario, *sweep, *seeds)
+		bodies, err = sweepBodies(cfg.Scenario, cfg.Sweep, cfg.Seeds)
 	} else {
 		spec := loadSpec{
-			Model: *modelName, Section: *section,
-			Servers: *servers, Degree: *degree, BandwidthGbps: *bandwidth,
-			MCMCIters: *mcmc, Rounds: *rounds, Parallelism: *parallel,
-			Seeds: *seeds,
+			Model: cfg.Model, Section: cfg.Section,
+			Servers: cfg.Servers, Degree: cfg.Degree, BandwidthGbps: cfg.Bandwidth,
+			MCMCIters: cfg.MCMC, Rounds: cfg.Rounds, Parallelism: cfg.Parallel,
+			Seeds: cfg.Seeds,
 		}
 		bodies, err = requestBodies(spec)
-		if err == nil && *warmMix > 0 {
+		if err == nil && cfg.WarmMix > 0 {
 			// Near-miss population: same model and server count (the
 			// similarity index's hard-match key) at far-away seeds, so each
 			// is an exact-fingerprint miss the server can warm-start from
@@ -112,40 +215,255 @@ func main() {
 		}
 	}
 	if err != nil {
-		fatal(err)
+		return 1, err
 	}
 
+	client := &http.Client{Timeout: 5 * time.Minute}
+	retrier := clientretry.New(clientretry.Policy{
+		MaxRetries: cfg.Retries, Base: cfg.Backoff, Seed: 1,
+	})
+
+	if cfg.Verify {
+		if err := verifyIdentical(client, cfg.Addrs, path, bodies[0]); err != nil {
+			fmt.Fprintf(out, "verify-identical: FAIL: %v\n", err)
+			return 1, nil
+		}
+		fmt.Fprintf(out, "verify-identical: OK: %d daemons returned byte-identical plans\n", len(cfg.Addrs))
+		return 0, nil
+	}
+	if cfg.Saturate {
+		return runSaturate(cfg, out, client, retrier, path, bodies)
+	}
+	if cfg.OpenLoop {
+		return runOpenLoop(cfg, out, client, retrier, path, bodies)
+	}
+	return runClosedLoop(cfg, out, client, retrier, endpoint, path, bodies, warmBodies)
+}
+
+// fireRequest issues one request (round-robin over addrs by index,
+// cycling bodies) through the retrier, reading the full body inside the
+// retry loop. It reports the outcome into rec and whether the request
+// ultimately succeeded.
+func fireRequest(client *http.Client, retrier *clientretry.Retrier, addrs []string, path string, bodies [][]byte, rec *recorder, i int) bool {
+	addr := addrs[i%len(addrs)]
+	body := bodies[i%len(bodies)]
+	resp, raw, outcome, err := retrier.DoRead(client, true, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, addr+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	rec.record(resp, raw, outcome, err)
+	return outcome == clientretry.OK
+}
+
+// recorder accumulates per-status and taxonomy counts across a run.
+type recorder struct {
+	mu       sync.Mutex
+	statuses map[int]int
+	tally    *tally
+	cached   int
+}
+
+func newRecorder() *recorder {
+	return &recorder{statuses: map[int]int{}, tally: newTally()}
+}
+
+func (r *recorder) record(resp *http.Response, raw []byte, out clientretry.Outcome, err error) {
+	var cr struct {
+		Cached bool `json:"cached"`
+	}
+	hit := resp != nil && resp.StatusCode == http.StatusOK &&
+		json.Unmarshal(raw, &cr) == nil && cr.Cached
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tally.add(out, err)
+	if resp != nil {
+		r.statuses[resp.StatusCode]++
+	}
+	if hit {
+		r.cached++
+	}
+}
+
+func (r *recorder) report(out io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	codes := make([]int, 0, len(r.statuses))
+	for code := range r.statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(out, "  HTTP %d: %d\n", code, r.statuses[code])
+	}
+	fmt.Fprint(out, r.tally.report("  "))
+	fmt.Fprintf(out, "  cache-hit responses: %d\n", r.cached)
+}
+
+// runOpenLoop offers the Poisson schedule and renders/gates the report.
+func runOpenLoop(cfg runConfig, out io.Writer, client *http.Client, retrier *clientretry.Retrier, path string, bodies [][]byte) (int, error) {
+	rec := newRecorder()
+	rep, err := slo.Run(slo.Config{
+		Rate: cfg.Rate, Duration: cfg.Duration, Bucket: cfg.Bucket, Seed: cfg.Seed,
+		Fire: func(i int) slo.Result {
+			return slo.Result{Err: !fireRequest(client, retrier, cfg.Addrs, path, bodies, rec, i)}
+		},
+	})
+	if err != nil {
+		return 1, err
+	}
+	pass := true
+	if cfg.SLOP99 > 0 || cfg.MaxErrors >= 0 {
+		pass = rep.Apply(cfg.SLOP99, cfg.MaxErrors)
+	}
+	if cfg.JSONOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 1, err
+		}
+	} else {
+		fmt.Fprint(out, rep.String())
+		rec.report(out)
+	}
+	if cfg.Bench {
+		fmt.Fprint(out, rep.BenchLines(cfg.BenchPrefix))
+	}
+	if !pass {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runSaturate binary-searches the sustainable rate, each probe a full
+// open-loop measurement over -duration.
+func runSaturate(cfg runConfig, out io.Writer, client *http.Client, retrier *clientretry.Retrier, path string, bodies [][]byte) (int, error) {
+	rec := newRecorder()
+	rep, err := slo.Saturate(slo.SearchConfig{
+		MinRate: cfg.RateMin, MaxRate: cfg.RateMax, Iters: cfg.SatIters,
+		TargetP99: cfg.SLOP99, MaxErrors: cfg.MaxErrors,
+		Measure: func(rate float64) (*slo.Report, error) {
+			if !cfg.JSONOut {
+				fmt.Fprintf(out, "probe %.1f req/s for %s...\n", rate, cfg.Duration)
+			}
+			return slo.Run(slo.Config{
+				Rate: rate, Duration: cfg.Duration, Bucket: cfg.Bucket, Seed: cfg.Seed,
+				Fire: func(i int) slo.Result {
+					return slo.Result{Err: !fireRequest(client, retrier, cfg.Addrs, path, bodies, rec, i)}
+				},
+			})
+		},
+	})
+	if err != nil {
+		return 1, err
+	}
+	if cfg.JSONOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 1, err
+		}
+	} else {
+		for _, s := range rep.Steps {
+			verdict := "fail"
+			if s.Pass {
+				verdict = "pass"
+			}
+			fmt.Fprintf(out, "  %8.1f req/s: p99 %8.1fms errors %d %s\n", s.Rate, s.P99Seconds*1e3, s.Errors, verdict)
+		}
+		fmt.Fprintf(out, "saturation: %.1f req/s (bracket [%g, %g], target p99 %s)\n",
+			rep.SaturationRate, cfg.RateMin, cfg.RateMax, cfg.SLOP99)
+	}
+	if cfg.Bench {
+		fmt.Fprint(out, rep.BenchLine(cfg.BenchPrefix))
+	}
+	if rep.SaturationRate <= 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// verifyIdentical POSTs one identical request to every daemon and
+// requires the plan payloads to match byte for byte — the sharded
+// cluster's correctness invariant (any entry peer, same plan).
+func verifyIdentical(client *http.Client, addrs []string, path string, body []byte) error {
+	type planBody struct {
+		Fingerprint string          `json:"fingerprint"`
+		Plan        json.RawMessage `json:"plan"`
+		Result      json.RawMessage `json:"result"`
+	}
+	var first planBody
+	for i, addr := range addrs {
+		resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("%s: %w", addr, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: reading body: %w", addr, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", addr, resp.StatusCode, raw)
+		}
+		var pb planBody
+		if err := json.Unmarshal(raw, &pb); err != nil {
+			return fmt.Errorf("%s: decoding: %w", addr, err)
+		}
+		payload := pb.Plan
+		if len(payload) == 0 {
+			payload = pb.Result
+		}
+		if len(payload) == 0 || string(payload) == "null" {
+			return fmt.Errorf("%s: response carries no plan", addr)
+		}
+		if i == 0 {
+			first = planBody{Fingerprint: pb.Fingerprint, Plan: payload}
+			continue
+		}
+		if pb.Fingerprint != first.Fingerprint {
+			return fmt.Errorf("%s: fingerprint %s differs from %s at %s", addr, pb.Fingerprint, first.Fingerprint, addrs[0])
+		}
+		if !bytes.Equal(payload, first.Plan) {
+			return fmt.Errorf("%s: plan bytes differ from %s", addr, addrs[0])
+		}
+	}
+	return nil
+}
+
+// runClosedLoop is the original worker-pool load mode.
+func runClosedLoop(cfg runConfig, out io.Writer, client *http.Client, retrier *clientretry.Retrier, endpoint, path string, bodies, warmBodies [][]byte) (int, error) {
 	var (
 		mu       sync.Mutex
 		statuses = map[int]int{}
 		cached   int
-		tally    = newTally()
+		ty       = newTally()
 		hist     = newLatHist()
 		// classes buckets successful plan latencies by how the request was
 		// served: "exact-hit" (cache), "warm" (near-miss perturbation) or
 		// "cold" (base request, full search). Only populated with -warm-mix.
 		classes = map[string][]float64{}
 	)
-	retrier := clientretry.New(clientretry.Policy{
-		MaxRetries: *retries, Base: *backoff, Seed: 1,
-	})
 	work := make(chan int)
 	var wg sync.WaitGroup
-	client := &http.Client{Timeout: 5 * time.Minute}
 	start := time.Now()
-	for w := 0; w < *c; w++ {
+	for w := 0; w < cfg.C; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				addr := cfg.Addrs[i%len(cfg.Addrs)]
 				body := bodies[i%len(bodies)]
 				isWarm := false
-				if len(warmBodies) > 0 && warmPick(i, *warmMix) {
+				if len(warmBodies) > 0 && warmPick(i, cfg.WarmMix) {
 					body, isWarm = warmBodies[i%len(warmBodies)], true
 				}
 				t0 := time.Now()
-				resp, out, err := retrier.Do(client, true, func() (*http.Request, error) {
-					req, err := http.NewRequest(http.MethodPost, *addr+path, bytes.NewReader(body))
+				resp, raw, outcome, err := retrier.DoRead(client, true, func() (*http.Request, error) {
+					req, err := http.NewRequest(http.MethodPost, addr+path, bytes.NewReader(body))
 					if err != nil {
 						return nil, err
 					}
@@ -154,11 +472,11 @@ func main() {
 				})
 				lat := time.Since(t0).Seconds()
 				mu.Lock()
-				tally.add(out, err)
+				ty.add(outcome, err)
 				if resp != nil {
 					statuses[resp.StatusCode]++
 				}
-				hist.observe(endpoint, out, lat)
+				hist.observe(endpoint, outcome, lat)
 				mu.Unlock()
 				if resp == nil {
 					continue
@@ -167,8 +485,7 @@ func main() {
 				var cr struct {
 					Cached bool `json:"cached"`
 				}
-				if resp.StatusCode == http.StatusOK &&
-					json.NewDecoder(resp.Body).Decode(&cr) == nil {
+				if resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &cr) == nil {
 					mu.Lock()
 					if cr.Cached {
 						cached++
@@ -189,47 +506,64 @@ func main() {
 					}
 					mu.Unlock()
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
 			}
 		}()
 	}
-	for i := 0; i < *n; i++ {
+	for i := 0; i < cfg.N; i++ {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("planload: %d requests, %d clients, %d seed(s) in %.2fs (%.1f req/s)\n",
-		*n, *c, *seeds, elapsed.Seconds(), float64(*n)/elapsed.Seconds())
-	for code, count := range statuses {
-		fmt.Printf("  HTTP %d: %d\n", code, count)
+	fmt.Fprintf(out, "planload: %d requests, %d clients, %d seed(s), %d daemon(s) in %.2fs (%.1f req/s)\n",
+		cfg.N, cfg.C, cfg.Seeds, len(cfg.Addrs), elapsed.Seconds(), float64(cfg.N)/elapsed.Seconds())
+	codes := make([]int, 0, len(statuses))
+	for code := range statuses {
+		codes = append(codes, code)
 	}
-	fmt.Print(tally.report("  "))
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(out, "  HTTP %d: %d\n", code, statuses[code])
+	}
+	fmt.Fprint(out, ty.report("  "))
 	if ok := hist.ok(endpoint); len(ok) > 0 {
-		fmt.Printf("  latency: %s\n", stats.Summary(ok))
-		fmt.Printf("  cache-hit responses: %d\n", cached)
+		fmt.Fprintf(out, "  latency: %s\n", stats.Summary(ok))
+		fmt.Fprintf(out, "  cache-hit responses: %d\n", cached)
 	}
-	fmt.Print(hist.report("  "))
-	fmt.Print(classReport("  ", classes))
+	fmt.Fprint(out, hist.report("  "))
+	fmt.Fprint(out, classReport("  ", classes))
 
-	resp, err := client.Get(*addr + "/v1/metrics")
-	if err != nil {
-		fatal(fmt.Errorf("fetching server metrics: %w", err))
+	for _, addr := range cfg.Addrs {
+		resp, err := client.Get(addr + "/v1/metrics")
+		if err != nil {
+			return 1, fmt.Errorf("fetching server metrics: %w", err)
+		}
+		var m serve.MetricsSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			return 1, fmt.Errorf("decoding server metrics: %w", err)
+		}
+		fmt.Fprintf(out, "server %s: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d shed=%d warmed=%d warm-starts=%d (improved %d) sim-index=%d\n",
+			addr, m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity,
+			m.Shed, m.WarmedEntries, m.WarmStarts, m.WarmStartImproved, m.SimIndexEntries)
+		if m.ForwardedServed > 0 || len(m.Forwarded) > 0 {
+			fwd, fb := int64(0), int64(0)
+			for _, v := range m.Forwarded {
+				fwd += v
+			}
+			for _, v := range m.ForwardFallbacks {
+				fb += v
+			}
+			fmt.Fprintf(out, "server %s: forwarded=%d forward-fallbacks=%d forwarded-served=%d\n", addr, fwd, fb, m.ForwardedServed)
+		}
+		if m.Latency.Count > 0 {
+			fmt.Fprintf(out, "server %s latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
+				addr, m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
+		}
 	}
-	defer resp.Body.Close()
-	var m serve.MetricsSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		fatal(fmt.Errorf("decoding server metrics: %w", err))
-	}
-	fmt.Printf("server: hits=%d misses=%d coalesced=%d optimizations=%d queue=%d/%d shed=%d warmed=%d warm-starts=%d (improved %d) sim-index=%d\n",
-		m.CacheHits, m.CacheMisses, m.Coalesced, m.Optimizations, m.QueueDepth, m.QueueCapacity,
-		m.Shed, m.WarmedEntries, m.WarmStarts, m.WarmStartImproved, m.SimIndexEntries)
-	if m.Latency.Count > 0 {
-		fmt.Printf("server latency: p50=%.4gs p99=%.4gs max=%.4gs over %d requests\n",
-			m.Latency.P50Seconds, m.Latency.P99Seconds, m.Latency.MaxSeconds, m.Latency.Count)
-	}
+	return 0, nil
 }
 
 // tally accumulates the failure taxonomy over a load run. Not

@@ -1,13 +1,23 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"topoopt/internal/clientretry"
 	"topoopt/internal/serve"
+	"topoopt/internal/slo"
 )
 
 func TestRequestBodiesDecodeToValidPlanRequests(t *testing.T) {
@@ -148,5 +158,214 @@ func TestTallyReportEmptyWhenAllOK(t *testing.T) {
 	ty.add(clientretry.OK, nil)
 	if got := ty.report("  "); got != "" {
 		t.Errorf("all-OK run should report nothing, got %q", got)
+	}
+}
+
+func sloStub(t *testing.T, planJSON string, delay time.Duration) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/plan":
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			mu.Lock()
+			hits++
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"fingerprint":"abc","cached":false,"plan":%s}`, planJSON)
+		case "/v1/metrics":
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestParseFlagsAddrsAndModes(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "http://a:1/, http://b:2 ", "-open-loop", "-rate", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(cfg.Addrs, want) {
+		t.Fatalf("addrs %v, want %v (trimmed, no trailing slash)", cfg.Addrs, want)
+	}
+	if !cfg.OpenLoop || cfg.Rate != 50 {
+		t.Fatalf("open-loop flags not parsed: %+v", cfg)
+	}
+
+	for _, args := range [][]string{
+		{"-open-loop"}, // no rate
+		{"-open-loop", "-rate", "10", "-saturate"}, // exclusive modes
+		{"-saturate", "-rate-min", "0"},            // bad bracket
+		{"-saturate", "-rate-min", "10", "-rate-max", "5"},
+		{"-verify-identical"},           // needs >= 2 addrs
+		{"-addr", "http://a,,http://b"}, // empty entry
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v should be rejected", args)
+		}
+	}
+}
+
+func TestRunOpenLoopGate(t *testing.T) {
+	ts := sloStub(t, `{"ok":true}`, time.Millisecond)
+	base := []string{
+		"-addr", ts.URL, "-open-loop", "-rate", "200",
+		"-duration", "300ms", "-bucket", "100ms", "-max-errors", "0",
+	}
+	cfg, err := parseFlags(append(base, "-slo-p99", "2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("passing gate exited %d:\n%s", code, out.String())
+	}
+	for _, needle := range []string{"open-loop", "p999", "SLO PASS"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out.String())
+		}
+	}
+
+	// An impossible p99 target must fail the gate and exit nonzero.
+	cfg, err = parseFlags(append(base, "-slo-p99", "1ns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err = run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "SLO FAIL") {
+		t.Fatalf("failing gate exited %d:\n%s", code, out.String())
+	}
+}
+
+func TestRunOpenLoopJSONAndBench(t *testing.T) {
+	ts := sloStub(t, `{"ok":true}`, 0)
+	cfg, err := parseFlags([]string{
+		"-addr", ts.URL, "-open-loop", "-rate", "300", "-duration", "200ms",
+		"-json", "-bench", "-bench-prefix", "ServeSLO",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code, err := run(cfg, &out); err != nil || code != 0 {
+		t.Fatalf("code %d err %v:\n%s", code, err, out.String())
+	}
+	dec := json.NewDecoder(&out)
+	var rep slo.Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v", err)
+	}
+	if rep.Requests == 0 || rep.OfferedRate != 300 {
+		t.Fatalf("report %+v", rep)
+	}
+	rest, _ := io.ReadAll(dec.Buffered())
+	tail, _ := io.ReadAll(&out)
+	bench := string(rest) + string(tail)
+	for _, needle := range []string{"BenchmarkServeSLOP50", "BenchmarkServeSLOP99", "BenchmarkServeSLOP999"} {
+		if !strings.Contains(bench, needle) {
+			t.Fatalf("bench lines missing %q:\n%s", needle, bench)
+		}
+	}
+}
+
+func TestRunSaturateFindsBracketTop(t *testing.T) {
+	ts := sloStub(t, `{"ok":true}`, 0)
+	cfg, err := parseFlags([]string{
+		"-addr", ts.URL, "-saturate", "-rate-min", "20", "-rate-max", "40",
+		"-duration", "100ms", "-slo-p99", "2s", "-max-errors", "0", "-bench",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "saturation: 40.0 req/s") {
+		t.Fatalf("fast stub should sustain the bracket top:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SaturationInterval") {
+		t.Fatalf("bench line missing:\n%s", out.String())
+	}
+}
+
+func TestRunVerifyIdentical(t *testing.T) {
+	a := sloStub(t, `{"links":[1,2,3]}`, 0)
+	b := sloStub(t, `{"links":[1,2,3]}`, 0)
+	cfg, err := parseFlags([]string{"-addr", a.URL + "," + b.URL, "-verify-identical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code, err := run(cfg, &out); err != nil || code != 0 {
+		t.Fatalf("identical daemons: code %d err %v:\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify-identical: OK") {
+		t.Fatalf("missing OK verdict:\n%s", out.String())
+	}
+
+	c := sloStub(t, `{"links":[9,9,9]}`, 0)
+	cfg, err = parseFlags([]string{"-addr", a.URL + "," + c.URL, "-verify-identical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	code, err := run(cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("divergent daemons: code %d:\n%s", code, out.String())
+	}
+}
+
+func TestRunClosedLoopRoundRobinsAddrs(t *testing.T) {
+	var hitsA, hitsB atomic.Int64
+	mk := func(hits *atomic.Int64) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/plan" {
+				hits.Add(1)
+				fmt.Fprint(w, `{"fingerprint":"abc","cached":false,"plan":{}}`)
+				return
+			}
+			io.WriteString(w, `{}`)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := mk(&hitsA), mk(&hitsB)
+	cfg, err := parseFlags([]string{"-addr", a.URL + "," + b.URL, "-n", "10", "-c", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code, err := run(cfg, &out); err != nil || code != 0 {
+		t.Fatalf("code %d err %v:\n%s", code, err, out.String())
+	}
+	if hitsA.Load() != 5 || hitsB.Load() != 5 {
+		t.Fatalf("round-robin split %d/%d, want 5/5", hitsA.Load(), hitsB.Load())
+	}
+	if !strings.Contains(out.String(), "2 daemon(s)") {
+		t.Fatalf("summary missing daemon count:\n%s", out.String())
 	}
 }

@@ -8,6 +8,18 @@
 //	topooptd [-addr :7070] [-workers N] [-queue 64] [-cache 256]
 //	         [-search-threads N] [-store DIR] [-store-sync]
 //	         [-drain-timeout 30s] [-default-deadline 0]
+//	         [-peers URL,URL,... -self URL] [-ring-vnodes N]
+//	         [-probe-interval 1s]
+//
+// -peers/-self join the daemon to a static sharded cluster: every
+// member runs with the same -peers list (its own URL included, named by
+// -self) and owns a deterministic slice of the SHA-256 fingerprint
+// space via a consistent-hash ring. A plan/compare request landing on a
+// non-owner is proxied to its owner — one hop max — and the owner's
+// response (error envelope, Retry-After, X-Trace) passes through
+// verbatim; if the owner is down the request is computed locally, so a
+// dead peer degrades the cache-hit rate, never availability.
+// GET /v1/cluster reports membership, ring shares and peer health.
 //
 // -search-threads caps the total goroutines spent on parallel MCMC chains
 // across all concurrent optimizations (requests opt into chains with
@@ -88,6 +100,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,6 +123,10 @@ type daemonConfig struct {
 	DebugAddr       string
 	MutexFraction   int
 	BlockRate       int
+	Self            string
+	Peers           string
+	VNodes          int
+	ProbeInterval   time.Duration
 }
 
 // parseFlags parses args (excluding the program name) into a
@@ -139,6 +156,15 @@ func parseFlags(args []string) (daemonConfig, error) {
 		"sample 1/N of mutex contention events into the mutex profile (0 = off)")
 	fs.IntVar(&cfg.BlockRate, "block-profile-rate", 0,
 		"sample blocking events lasting ≥ N ns into the block profile (0 = off)")
+	fs.StringVar(&cfg.Peers, "peers", "",
+		"comma-separated base URLs of every cluster member including this one, "+
+			"e.g. http://10.0.0.1:7070,http://10.0.0.2:7070 (empty = unsharded)")
+	fs.StringVar(&cfg.Self, "self", "",
+		"this daemon's own base URL as it appears in -peers (required with -peers)")
+	fs.IntVar(&cfg.VNodes, "ring-vnodes", 0,
+		"virtual nodes per member on the consistent-hash ring (0 = default)")
+	fs.DurationVar(&cfg.ProbeInterval, "probe-interval", time.Second,
+		"peer health-probe period for the sharded cluster")
 	if err := fs.Parse(args); err != nil {
 		return daemonConfig{}, err
 	}
@@ -148,7 +174,32 @@ func parseFlags(args []string) (daemonConfig, error) {
 	if cfg.MutexFraction < 0 || cfg.BlockRate < 0 {
 		return daemonConfig{}, fmt.Errorf("-mutex-profile-fraction and -block-profile-rate must be ≥ 0")
 	}
+	if cfg.Peers != "" && cfg.Self == "" {
+		return daemonConfig{}, fmt.Errorf("-peers requires -self naming this daemon's own URL")
+	}
+	if cfg.Peers == "" && cfg.Self != "" {
+		return daemonConfig{}, fmt.Errorf("-self requires -peers listing the full membership")
+	}
+	if cfg.ProbeInterval <= 0 {
+		return daemonConfig{}, fmt.Errorf("-probe-interval must be positive, got %s", cfg.ProbeInterval)
+	}
 	return cfg, nil
+}
+
+// clusterConfig derives the serve.ClusterConfig from the flags, or nil
+// for an unsharded daemon. Deeper validation (self ∈ peers, URL
+// normalization) lives in serve.EnableCluster so every embedding
+// shares it.
+func clusterConfig(cfg daemonConfig) *serve.ClusterConfig {
+	if cfg.Peers == "" {
+		return nil
+	}
+	return &serve.ClusterConfig{
+		Self:          cfg.Self,
+		Peers:         strings.Split(cfg.Peers, ","),
+		VNodes:        cfg.VNodes,
+		ProbeInterval: cfg.ProbeInterval,
+	}
 }
 
 // applyProfileRates wires the contention-profiling flags into the
@@ -197,14 +248,22 @@ func newService(cfg daemonConfig) (*serve.Service, error) {
 			return nil, fmt.Errorf("opening plan store: %w", err)
 		}
 	}
-	return serve.New(serve.Config{
+	svc := serve.New(serve.Config{
 		Workers:         cfg.Workers,
 		QueueLen:        cfg.Queue,
 		CacheEntries:    cfg.Cache,
 		SearchThreads:   cfg.SearchThreads,
 		Store:           store,
 		DefaultDeadline: cfg.DefaultDeadline,
-	}), nil
+	})
+	if cc := clusterConfig(cfg); cc != nil {
+		if err := svc.EnableCluster(*cc); err != nil {
+			svc.Close()
+			return nil, err
+		}
+		log.Printf("topooptd: sharded cluster member %s of %d peers", cc.Self, len(cc.Peers))
+	}
+	return svc, nil
 }
 
 // handler wires the service's HTTP API with optional request logging.

@@ -38,9 +38,63 @@ func TestParseFlagsOverrides(t *testing.T) {
 	}
 	want := daemonConfig{Addr: ":9999", Workers: 3, Queue: 7, Cache: 11,
 		SearchThreads: 5, Verbose: true, Store: "/tmp/plans", StoreSync: true,
-		DrainTimeout: 2 * time.Second, DefaultDeadline: 750 * time.Millisecond}
+		DrainTimeout: 2 * time.Second, DefaultDeadline: 750 * time.Millisecond,
+		ProbeInterval: time.Second}
 	if cfg != want {
 		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseFlagsCluster(t *testing.T) {
+	peers := "http://127.0.0.1:7070,http://127.0.0.1:7071"
+	cfg, err := parseFlags([]string{
+		"-peers", peers, "-self", "http://127.0.0.1:7070",
+		"-ring-vnodes", "64", "-probe-interval", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := clusterConfig(cfg)
+	if cc == nil {
+		t.Fatal("expected a cluster config")
+	}
+	if cc.Self != "http://127.0.0.1:7070" || len(cc.Peers) != 2 ||
+		cc.VNodes != 64 || cc.ProbeInterval != 250*time.Millisecond {
+		t.Errorf("cluster config %+v", cc)
+	}
+
+	// An unsharded daemon derives no cluster config.
+	plain, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clusterConfig(plain) != nil {
+		t.Error("expected nil cluster config without -peers")
+	}
+
+	// -peers and -self are all-or-nothing.
+	for _, args := range [][]string{
+		{"-peers", peers},
+		{"-self", "http://127.0.0.1:7070"},
+		{"-peers", peers, "-self", "http://127.0.0.1:7070", "-probe-interval", "0s"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("%v should fail", args)
+		}
+	}
+}
+
+// TestNewServiceRejectsBadCluster pins that a -self not present in
+// -peers is refused at startup, not discovered at request time.
+func TestNewServiceRejectsBadCluster(t *testing.T) {
+	_, err := newService(daemonConfig{
+		DrainTimeout:  time.Second,
+		ProbeInterval: time.Second,
+		Self:          "http://127.0.0.1:9999",
+		Peers:         "http://127.0.0.1:7070,http://127.0.0.1:7071",
+	})
+	if err == nil {
+		t.Fatal("expected newService to reject self not in peers")
 	}
 }
 

@@ -16,6 +16,7 @@
 package clientretry
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -146,6 +147,54 @@ func (rt *Retrier) Do(c *http.Client, idempotent bool, build func() (*http.Reque
 	}
 }
 
+// DoRead is Do plus a full body read inside the retry loop. A
+// connection torn down mid-body — a peer restarting during a sharded
+// load run kills in-flight responses exactly this way — surfaces as a
+// read error AFTER c.Do returned a 200, which Do alone cannot see: the
+// caller discovers the truncation outside the retry loop and the
+// request is lost. DoRead classifies such mid-body failures like any
+// pre-response transport failure (connect, or timeout when the deadline
+// tripped) and retries them under the same idempotency contract. On
+// return the response body, when non-nil, is fully read, closed and
+// replaced by an in-memory reader, and is also returned as bytes.
+func (rt *Retrier) DoRead(c *http.Client, idempotent bool, build func() (*http.Request, error)) (*http.Response, []byte, Outcome, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, nil, Connect, err
+		}
+		resp, err := c.Do(req)
+		out, retryable := classify(resp, err)
+		var body []byte
+		if err == nil {
+			body, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				// Mid-body transport failure: no usable response. Reclassify
+				// from the error alone and fall through to the retry decision.
+				out, retryable = classifyTransport(err)
+				resp, body = nil, nil
+			} else {
+				resp.Body = io.NopCloser(bytes.NewReader(body))
+			}
+		}
+		if err == nil && out == OK {
+			return resp, body, OK, nil
+		}
+		if !retryable || !idempotent || attempt >= rt.policy.MaxRetries {
+			if retryable && idempotent && rt.policy.MaxRetries > 0 {
+				out = Exhausted
+			}
+			return resp, body, out, err
+		}
+		var ra time.Duration
+		if resp != nil {
+			ra = retryAfter(resp)
+		}
+		rt.sleep(rt.backoff(attempt, ra))
+	}
+}
+
 // backoff computes the wait before retry number attempt (0-based):
 // jittered capped exponential growth from Base, floored by the server's
 // Retry-After hint when one was sent.
@@ -171,11 +220,7 @@ func (rt *Retrier) backoff(attempt int, serverHint time.Duration) time.Duration 
 // whether it is safe to retry (given an idempotent request).
 func classify(resp *http.Response, err error) (Outcome, bool) {
 	if err != nil {
-		var ne net.Error
-		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
-			return Timeout, true
-		}
-		return Connect, true
+		return classifyTransport(err)
 	}
 	switch {
 	case resp.StatusCode >= 500:
@@ -188,6 +233,19 @@ func classify(resp *http.Response, err error) (Outcome, bool) {
 	default:
 		return OK, false
 	}
+}
+
+// classifyTransport maps a transport-level failure with no usable
+// response — connect refused, DNS, a deadline, or a connection reset
+// mid-body — onto the taxonomy. Always retryable: the server never saw
+// (or never finished answering) the request, so an idempotent re-send
+// is safe.
+func classifyTransport(err error) (Outcome, bool) {
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return Timeout, true
+	}
+	return Connect, true
 }
 
 // retryAfter parses a delay-seconds Retry-After header; absent or

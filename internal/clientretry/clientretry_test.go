@@ -212,3 +212,115 @@ func TestOutcomeStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestDoReadRetriesMidBodyTruncation pins the sharded-cluster fix: a
+// connection torn down mid-body (a peer restarting during a load run)
+// is a transport failure AFTER Do returned 200. DoRead sees it inside
+// the retry loop, classifies it connect, and the idempotent re-send
+// succeeds.
+func TestDoReadRetriesMidBodyTruncation(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Promise 100 bytes, deliver 5, close: the client's body read
+			// fails with an unexpected EOF mid-stream.
+			w.Header().Set("Content-Length", "100")
+			w.Write([]byte("parti"))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	sleep, slept := noSleep(t)
+	rt := New(Policy{MaxRetries: 2, Base: time.Millisecond, Sleep: sleep})
+	resp, body, out, err := rt.DoRead(ts.Client(), true, getReq(t, ts.URL))
+	if err != nil || out != OK {
+		t.Fatalf("DoRead = %v, %v; want OK", out, err)
+	}
+	defer resp.Body.Close()
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("body %q", body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (truncated + retried)", got)
+	}
+	if len(*slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(*slept))
+	}
+}
+
+// TestDoReadMidBodyTruncationNotRetriedWhenNotIdempotent keeps the
+// idempotency contract: without the caller's declaration the truncation
+// surfaces as a connect failure, never a silent re-send.
+func TestDoReadMidBodyTruncationNotRetriedWhenNotIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Length", "100")
+		w.Write([]byte("parti"))
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 2, Base: time.Millisecond, Sleep: sleep})
+	resp, body, out, err := rt.DoRead(ts.Client(), false, getReq(t, ts.URL))
+	if err == nil || out != Connect {
+		t.Fatalf("DoRead = %v, %v; want connect error", out, err)
+	}
+	if resp != nil || body != nil {
+		t.Fatal("truncated attempt must not return a usable response")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestDoReadExhaustsOnPersistentTruncation: every attempt truncates, so
+// the retries run out and the outcome is retry-exhausted.
+func TestDoReadExhaustsOnPersistentTruncation(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Length", "100")
+		w.Write([]byte("parti"))
+	}))
+	defer ts.Close()
+
+	sleep, _ := noSleep(t)
+	rt := New(Policy{MaxRetries: 2, Base: time.Millisecond, Sleep: sleep})
+	_, _, out, err := rt.DoRead(ts.Client(), true, getReq(t, ts.URL))
+	if err == nil || out != Exhausted {
+		t.Fatalf("DoRead = %v, %v; want retry-exhausted", out, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 1 + 2 retries", got)
+	}
+}
+
+// TestDoReadRetries5xxWithBody mirrors TestDoRetries5xxThenSucceeds
+// through the DoRead path, including the Retry-After floor.
+func TestDoReadRetries5xxWithBody(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"queue_full"}}`))
+			return
+		}
+		w.Write([]byte("done"))
+	}))
+	defer ts.Close()
+
+	sleep, slept := noSleep(t)
+	rt := New(Policy{MaxRetries: 3, Base: time.Millisecond, Cap: 5 * time.Second, Sleep: sleep})
+	resp, body, out, err := rt.DoRead(ts.Client(), true, getReq(t, ts.URL))
+	if err != nil || out != OK || string(body) != "done" {
+		t.Fatalf("DoRead = %q, %v, %v", body, out, err)
+	}
+	resp.Body.Close()
+	if len(*slept) != 1 || (*slept)[0] < time.Second {
+		t.Fatalf("Retry-After floor not honored: slept %v", *slept)
+	}
+}

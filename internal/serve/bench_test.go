@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"topoopt"
+	"topoopt/internal/slo"
 )
 
 // BenchmarkServeCacheHit measures the serving hot path: POST /v1/plan for
@@ -143,4 +144,56 @@ func BenchmarkServePlanEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeOpenLoopSLO drives the open-loop SLO engine (the one
+// behind `planload -open-loop` and `make slo-smoke`) against an
+// in-process daemon: Poisson arrivals at a fixed offered rate over a
+// short window, requests cycling a small seed population so the load is
+// mostly cache hits with a cold miss per seed. The reported ns/op is
+// the run's overall p99 latency, which makes the serving tail an entry
+// in BENCH_serve.json the benchdiff ledger tracks across PRs.
+func BenchmarkServeOpenLoopSLO(b *testing.B) {
+	plan := stubPlan(b)
+	s := New(Config{Workers: 4, QueueLen: 64, Optimize: func(ctx context.Context, m *topoopt.Model, o topoopt.Options) (*topoopt.Plan, error) {
+		return plan, nil
+	}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	const seeds = 8
+	bodies := make([][]byte, seeds)
+	for i := range bodies {
+		body, err := json.Marshal(testRequest(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	client := ts.Client()
+
+	var p99 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := slo.Run(slo.Config{
+			Rate: 500, Duration: 400 * time.Millisecond, Bucket: 100 * time.Millisecond, Seed: 1,
+			Fire: func(j int) slo.Result {
+				resp, err := client.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(bodies[j%seeds]))
+				if err != nil {
+					return slo.Result{Err: true}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return slo.Result{Err: resp.StatusCode != http.StatusOK}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d of %d open-loop requests failed", rep.Errors, rep.Requests)
+		}
+		p99 = rep.Overall.P99Seconds
+	}
+	b.ReportMetric(p99*1e9, "ns/op")
 }

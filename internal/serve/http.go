@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -157,6 +159,27 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
 	return nil
 }
 
+// readBody reads the bounded request body whole. The forwardable
+// endpoints (plan, compare) buffer the raw bytes so a non-owner daemon
+// can re-send them verbatim to the fingerprint's owner.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return nil, badRequest("body", err)
+	}
+	return body, nil
+}
+
+// decodeJSONBytes strictly decodes an already-buffered body into dst.
+func decodeJSONBytes(body []byte, dst any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("body", err)
+	}
+	return nil
+}
+
 // validatePlanFields resolves the spec and validates the options — the
 // single validation pipeline every planning endpoint shares. Failures
 // are bad_request with detail naming the field group: "model"
@@ -181,6 +204,14 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest)
 	return validatePlanFields(dst.Model, dst.Options)
 }
 
+// decodePlanBytes is decodePlanRequest over a pre-buffered body.
+func decodePlanBytes(body []byte, dst *PlanRequest) (*topoopt.Model, *apiError) {
+	if aerr := decodeJSONBytes(body, dst); aerr != nil {
+		return nil, aerr
+	}
+	return validatePlanFields(dst.Model, dst.Options)
+}
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/plan       — synchronous optimization (cached, coalesced)
@@ -192,6 +223,7 @@ func decodePlanRequest(w http.ResponseWriter, r *http.Request, dst *PlanRequest)
 //	GET    /v1/jobs       — list jobs, newest first (?status=, ?limit=)
 //	GET    /v1/jobs/{id}  — poll a job (plan, fleet or sweep)
 //	DELETE /v1/jobs/{id}  — cancel a job
+//	GET    /v1/cluster    — shard membership, ring shares, peer health
 //	GET    /v1/metrics    — counters, gauges, latency quantiles (JSON)
 //	GET    /metrics       — the same snapshot, Prometheus text exposition
 //	GET    /debug/requests — ring of recent request stage breakdowns
@@ -207,6 +239,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -225,10 +258,17 @@ type PlanResponse struct {
 
 func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("plan")
+	s.noteForwardedArrival(r)
 	tr := s.tel.Begin("plan")
 	tr.Start(telemetry.StageDecode)
+	body, aerr := readBody(w, r)
+	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
 	var req PlanRequest
-	m, aerr := decodePlanRequest(w, r, &req)
+	m, aerr := decodePlanBytes(body, &req)
 	if aerr != nil {
 		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
@@ -243,6 +283,10 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	fp := req.Fingerprint()
 	tr.End()
+	if handled, status := s.forward(ctx, w, r, body, fp); handled {
+		tr.Finish(fp, false, status)
+		return
+	}
 	start := time.Now()
 	plan, fp, cached, err := s.plan(ctx, req, fp, resolved(m), nil, tr)
 	if err != nil {
@@ -278,10 +322,17 @@ type CompareResponse struct {
 
 func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.met.incRequest("compare")
+	s.noteForwardedArrival(r)
 	tr := s.tel.Begin("compare")
 	tr.Start(telemetry.StageDecode)
+	body, aerr := readBody(w, r)
+	if aerr != nil {
+		tr.Finish("", false, aerr.Status)
+		writeError(w, aerr)
+		return
+	}
 	var req CompareRequest
-	if aerr := decodeJSON(w, r, &req); aerr != nil {
+	if aerr := decodeJSONBytes(body, &req); aerr != nil {
 		tr.Finish("", false, aerr.Status)
 		writeError(w, aerr)
 		return
@@ -313,6 +364,10 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	tr.End()
+	if handled, status := s.forward(ctx, w, r, body, CompareFingerprint(req.Model, req.Options, archs)); handled {
+		tr.Finish("", false, status)
+		return
+	}
 	// Compare latencies are not observed: a multi-architecture sweep is
 	// seconds-scale and would swamp the serving-path quantiles the
 	// latency window exists to track.

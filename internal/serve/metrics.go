@@ -19,6 +19,7 @@ const latencyWindow = 1024
 var endpointNames = []string{
 	"plan", "compare", "cost", "fleet", "sweep",
 	"jobs_submit", "jobs_list", "jobs_get", "jobs_cancel",
+	"cluster",
 }
 
 // metrics aggregates service counters. Hot counters — everything bumped
@@ -46,6 +47,16 @@ type metrics struct {
 	warmStarts atomic.Int64
 	warmWins   atomic.Int64
 	requests   map[string]*atomic.Int64 // fixed keys; see endpointNames
+
+	// Sharded-cluster forwarding counters. The per-peer maps are built
+	// once by initPeers (EnableCluster, before traffic) and never mutated
+	// afterwards, same lock-free discipline as requests. forwarded counts
+	// requests this daemon proxied to each owner; forwardFallback counts
+	// proxy attempts that failed over to local compute; fwdServed counts
+	// requests served here that arrived via a peer's forward.
+	forwarded   map[string]*atomic.Int64
+	forwardFail map[string]*atomic.Int64
+	fwdServed   atomic.Int64
 
 	mu       sync.Mutex // guards the rings below, nothing else
 	lat      []float64
@@ -80,6 +91,47 @@ func (m *metrics) shedDrop()      { m.shed.Add(1) }
 func (m *metrics) storeError()    { m.storeErrs.Add(1) }
 func (m *metrics) warmStart()     { m.warmStarts.Add(1) }
 func (m *metrics) warmImproved()  { m.warmWins.Add(1) }
+
+// initPeers fixes the per-peer forwarding counter maps. Called once
+// from EnableCluster before the service takes traffic.
+func (m *metrics) initPeers(peers []string) {
+	fwd := make(map[string]*atomic.Int64, len(peers))
+	fail := make(map[string]*atomic.Int64, len(peers))
+	for _, p := range peers {
+		fwd[p] = new(atomic.Int64)
+		fail[p] = new(atomic.Int64)
+	}
+	m.forwarded = fwd
+	m.forwardFail = fail
+}
+
+func (m *metrics) forwardTo(peer string) {
+	if c, ok := m.forwarded[peer]; ok {
+		c.Add(1)
+	}
+}
+
+func (m *metrics) forwardFallback(peer string) {
+	if c, ok := m.forwardFail[peer]; ok {
+		c.Add(1)
+	}
+}
+
+func (m *metrics) forwardedServed() { m.fwdServed.Add(1) }
+
+func (m *metrics) forwardedTo(peer string) int64 {
+	if c, ok := m.forwarded[peer]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (m *metrics) fallbacksTo(peer string) int64 {
+	if c, ok := m.forwardFail[peer]; ok {
+		return c.Load()
+	}
+	return 0
+}
 
 // addProposals folds an epoch's worth of consumed MCMC proposals into
 // the throughput counter.
@@ -187,6 +239,14 @@ type MetricsSnapshot struct {
 	// Stages holds per-stage latency quantiles (decode, admission, cache,
 	// queue, search, persist, encode) over recent traced requests.
 	Stages map[string]telemetry.StageSummary `json:"stages,omitempty"`
+
+	// Sharded-cluster forwarding counters (present only on a daemon with
+	// EnableCluster): requests proxied to each owning peer, proxy
+	// attempts that fell back to local compute, and requests served here
+	// that arrived via a peer's forward.
+	Forwarded        map[string]int64 `json:"forwarded,omitempty"`
+	ForwardFallbacks map[string]int64 `json:"forward_fallbacks,omitempty"`
+	ForwardedServed  int64            `json:"forwarded_served,omitempty"`
 }
 
 // snapshot copies the counters; cache/queue/job gauges and the stage
@@ -209,6 +269,17 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		if v := c.Load(); v > 0 {
 			s.Requests[k] = v
 		}
+	}
+	if len(m.forwarded) > 0 {
+		s.Forwarded = make(map[string]int64, len(m.forwarded))
+		s.ForwardFallbacks = make(map[string]int64, len(m.forwardFail))
+		for p, c := range m.forwarded {
+			s.Forwarded[p] = c.Load()
+		}
+		for p, c := range m.forwardFail {
+			s.ForwardFallbacks[p] = c.Load()
+		}
+		s.ForwardedServed = m.fwdServed.Load()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -59,6 +59,26 @@ func WriteMetricsText(w io.Writer, snap MetricsSnapshot) error {
 	gauge("topoopt_draining", "1 while the service is draining, 0 otherwise.", draining)
 	gauge("topoopt_mean_service_seconds", "Mean wall time of recent completed searches (the admission controller's estimate).", snap.MeanServiceSeconds)
 
+	// Sharded-cluster forwarding counters, present only when the daemon
+	// runs with -peers. Peer labels iterate in sorted order, keeping the
+	// render byte-deterministic.
+	if len(snap.Forwarded) > 0 {
+		peers := make([]string, 0, len(snap.Forwarded))
+		for pr := range snap.Forwarded {
+			peers = append(peers, pr)
+		}
+		sort.Strings(peers)
+		p.Family("topoopt_forwarded_total", "Requests proxied to their owning peer, by peer.", "counter")
+		for _, pr := range peers {
+			p.Int("topoopt_forwarded_total", snap.Forwarded[pr], "peer", pr)
+		}
+		p.Family("topoopt_forward_fallback_total", "Proxy attempts that fell back to local compute, by peer.", "counter")
+		for _, pr := range peers {
+			p.Int("topoopt_forward_fallback_total", snap.ForwardFallbacks[pr], "peer", pr)
+		}
+		counter("topoopt_forwarded_served_total", "Requests served here that arrived via a peer's forward.", snap.ForwardedServed)
+	}
+
 	p.Family("topoopt_request_latency_seconds", "End-to-end plan latency: all-time count/sum, quantiles over the recent window.", "summary")
 	p.Summary("topoopt_request_latency_seconds", telemetry.StageSummary{
 		Count:      snap.Latency.Count,

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"topoopt"
@@ -205,6 +206,11 @@ type Service struct {
 	jobSeq   []string // creation order, for bounded eviction
 
 	met *metrics
+
+	// cluster is the sharding runtime, nil on an unsharded daemon. Set
+	// once by EnableCluster before traffic; atomic so the per-request
+	// forward check is lock-free.
+	cluster atomic.Pointer[cluster]
 }
 
 // New starts a Service with cfg's worker pool running.
@@ -348,6 +354,9 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if c := s.cluster.Swap(nil); c != nil {
+		c.close() // stop the probe loop before tearing down workers
+	}
 	s.baseCancel()
 	s.wg.Wait()
 	s.jobWG.Wait()

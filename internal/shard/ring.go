@@ -1,0 +1,165 @@
+// Package shard provides a deterministic consistent-hash ring over the
+// request-fingerprint space.
+//
+// topooptd shards work by the SHA-256 fingerprints the serve layer
+// already computes for every plan/compare request: a fingerprint's
+// leading 64 bits index into a ring of virtual nodes, and the member
+// owning the next point clockwise owns the request. Ownership is a pure
+// function of the member list and the vnode count — every daemon given
+// the same static peer list derives byte-identical ownership with no
+// coordination, which is what makes one-hop forwarding sound.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member when the caller
+// passes 0. 160 points per member keeps the max/min ownership-share
+// ratio comfortably under 1.3x for small clusters (pinned by test)
+// while a 5-member ring is still only 800 points — lookups stay a
+// ~10-step binary search.
+const DefaultVNodes = 160
+
+// point is one virtual node: a position on the 64-bit ring and the
+// index of the member that owns the arc ending at it.
+type point struct {
+	hash   uint64
+	member int32
+}
+
+// Ring is an immutable consistent-hash ring. Build one with New; all
+// methods are safe for concurrent use.
+type Ring struct {
+	members []string
+	vnodes  int
+	points  []point // sorted by (hash, member)
+}
+
+// New builds a ring over the given members (peer base URLs, typically).
+// Members are deduplicated and sorted, so any permutation of the same
+// list yields a byte-identical ring. vnodes <= 0 selects DefaultVNodes.
+func New(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, errors.New("shard: empty member name")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, errors.New("shard: ring needs at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		vnodes:  vnodes,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   pointHash(m, v),
+				member: int32(i),
+			})
+		}
+	}
+	// Ties between members at the same hash (astronomically unlikely but
+	// possible) break by member index, which is itself derived from the
+	// sorted member list — the order stays insertion-independent.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of member m on the ring: the leading
+// 8 bytes of SHA-256 over "m#v". SHA-256 matches the fingerprint hash,
+// so keys and points draw from the same uniform space.
+func pointHash(m string, v int) uint64 {
+	sum := sha256.Sum256([]byte(m + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Key maps a request fingerprint onto the ring. Fingerprints are
+// 64-char SHA-256 hex (see PlanRequest.Fingerprint), so the leading 16
+// hex digits are the leading 64 bits of an already-uniform hash; any
+// other string is hashed the same way the ring points are.
+func Key(fp string) uint64 {
+	if len(fp) >= 16 {
+		if b, err := hex.DecodeString(fp[:16]); err == nil {
+			return binary.BigEndian.Uint64(b)
+		}
+	}
+	sum := sha256.Sum256([]byte(fp))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning the given fingerprint: the member of
+// the first ring point at or clockwise of Key(fp), wrapping at 2^64.
+func (r *Ring) Owner(fp string) string {
+	return r.members[r.ownerIndex(Key(fp))]
+}
+
+func (r *Ring) ownerIndex(key uint64) int32 {
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= key
+	})
+	if i == len(r.points) {
+		i = 0 // wrap: keys past the last point belong to the first
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted, deduplicated member list.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Shares returns each member's fraction of the 64-bit key space, by
+// summing the arc lengths ending at that member's points. Shares sum to
+// 1 (up to float rounding) and quantify ring balance.
+func (r *Ring) Shares() map[string]float64 {
+	// Accumulate in float64: a single member owns the whole 2^64 ring,
+	// which would overflow a uint64 accumulator back to zero.
+	arcs := make([]float64, len(r.members))
+	prev := r.points[len(r.points)-1].hash // the wrap arc ends at points[0]
+	for _, p := range r.points {
+		arcs[p.member] += float64(p.hash - prev) // uint64 subtraction wraps correctly
+		prev = p.hash
+	}
+	shares := make(map[string]float64, len(r.members))
+	for i, m := range r.members {
+		shares[m] = arcs[i] / (1 << 64)
+	}
+	return shares
+}
+
+// Share returns one member's fraction of the key space, or an error if
+// the member is not on the ring.
+func (r *Ring) Share(member string) (float64, error) {
+	i := sort.SearchStrings(r.members, member)
+	if i == len(r.members) || r.members[i] != member {
+		return 0, fmt.Errorf("shard: %q is not a ring member", member)
+	}
+	return r.Shares()[member], nil
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("http://127.0.0.1:%d", 7180+i)
+	}
+	return m
+}
+
+// fingerprint mimics the serve layer's request fingerprints: 64-char
+// SHA-256 hex.
+func fingerprint(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("req-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingDeterministicAcrossInsertionOrders(t *testing.T) {
+	members := testMembers(5)
+	base, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Members(), base.Members()) {
+			t.Fatalf("trial %d: members differ: %v vs %v", trial, r.Members(), base.Members())
+		}
+		for i := 0; i < 500; i++ {
+			fp := fingerprint(i)
+			if got, want := r.Owner(fp), base.Owner(fp); got != want {
+				t.Fatalf("trial %d: owner(%s) = %q, base says %q", trial, fp, got, want)
+			}
+		}
+	}
+}
+
+func TestRingDeduplicatesMembers(t *testing.T) {
+	r, err := New([]string{"a", "b", "a", "b", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("members = %v, want [a b]", got)
+	}
+	if got := len(r.points); got != 2*8 {
+		t.Fatalf("points = %d, want 16", got)
+	}
+}
+
+func TestRingRejectsEmptyAndBlank(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("expected error for empty member list")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("expected error for blank member name")
+	}
+}
+
+// TestRingShareBalance pins the ownership-share balance bound from the
+// issue: with the default vnode count, max/min member share stays
+// within 1.3x for cluster sizes 2, 3, and 5.
+func TestRingShareBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		r, err := New(testMembers(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := r.Shares()
+		lo, hi, sum := math.Inf(1), 0.0, 0.0
+		for m, s := range shares {
+			if s <= 0 {
+				t.Fatalf("n=%d: member %s has non-positive share %g", n, m, s)
+			}
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("n=%d: shares sum to %g, want 1", n, sum)
+		}
+		if ratio := hi / lo; ratio > 1.3 {
+			t.Fatalf("n=%d: share imbalance %.3fx exceeds 1.3x (min=%.4f max=%.4f)", n, ratio, lo, hi)
+		}
+	}
+}
+
+// TestRingOwnerMatchesEmpiricalShare sanity-checks that the arc-length
+// shares reported by Shares agree with the empirical ownership fraction
+// over many uniform fingerprints.
+func TestRingOwnerMatchesEmpiricalShare(t *testing.T) {
+	r, err := New(testMembers(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 20000
+	counts := make(map[string]int)
+	for i := 0; i < samples; i++ {
+		counts[r.Owner(fingerprint(i))]++
+	}
+	for m, want := range r.Shares() {
+		got := float64(counts[m]) / samples
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("member %s: empirical share %.4f vs arc share %.4f", m, got, want)
+		}
+	}
+}
+
+func TestRingKeyUsesFingerprintPrefix(t *testing.T) {
+	fp := fingerprint(42)
+	b, _ := hex.DecodeString(fp[:16])
+	want := uint64(0)
+	for _, x := range b {
+		want = want<<8 | uint64(x)
+	}
+	if got := Key(fp); got != want {
+		t.Fatalf("Key(%s) = %#x, want leading 64 bits %#x", fp, got, want)
+	}
+	// Non-hex strings still map somewhere stable.
+	if Key("not hex at all!") != Key("not hex at all!") {
+		t.Fatal("Key not deterministic for non-hex input")
+	}
+	if Key("not hex at all!") == Key("a different string") {
+		t.Fatal("distinct non-hex inputs collided (suspicious)")
+	}
+}
+
+func TestRingShare(t *testing.T) {
+	r, err := New(testMembers(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Share(testMembers(2)[0])
+	if err != nil || s <= 0 || s >= 1 {
+		t.Fatalf("Share = %g, %v; want in (0,1)", s, err)
+	}
+	if _, err := r.Share("http://nowhere"); err == nil {
+		t.Fatal("expected error for unknown member")
+	}
+	if got := r.VNodes(); got != DefaultVNodes {
+		t.Fatalf("VNodes = %d, want %d", got, DefaultVNodes)
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := New([]string{"solo"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fingerprint(i)); got != "solo" {
+			t.Fatalf("owner = %q, want solo", got)
+		}
+	}
+	s, err := r.Share("solo")
+	if err != nil || math.Abs(s-1) > 1e-9 {
+		t.Fatalf("solo share = %g, %v; want 1", s, err)
+	}
+}

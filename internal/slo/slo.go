@@ -1,0 +1,406 @@
+// Package slo is the sustained-load SLO engine behind cmd/planload's
+// open-loop mode: Poisson arrivals at a fixed offered rate with
+// fire-and-forget scheduling, time-bucketed latency quantiles over the
+// run, a pass/fail gate against a target p99, and a saturation-point
+// search that binary-searches the highest rate still meeting the gate.
+//
+// Open-loop means the arrival schedule never waits for responses —
+// unlike a closed-loop worker pool, which self-throttles as the server
+// slows down and therefore flatters its tail latencies. The schedule is
+// drawn up front from a seeded exponential inter-arrival process, so a
+// (rate, duration, seed) triple offers a deterministic request count at
+// deterministic offsets; only the measured latencies vary run to run.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"topoopt/internal/stats"
+)
+
+// Result is one request's outcome as reported by the Fire callback.
+type Result struct {
+	// Err marks the request as failed (transport error or non-2xx after
+	// retries). Failed requests count toward bucket error totals and are
+	// excluded from the latency quantiles.
+	Err bool
+}
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Rate is the offered arrival rate in requests/second. Required > 0.
+	Rate float64
+	// Duration is how long arrivals are offered. Required > 0. Requests
+	// fired near the end still complete and are recorded; the run ends
+	// when the last one does.
+	Duration time.Duration
+	// Bucket is the latency-quantile bucketing period (default 1s,
+	// clamped to Duration).
+	Bucket time.Duration
+	// Seed seeds the arrival process (0 means seed 1, keeping runs
+	// deterministic by default).
+	Seed int64
+	// Fire issues request i and reports its outcome. It is called from
+	// one goroutine per arrival — fire-and-forget — and must be safe for
+	// concurrent use. Its latency is measured around the whole call.
+	Fire func(i int) Result
+}
+
+// Bucket is one time slice of the run: requests that ARRIVED in
+// [StartSeconds, StartSeconds+width), with quantiles over their
+// completion latencies.
+type Bucket struct {
+	StartSeconds float64 `json:"start_seconds"`
+	Count        int     `json:"count"`
+	Errors       int     `json:"errors"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	P999Seconds  float64 `json:"p999_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Gate is the pass/fail SLO verdict for a run.
+type Gate struct {
+	TargetP99Seconds float64 `json:"target_p99_seconds"`
+	ActualP99Seconds float64 `json:"actual_p99_seconds"`
+	MaxErrors        int     `json:"max_errors"`
+	Errors           int     `json:"errors"`
+	Pass             bool    `json:"pass"`
+}
+
+// Report is the machine-readable outcome of one open-loop run.
+type Report struct {
+	OfferedRate     float64 `json:"offered_rate"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	BucketSeconds   float64 `json:"bucket_seconds"`
+	Seed            int64   `json:"seed"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	// AchievedRate is completed-OK requests over the offered duration.
+	AchievedRate float64 `json:"achieved_rate"`
+	// Overall aggregates the whole run (StartSeconds 0).
+	Overall Bucket   `json:"overall"`
+	Buckets []Bucket `json:"buckets"`
+	// SLO is set by Apply when the caller gates the run.
+	SLO *Gate `json:"slo,omitempty"`
+}
+
+// sample is one completed request: its scheduled arrival offset and
+// measured latency.
+type sample struct {
+	at  time.Duration
+	lat float64
+	err bool
+}
+
+// Schedule returns the deterministic arrival offsets for (rate,
+// duration, seed): exponential inter-arrival gaps with mean 1/rate,
+// truncated at duration.
+func Schedule(rate float64, duration time.Duration, seed int64) []time.Duration {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var offs []time.Duration
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		t += gap
+		if t >= duration {
+			return offs
+		}
+		offs = append(offs, t)
+	}
+}
+
+// Run executes one open-loop run and aggregates it into a Report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("slo: rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("slo: duration must be positive, got %s", cfg.Duration)
+	}
+	if cfg.Fire == nil {
+		return nil, fmt.Errorf("slo: Fire must be set")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = time.Second
+	}
+	if cfg.Bucket > cfg.Duration {
+		cfg.Bucket = cfg.Duration
+	}
+	offsets := Schedule(cfg.Rate, cfg.Duration, cfg.Seed)
+
+	var (
+		mu      sync.Mutex
+		samples = make([]sample, 0, len(offsets))
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for i, off := range offsets {
+		// Fire-and-forget: sleep to the scheduled arrival, then launch the
+		// request on its own goroutine. The scheduler never waits for a
+		// response, so a saturated server faces the full offered rate.
+		if d := time.Until(start.Add(off)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, off time.Duration) {
+			defer wg.Done()
+			t0 := time.Now()
+			res := cfg.Fire(i)
+			lat := time.Since(t0).Seconds()
+			mu.Lock()
+			samples = append(samples, sample{at: off, lat: lat, err: res.Err})
+			mu.Unlock()
+		}(i, off)
+	}
+	wg.Wait()
+
+	return aggregate(cfg, samples), nil
+}
+
+func aggregate(cfg Config, samples []sample) *Report {
+	rep := &Report{
+		OfferedRate:     cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		BucketSeconds:   cfg.Bucket.Seconds(),
+		Seed:            cfg.Seed,
+		Requests:        len(samples),
+	}
+	width := cfg.Bucket.Seconds()
+	n := int(math.Ceil(cfg.Duration.Seconds() / width))
+	byBucket := make([][]float64, n)
+	errsBy := make([]int, n)
+	countBy := make([]int, n)
+	var all []float64
+	for _, s := range samples {
+		b := int(s.at.Seconds() / width)
+		if b >= n {
+			b = n - 1
+		}
+		countBy[b]++
+		if s.err {
+			rep.Errors++
+			errsBy[b]++
+			continue
+		}
+		byBucket[b] = append(byBucket[b], s.lat)
+		all = append(all, s.lat)
+	}
+	rep.AchievedRate = float64(len(all)) / cfg.Duration.Seconds()
+	rep.Overall = quantiles(0, countBy, errsBy, all)
+	for b := 0; b < n; b++ {
+		if countBy[b] == 0 {
+			continue
+		}
+		rep.Buckets = append(rep.Buckets,
+			quantiles(float64(b)*width, countBy[b:b+1], errsBy[b:b+1], byBucket[b]))
+	}
+	return rep
+}
+
+func quantiles(startS float64, counts, errs []int, lats []float64) Bucket {
+	b := Bucket{StartSeconds: startS}
+	for _, c := range counts {
+		b.Count += c
+	}
+	for _, e := range errs {
+		b.Errors += e
+	}
+	if len(lats) > 0 {
+		sorted := append([]float64(nil), lats...)
+		sort.Float64s(sorted)
+		b.P50Seconds = stats.PercentileSorted(sorted, 50)
+		b.P99Seconds = stats.PercentileSorted(sorted, 99)
+		b.P999Seconds = stats.PercentileSorted(sorted, 99.9)
+		b.MaxSeconds = sorted[len(sorted)-1]
+	}
+	return b
+}
+
+// Apply gates the report against a target p99 and an error budget,
+// recording the verdict in r.SLO and returning pass/fail. maxErrors < 0
+// disables the error check.
+func (r *Report) Apply(targetP99 time.Duration, maxErrors int) bool {
+	g := &Gate{
+		TargetP99Seconds: targetP99.Seconds(),
+		ActualP99Seconds: r.Overall.P99Seconds,
+		MaxErrors:        maxErrors,
+		Errors:           r.Errors,
+		Pass:             true,
+	}
+	if targetP99 > 0 && r.Overall.P99Seconds > targetP99.Seconds() {
+		g.Pass = false
+	}
+	if maxErrors >= 0 && r.Errors > maxErrors {
+		g.Pass = false
+	}
+	// A run that completed nothing passes no gate.
+	if r.Requests > 0 && r.Requests == r.Errors {
+		g.Pass = false
+	}
+	r.SLO = g
+	return g.Pass
+}
+
+// String renders the human-readable bucket table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "open-loop: offered %.1f req/s for %.1fs (seed %d): %d requests, %d errors, achieved %.1f req/s\n",
+		r.OfferedRate, r.DurationSeconds, r.Seed, r.Requests, r.Errors, r.AchievedRate)
+	fmt.Fprintf(&sb, "  %-12s %6s %6s %10s %10s %10s %10s\n",
+		"bucket", "n", "err", "p50", "p99", "p999", "max")
+	for _, b := range r.Buckets {
+		fmt.Fprintf(&sb, "  [%5.1fs,+%gs) %6d %6d %9.1fms %9.1fms %9.1fms %9.1fms\n",
+			b.StartSeconds, r.BucketSeconds, b.Count, b.Errors,
+			b.P50Seconds*1e3, b.P99Seconds*1e3, b.P999Seconds*1e3, b.MaxSeconds*1e3)
+	}
+	o := r.Overall
+	fmt.Fprintf(&sb, "  %-12s %6d %6d %9.1fms %9.1fms %9.1fms %9.1fms\n",
+		"overall", o.Count, o.Errors, o.P50Seconds*1e3, o.P99Seconds*1e3, o.P999Seconds*1e3, o.MaxSeconds*1e3)
+	if g := r.SLO; g != nil {
+		verdict := "PASS"
+		if !g.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  SLO %s: p99 %.1fms vs target %.1fms, errors %d (max %d)\n",
+			verdict, g.ActualP99Seconds*1e3, g.TargetP99Seconds*1e3, g.Errors, g.MaxErrors)
+	}
+	return sb.String()
+}
+
+// BenchLines renders the run as `go test -bench`-style lines so the
+// benchdiff ledger (BENCH_serve.json, BENCH_HISTORY.json) can ingest an
+// SLO trajectory with the machinery it already has. One synthetic
+// iteration per line; the value is the quantile in ns.
+func (r *Report) BenchLines(prefix string) string {
+	var sb strings.Builder
+	line := func(name string, seconds float64) {
+		fmt.Fprintf(&sb, "Benchmark%s%s \t 1 \t %.0f ns/op\n", prefix, name, seconds*1e9)
+	}
+	line("P50", r.Overall.P50Seconds)
+	line("P99", r.Overall.P99Seconds)
+	line("P999", r.Overall.P999Seconds)
+	return sb.String()
+}
+
+// SearchStep is one probe of the saturation search.
+type SearchStep struct {
+	Rate       float64 `json:"rate"`
+	P99Seconds float64 `json:"p99_seconds"`
+	Errors     int     `json:"errors"`
+	Pass       bool    `json:"pass"`
+}
+
+// SearchConfig parameterizes Saturate.
+type SearchConfig struct {
+	// MinRate and MaxRate bracket the search (req/s). Required
+	// 0 < MinRate < MaxRate.
+	MinRate, MaxRate float64
+	// Iters is the number of bisection steps after the bracket probes
+	// (default 5; each halves the bracket, so 5 resolves the rate to
+	// ~3% of the initial range).
+	Iters int
+	// TargetP99 and MaxErrors define passing, as in Report.Apply.
+	TargetP99 time.Duration
+	MaxErrors int
+	// Measure runs one open-loop measurement at the given rate.
+	Measure func(rate float64) (*Report, error)
+}
+
+// SaturationReport is the outcome of a saturation-point search.
+type SaturationReport struct {
+	MinRate          float64 `json:"min_rate"`
+	MaxRate          float64 `json:"max_rate"`
+	TargetP99Seconds float64 `json:"target_p99_seconds"`
+	// SaturationRate is the highest probed rate that met the gate, or 0
+	// when even MinRate failed.
+	SaturationRate float64      `json:"saturation_rate"`
+	Steps          []SearchStep `json:"steps"`
+}
+
+// Saturate binary-searches the highest offered rate meeting the SLO
+// gate. It probes MinRate and MaxRate first: a failing MinRate reports
+// saturation 0 (the server cannot meet the target at all), a passing
+// MaxRate reports MaxRate (the bracket never saturated). Otherwise
+// Iters bisection steps shrink the bracket; the returned rate is the
+// highest rate that actually passed a measurement, so it is always a
+// rate the server was observed to sustain.
+func Saturate(cfg SearchConfig) (*SaturationReport, error) {
+	if cfg.MinRate <= 0 || cfg.MaxRate <= cfg.MinRate {
+		return nil, fmt.Errorf("slo: need 0 < MinRate < MaxRate, got [%g, %g]", cfg.MinRate, cfg.MaxRate)
+	}
+	if cfg.Measure == nil {
+		return nil, fmt.Errorf("slo: Measure must be set")
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 5
+	}
+	rep := &SaturationReport{
+		MinRate: cfg.MinRate, MaxRate: cfg.MaxRate,
+		TargetP99Seconds: cfg.TargetP99.Seconds(),
+	}
+	probe := func(rate float64) (bool, error) {
+		r, err := cfg.Measure(rate)
+		if err != nil {
+			return false, err
+		}
+		pass := r.Apply(cfg.TargetP99, cfg.MaxErrors)
+		rep.Steps = append(rep.Steps, SearchStep{
+			Rate: rate, P99Seconds: r.Overall.P99Seconds, Errors: r.Errors, Pass: pass,
+		})
+		return pass, nil
+	}
+	ok, err := probe(cfg.MinRate)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return rep, nil // saturated below the bracket
+	}
+	rep.SaturationRate = cfg.MinRate
+	ok, err = probe(cfg.MaxRate)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		rep.SaturationRate = cfg.MaxRate
+		return rep, nil
+	}
+	lo, hi := cfg.MinRate, cfg.MaxRate
+	for i := 0; i < cfg.Iters; i++ {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo = mid
+			rep.SaturationRate = mid
+		} else {
+			hi = mid
+		}
+	}
+	return rep, nil
+}
+
+// BenchLine renders the saturation result for the benchdiff ledger: the
+// mean inter-arrival time at the saturation rate, in ns/op — a real
+// per-request figure that falls as the sustainable rate rises.
+func (s *SaturationReport) BenchLine(prefix string) string {
+	if s.SaturationRate <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("Benchmark%sSaturationInterval \t 1 \t %.0f ns/op\n", prefix, 1e9/s.SaturationRate)
+}

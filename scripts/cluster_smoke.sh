@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — three-daemon sharded cluster smoke.
+#
+# Builds topooptd + planload, starts three daemons joined by a static
+# consistent-hash peer ring (-peers/-self), and asserts the two cluster
+# invariants end to end on real processes:
+#
+#   1. byte-identical plans regardless of entry peer
+#      (planload -verify-identical POSTs one identical request to every
+#      daemon; non-owners proxy to the owner, so the payloads must match
+#      byte for byte), and
+#   2. a sustained open-loop load round-robined across all three members
+#      completes with ZERO errors while meeting the p99 gate — requests
+#      landing on non-owners pay one forwarding hop and still clear it.
+#
+# A failed check exits nonzero, which is what `make cluster-smoke` and
+# the CI job key on.
+#
+# Tunables (env): CLUSTER_BASE_PORT, SLO_RATE, SLO_DURATION, SLO_P99.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+PIDS=()
+cleanup() {
+  [ "${#PIDS[@]}" -gt 0 ] && kill "${PIDS[@]}" 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/topooptd" ./cmd/topooptd
+go build -o "$BIN/planload" ./cmd/planload
+
+BASE=${CLUSTER_BASE_PORT:-7481}
+PEERS="http://127.0.0.1:$BASE,http://127.0.0.1:$((BASE + 1)),http://127.0.0.1:$((BASE + 2))"
+
+for i in 0 1 2; do
+  port=$((BASE + i))
+  "$BIN/topooptd" -addr "127.0.0.1:$port" -workers 2 -queue 64 \
+    -peers "$PEERS" -self "http://127.0.0.1:$port" -probe-interval 500ms &
+  PIDS+=($!)
+done
+
+for i in 0 1 2; do
+  port=$((BASE + i))
+  for _ in $(seq 100); do
+    (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null && break
+    sleep 0.1
+  done
+done
+
+# Invariant 1: same request, every entry peer, byte-identical plans.
+"$BIN/planload" -addr "$PEERS" -verify-identical \
+  -model bert -section 6 -servers 8 -degree 2 -mcmc 5
+
+# Invariant 2: sustained open-loop load across all members, zero errors.
+"$BIN/planload" -addr "$PEERS" \
+  -open-loop -rate "${SLO_RATE:-120}" -duration "${SLO_DURATION:-3s}" -bucket 500ms \
+  -model bert -section 6 -servers 8 -degree 2 -mcmc 5 -seeds 6 -retries 2 \
+  -slo-p99 "${SLO_P99:-500ms}" -max-errors 0
+
+echo "cluster-smoke: PASS"
